@@ -1,0 +1,355 @@
+(* Benchmark and figure-regeneration harness.
+
+   Part 1 regenerates every panel of the paper's evaluation (Figure 4 a-f)
+   and verifies the qualitative shape claims. It runs at a laptop-fast
+   scale by default; set BEEHIVE_BENCH_FULL=1 for the paper's full
+   40-hive / 400-switch / 60-second setup.
+
+   Part 2 runs scenario-level ablations (optimizer on/off, cluster size).
+
+   Part 3 measures core-operation costs with Bechamel. *)
+
+module Scenario = Beehive_harness.Scenario
+module Fig4 = Beehive_harness.Fig4
+module Summary = Beehive_harness.Summary
+module Simtime = Beehive_sim.Simtime
+module Engine = Beehive_sim.Engine
+module Rng = Beehive_sim.Rng
+
+type Beehive_core.Message.payload +=
+  | Bench_incr
+  | Bench_put of { bp_key : string; bp_size : int }
+
+let full_scale = Sys.getenv_opt "BEEHIVE_BENCH_FULL" = Some "1"
+
+let scenario_cfg =
+  if full_scale then Scenario.default_config else Scenario.quick_config
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: Figure 4                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let run_figures () =
+  Format.printf "##### Figure 4 regeneration (%s scale) #####@.@."
+    (if full_scale then "paper" else "quick");
+  let naive, decoupled, optimized = Fig4.run_all ~cfg:scenario_cfg () in
+  Format.printf "%a@." Fig4.render naive;
+  Format.printf "%a@." Fig4.render decoupled;
+  Format.printf "%a@." Fig4.render optimized;
+  let checks = Fig4.shape_checks ~naive ~decoupled ~optimized in
+  Format.printf "=== shape checks (the paper's qualitative claims)@.%a@."
+    Fig4.render_checks checks;
+  List.for_all (fun c -> c.Fig4.c_passed) checks
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: ablations                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let run_scenario cfg =
+  let sc = Scenario.build cfg in
+  Scenario.run sc;
+  Summary.of_scenario sc
+
+let ablation_optimizer () =
+  Format.printf "##### Ablation: optimizer on/off under adversarial placement #####@.";
+  Format.printf
+    "%-12s %-10s %-12s %-12s %-12s@." "optimizer" "locality" "mean KB/s" "peak KB/s"
+    "migrations";
+  List.iter
+    (fun optimize ->
+      let s =
+        run_scenario
+          {
+            scenario_cfg with
+            Scenario.te = Scenario.Te_decoupled;
+            optimize;
+            adversarial_pin = true;
+          }
+      in
+      Format.printf "%-12s %-10s %-12.1f %-12.1f %-12d@."
+        (if optimize then "on" else "off")
+        (Printf.sprintf "%.0f%%" (100.0 *. s.Summary.s_locality))
+        s.Summary.s_mean_kbps s.Summary.s_peak_kbps s.Summary.s_migrations)
+    [ false; true ];
+  Format.printf "@."
+
+let ablation_external_store () =
+  (* Section 6 of the paper, measured: Beehive cells vs. an ONOS-style
+     external key-value store holding the same TE state. State-access
+     latency is per round trip to the store shard; cells access state
+     in-process (charged as 0). *)
+  Format.printf "##### Ablation: Beehive cells vs. external datastore (Section 6) #####@.";
+  Format.printf "%-22s %-12s %-12s %-18s %-18s@." "state design" "mean KB/s" "peak KB/s"
+    "state p50 us" "state p99 us";
+  List.iter
+    (fun (label, te) ->
+      let cfg = { scenario_cfg with Scenario.te; optimize = false; adversarial_pin = false } in
+      let sc = Scenario.build cfg in
+      Scenario.run sc;
+      let s = Summary.of_scenario sc in
+      let p50, p99 =
+        match Scenario.ext_store sc with
+        | Some store ->
+          ( Option.value ~default:0 (Beehive_core.Ext_store.rpc_latency_percentile store 0.5),
+            Option.value ~default:0 (Beehive_core.Ext_store.rpc_latency_percentile store 0.99) )
+        | None -> (0, 0)
+      in
+      Format.printf "%-22s %-12.1f %-12.1f %-18d %-18d@." label s.Summary.s_mean_kbps
+        s.Summary.s_peak_kbps p50 p99)
+    [ ("beehive cells", Scenario.Te_decoupled); ("external store", Scenario.Te_external) ];
+  Format.printf "@."
+
+let ablation_cluster_size () =
+  Format.printf "##### Ablation: decoupled TE vs cluster size #####@.";
+  Format.printf "%-8s %-10s %-10s %-12s %-12s@." "hives" "switches" "locality"
+    "mean KB/s" "bees";
+  let sizes = if full_scale then [ 10; 20; 40 ] else [ 4; 8; 16 ] in
+  List.iter
+    (fun n_hives ->
+      let cfg =
+        {
+          scenario_cfg with
+          Scenario.n_hives;
+          n_switches = scenario_cfg.Scenario.n_switches;
+          te = Scenario.Te_decoupled;
+          optimize = false;
+          adversarial_pin = false;
+        }
+      in
+      let s = run_scenario cfg in
+      Format.printf "%-8d %-10d %-10s %-12.1f %-12d@." n_hives
+        cfg.Scenario.n_switches
+        (Printf.sprintf "%.0f%%" (100.0 *. s.Summary.s_locality))
+        s.Summary.s_mean_kbps s.Summary.s_live_bees)
+    sizes;
+  Format.printf "@."
+
+let ablation_replication () =
+  (* Cost of fault tolerance: the same replicated key-value workload under
+     no replication, primary-backup shipping, and Raft consensus. *)
+  Format.printf "##### Ablation: replication mode cost (fault-tolerance extension) #####@.";
+  Format.printf "%-18s %-16s %-14s %-12s@." "mode" "inter-hive KB" "KB/s" "overhead";
+  let module P = Beehive_core.Platform in
+  let module A = Beehive_core.App in
+  let run mode =
+    let engine = Engine.create () in
+    let cfg =
+      { (P.default_config ~n_hives:6) with P.replication = mode = `Primary_backup }
+    in
+    let platform = P.create engine cfg in
+    (* A key-sharded writer app with realistic value sizes. *)
+    let writer =
+      A.create ~name:"bench.writer" ~dicts:[ "store" ] ~replicated:true
+        [
+          A.handler ~kind:"bench.put"
+            ~map:(fun msg ->
+              match msg.Beehive_core.Message.payload with
+              | Bench_put { bp_key; _ } -> Beehive_core.Mapping.with_key "store" bp_key
+              | _ -> Beehive_core.Mapping.Drop)
+            (fun ctx msg ->
+              match msg.Beehive_core.Message.payload with
+              | Bench_put { bp_key; bp_size } ->
+                Beehive_core.Context.set ctx ~dict:"store" ~key:bp_key
+                  (Beehive_core.Value.V_string (String.make bp_size 'v'))
+              | _ -> ());
+        ]
+    in
+    P.register_app platform writer;
+    (match mode with
+    | `Raft -> ignore (Beehive_core.Raft_replication.install platform ())
+    | `Primary_backup | `None -> ());
+    P.start platform;
+    (* 12 keys spread over the hives, one 512-byte write per key per 100 ms,
+       for 20 simulated seconds. *)
+    let h =
+      Engine.every engine (Simtime.of_ms 100) (fun () ->
+          for k = 0 to 11 do
+            P.inject platform
+              ~from:(Beehive_net.Channels.Hive (k mod 6))
+              ~kind:"bench.put"
+              (Bench_put { bp_key = Printf.sprintf "k%d" k; bp_size = 512 })
+          done)
+    in
+    Engine.run_until engine (Simtime.of_sec 20.0);
+    ignore (Engine.cancel engine h);
+    Beehive_net.Traffic_matrix.off_diagonal_bytes
+      (Beehive_net.Channels.matrix (P.channels platform))
+    /. 1024.0
+  in
+  let base = run `None in
+  List.iter
+    (fun (label, mode) ->
+      let kb = run mode in
+      Format.printf "%-18s %-16.1f %-14.2f %-12s@." label kb (kb /. 20.0)
+        (Printf.sprintf "%.1fx" (kb /. Float.max 0.001 base)))
+    [ ("none", `None); ("primary-backup", `Primary_backup); ("raft (3-node)", `Raft) ];
+  Format.printf "@."
+
+(* ------------------------------------------------------------------ *)
+(* Part 3: Bechamel micro-benchmarks                                   *)
+(* ------------------------------------------------------------------ *)
+
+open Bechamel
+open Toolkit
+
+let bench_event_queue =
+  Test.make ~name:"event_queue/push_pop_128"
+    (Staged.stage (fun () ->
+         let q = Beehive_sim.Event_queue.create () in
+         for i = 0 to 127 do
+           ignore (Beehive_sim.Event_queue.push q (Simtime.of_us i) i)
+         done;
+         while Beehive_sim.Event_queue.pop q <> None do
+           ()
+         done))
+
+let bench_rng =
+  let rng = Rng.create 7 in
+  Test.make ~name:"rng/int" (Staged.stage (fun () -> ignore (Rng.int rng 1000)))
+
+let bench_state_tx =
+  let st = Beehive_core.State.create () in
+  Test.make ~name:"state/tx_set_commit"
+    (Staged.stage (fun () ->
+         let tx = Beehive_core.State.begin_tx st in
+         Beehive_core.State.tx_set tx ~dict:"d" ~key:"k" (Beehive_core.Value.V_int 1);
+         Beehive_core.State.commit tx))
+
+let bench_registry =
+  let reg = Beehive_core.Registry.create () in
+  let () =
+    for i = 0 to 255 do
+      ignore
+        (Beehive_core.Registry.register_bee reg ~bee_id:i ~app:"a" ~hive:(i mod 8));
+      Beehive_core.Registry.assign reg ~bee:i
+        (Beehive_core.Cell.Set.singleton
+           (Beehive_core.Cell.cell "d" (string_of_int i)))
+    done
+  in
+  let probe =
+    Beehive_core.Cell.Set.singleton (Beehive_core.Cell.cell "d" "128")
+  in
+  Test.make ~name:"registry/owners_lookup"
+    (Staged.stage (fun () -> ignore (Beehive_core.Registry.owners reg ~app:"a" probe)))
+
+let bench_trie_insert =
+  Test.make ~name:"lpm_trie/insert_24bit"
+    (Staged.stage
+       (let p = Beehive_apps.Lpm_trie.prefix_of_string "10.1.2.0/24" in
+        fun () -> ignore (Beehive_apps.Lpm_trie.insert Beehive_apps.Lpm_trie.empty p 0)))
+
+let bench_trie_lookup =
+  let trie =
+    let t = ref Beehive_apps.Lpm_trie.empty in
+    for i = 0 to 255 do
+      let p =
+        Beehive_apps.Lpm_trie.normalize (Int32.of_int (i lsl 16)) 24
+      in
+      t := Beehive_apps.Lpm_trie.insert !t p i
+    done;
+    !t
+  in
+  let addr = Beehive_apps.Lpm_trie.addr_of_string "0.128.1.1" in
+  Test.make ~name:"lpm_trie/lookup_256"
+    (Staged.stage (fun () -> ignore (Beehive_apps.Lpm_trie.lookup trie addr)))
+
+let bench_flow_table =
+  let table = Beehive_openflow.Flow_table.create () in
+  let () =
+    for i = 0 to 63 do
+      Beehive_openflow.Flow_table.apply table
+        {
+          Beehive_openflow.Flow_table.fm_switch = 0;
+          fm_command = Beehive_openflow.Flow_table.Add;
+          fm_priority = i;
+          fm_match = Beehive_openflow.Flow_table.match_dst_mac (Int64.of_int i);
+          fm_actions = [ Beehive_openflow.Flow_table.Output 1 ];
+        }
+    done
+  in
+  Test.make ~name:"flow_table/lookup_64"
+    (Staged.stage (fun () ->
+         ignore (Beehive_openflow.Flow_table.lookup table ~dst_mac:3L ())))
+
+let bench_topology_path =
+  let topo = Beehive_net.Topology.tree ~arity:4 ~n_switches:400 in
+  Test.make ~name:"topology/path_400"
+    (Staged.stage (fun () -> ignore (Beehive_net.Topology.path topo 399 255)))
+
+
+let bench_dispatch =
+  (* End-to-end: inject one message and drain the engine — measures the
+     whole life-of-a-message path (map, ownership lookup, delivery,
+     transaction, commit). *)
+  let module P = Beehive_core.Platform in
+  let module A = Beehive_core.App in
+  let engine = Engine.create () in
+  let platform = P.create engine (P.default_config ~n_hives:4) in
+  let counter_app =
+    A.create ~name:"bench.counter" ~dicts:[ "c" ]
+      [
+        A.handler ~kind:"bench.incr"
+          ~map:(fun _ -> Beehive_core.Mapping.with_key "c" "k")
+          (fun ctx _ ->
+            Beehive_core.Context.update ctx ~dict:"c" ~key:"k" (function
+              | Some (Beehive_core.Value.V_int n) -> Some (Beehive_core.Value.V_int (n + 1))
+              | _ -> Some (Beehive_core.Value.V_int 1)));
+      ]
+  in
+  let () =
+    P.register_app platform counter_app;
+    P.start platform
+  in
+  Test.make ~name:"platform/dispatch_one_message"
+    (Staged.stage (fun () ->
+         P.inject platform
+           ~from:(Beehive_net.Channels.Hive 1)
+           ~kind:"bench.incr" Bench_incr;
+         Engine.run_until engine (Simtime.add (Engine.now engine) (Simtime.of_ms 1))))
+
+let run_microbenches () =
+  Format.printf "##### Core-operation micro-benchmarks (Bechamel) #####@.";
+  let tests =
+    Test.make_grouped ~name:"beehive"
+      [
+        bench_event_queue;
+        bench_rng;
+        bench_state_tx;
+        bench_registry;
+        bench_trie_insert;
+        bench_trie_lookup;
+        bench_flow_table;
+        bench_topology_path;
+        bench_dispatch;
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name v acc ->
+        match Analyze.OLS.estimates v with
+        | Some [ ns ] -> (name, ns) :: acc
+        | _ -> acc)
+      results []
+    |> List.sort compare
+  in
+  Format.printf "%-40s %14s@." "operation" "ns/op";
+  List.iter (fun (name, ns) -> Format.printf "%-40s %14.1f@." name ns) rows;
+  Format.printf "@."
+
+let () =
+  let ok = run_figures () in
+  ablation_optimizer ();
+  ablation_external_store ();
+  ablation_cluster_size ();
+  ablation_replication ();
+  run_microbenches ();
+  if not ok then begin
+    Format.printf "SHAPE CHECKS FAILED@.";
+    exit 1
+  end

@@ -1,0 +1,120 @@
+(* Command-line driver for the Beehive experiments.
+
+   Subcommands regenerate the paper's Figure 4 panels individually or all
+   together, with every scenario parameter exposed as a flag. *)
+
+module Scenario = Beehive_harness.Scenario
+module Fig4 = Beehive_harness.Fig4
+module Summary = Beehive_harness.Summary
+module Simtime = Beehive_sim.Simtime
+open Cmdliner
+
+let cfg_term =
+  let docs = "SCENARIO PARAMETERS" in
+  let hives =
+    Arg.(value & opt int Scenario.default_config.Scenario.n_hives
+         & info [ "hives" ] ~docs ~doc:"Number of hives (controllers).")
+  in
+  let switches =
+    Arg.(value & opt int Scenario.default_config.Scenario.n_switches
+         & info [ "switches" ] ~docs ~doc:"Number of switches.")
+  in
+  let arity =
+    Arg.(value & opt int Scenario.default_config.Scenario.tree_arity
+         & info [ "arity" ] ~docs ~doc:"Tree topology arity.")
+  in
+  let flows =
+    Arg.(value & opt int Scenario.default_config.Scenario.flows_per_switch
+         & info [ "flows" ] ~docs ~doc:"Fixed-rate flows per switch.")
+  in
+  let hot =
+    Arg.(value & opt float Scenario.default_config.Scenario.hot_fraction
+         & info [ "hot-fraction" ] ~docs ~doc:"Fraction of above-threshold flows.")
+  in
+  let duration =
+    Arg.(value & opt float 60.0
+         & info [ "duration" ] ~docs ~doc:"Measured window in simulated seconds.")
+  in
+  let seed =
+    Arg.(value & opt int Scenario.default_config.Scenario.seed
+         & info [ "seed" ] ~docs ~doc:"Deterministic simulation seed.")
+  in
+  let quick =
+    Arg.(value & flag
+         & info [ "quick" ] ~docs
+             ~doc:"Use the laptop-fast configuration (8 hives, 48 switches, 10 s).")
+  in
+  let make quick hives switches arity flows hot duration seed =
+    let base = if quick then Scenario.quick_config else Scenario.default_config in
+    let base =
+      if quick then base
+      else
+        {
+          base with
+          Scenario.n_hives = hives;
+          n_switches = switches;
+          tree_arity = arity;
+          flows_per_switch = flows;
+          hot_fraction = hot;
+          duration = Simtime.of_sec duration;
+        }
+    in
+    { base with Scenario.seed }
+  in
+  Term.(const make $ quick $ hives $ switches $ arity $ flows $ hot $ duration $ seed)
+
+let render_panel ~csv p =
+  if csv then Format.printf "%a@." Fig4.render_csv p
+  else Format.printf "%a@." Fig4.render p
+
+let csv_flag =
+  Arg.(value & flag
+       & info [ "csv" ]
+           ~doc:"Emit machine-readable series/matrix rows instead of the ASCII panels.")
+
+let run_one name runner =
+  let doc = Printf.sprintf "Regenerate %s of the paper's evaluation." name in
+  let run cfg csv = render_panel ~csv (runner ~cfg ()) in
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ cfg_term $ csv_flag)
+
+let fig4_all =
+  let doc = "Run all three Figure 4 experiments and the shape checks." in
+  let run cfg =
+    let naive, decoupled, optimized = Fig4.run_all ~cfg () in
+    render_panel ~csv:false naive;
+    render_panel ~csv:false decoupled;
+    render_panel ~csv:false optimized;
+    Format.printf "=== shape checks (paper's qualitative claims)@.%a@." Fig4.render_checks
+      (Fig4.shape_checks ~naive ~decoupled ~optimized);
+    let failed =
+      List.filter (fun c -> not c.Fig4.c_passed) (Fig4.shape_checks ~naive ~decoupled ~optimized)
+    in
+    if failed <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fig4" ~doc)
+    Term.(const run $ cfg_term)
+
+let feedback_cmd =
+  let doc = "Run the naive TE and print the design-bottleneck feedback (Section 5)." in
+  let run cfg =
+    let sc = Scenario.build { cfg with Scenario.te = Scenario.Te_naive } in
+    Scenario.run sc;
+    Format.printf "%a@." Beehive_core.Feedback.pp
+      (Beehive_core.Feedback.analyze (Scenario.platform sc))
+  in
+  Cmd.v (Cmd.info "feedback" ~doc) Term.(const run $ cfg_term)
+
+let main =
+  let doc = "Beehive distributed SDN control platform — experiment runner" in
+  let info = Cmd.info "beehive_sim" ~version:"1.0.0" ~doc in
+  Cmd.group info
+    [
+      run_one "fig4a" (fun ~cfg () -> Fig4.run_naive ~cfg ());
+      run_one "fig4b" (fun ~cfg () -> Fig4.run_decoupled ~cfg ());
+      run_one "fig4c" (fun ~cfg () -> Fig4.run_optimized ~cfg ());
+      fig4_all;
+      feedback_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

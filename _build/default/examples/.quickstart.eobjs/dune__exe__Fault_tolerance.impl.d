@@ -1,0 +1,1 @@
+examples/fault_tolerance.ml: Beehive_core Beehive_net Beehive_sim Format List Option String

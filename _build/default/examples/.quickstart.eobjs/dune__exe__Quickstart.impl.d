@@ -1,0 +1,1 @@
+examples/quickstart.ml: Beehive_core Beehive_net Beehive_sim Format List

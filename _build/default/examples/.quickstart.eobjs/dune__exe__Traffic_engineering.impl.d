@@ -1,0 +1,1 @@
+examples/traffic_engineering.ml: Beehive_core Beehive_harness Beehive_net Format List String Sys

@@ -1,0 +1,1 @@
+examples/virtual_networks.ml: Beehive_apps Beehive_core Beehive_net Beehive_sim Format List Option

@@ -1,0 +1,1 @@
+lib/apps/corybantic.ml: Beehive_core Beehive_sim Hashtbl List Printf String

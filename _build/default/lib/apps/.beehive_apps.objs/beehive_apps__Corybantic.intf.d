@@ -1,0 +1,1 @@
+lib/apps/corybantic.mli: Beehive_core Beehive_sim

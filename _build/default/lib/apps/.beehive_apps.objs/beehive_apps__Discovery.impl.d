@@ -1,0 +1,1 @@
+lib/apps/discovery.ml: Beehive_core Beehive_openflow Int List String

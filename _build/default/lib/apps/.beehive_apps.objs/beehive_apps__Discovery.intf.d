@@ -1,0 +1,1 @@
+lib/apps/discovery.mli: Beehive_core

@@ -1,0 +1,1 @@
+lib/apps/kandoo.ml: Beehive_core Beehive_openflow Beehive_sim List String Te_common

@@ -1,0 +1,1 @@
+lib/apps/kandoo.mli: Beehive_core

@@ -1,0 +1,1 @@
+lib/apps/learning_switch.ml: Beehive_core Beehive_openflow Beehive_sim List Printf String

@@ -1,0 +1,1 @@
+lib/apps/learning_switch.mli: Beehive_core

@@ -1,0 +1,1 @@
+lib/apps/lpm_trie.ml: Int32 List Printf String

@@ -1,0 +1,1 @@
+lib/apps/lpm_trie.mli:

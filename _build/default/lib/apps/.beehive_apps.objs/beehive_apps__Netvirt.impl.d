@@ -1,0 +1,1 @@
+lib/apps/netvirt.ml: Beehive_core Beehive_openflow List String

@@ -1,0 +1,1 @@
+lib/apps/netvirt.mli: Beehive_core

@@ -1,0 +1,1 @@
+lib/apps/nib.ml: Beehive_core List String

@@ -1,0 +1,1 @@
+lib/apps/nib.mli: Beehive_core

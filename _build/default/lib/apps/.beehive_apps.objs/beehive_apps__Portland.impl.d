@@ -1,0 +1,1 @@
+lib/apps/portland.ml: Beehive_core Int64 List Printf

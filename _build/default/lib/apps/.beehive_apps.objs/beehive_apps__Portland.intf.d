@@ -1,0 +1,1 @@
+lib/apps/portland.mli: Beehive_core

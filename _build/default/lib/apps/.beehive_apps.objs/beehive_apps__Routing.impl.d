@@ -1,0 +1,1 @@
+lib/apps/routing.ml: Beehive_core Int32 List Lpm_trie Option String

@@ -1,0 +1,1 @@
+lib/apps/routing.mli: Beehive_core Lpm_trie

@@ -1,0 +1,1 @@
+lib/apps/seattle.ml: Beehive_core Int64 List Printf String

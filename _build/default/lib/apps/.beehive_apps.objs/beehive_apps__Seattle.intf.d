@@ -1,0 +1,1 @@
+lib/apps/seattle.mli: Beehive_core

@@ -1,0 +1,1 @@
+lib/apps/te_common.ml: Beehive_core Beehive_openflow Hashtbl Int List Option Queue

@@ -1,0 +1,1 @@
+lib/apps/te_common.mli: Beehive_core Beehive_openflow Hashtbl

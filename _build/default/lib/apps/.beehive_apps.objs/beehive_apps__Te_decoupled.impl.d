@@ -1,0 +1,1 @@
+lib/apps/te_decoupled.ml: Beehive_core Beehive_openflow Beehive_sim Discovery List String Te_common

@@ -1,0 +1,1 @@
+lib/apps/te_decoupled.mli: Beehive_core Beehive_sim

@@ -1,0 +1,1 @@
+lib/apps/te_external.ml: Beehive_core Beehive_openflow Beehive_sim Hashtbl List Option Printf String Te_common

@@ -1,0 +1,1 @@
+lib/apps/te_naive.ml: Beehive_core Beehive_openflow Beehive_sim List Te_common

@@ -1,0 +1,1 @@
+lib/apps/te_naive.mli: Beehive_core Beehive_sim

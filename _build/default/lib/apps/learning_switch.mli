@@ -1,0 +1,22 @@
+(** L2 learning switch — the canonical Kandoo-style local application
+    (Section 4, "Kandoo"): "the functions of a local control application
+    use switch IDs as the keys in their state dictionaries and, to handle
+    messages, access their state using a single key."
+
+    One cell per switch holds that switch's MAC table; Beehive therefore
+    creates one bee per switch, which the optimizer naturally pushes next
+    to the switch's master hive — the paper's advantage over Kandoo's
+    hand-placed local controllers. *)
+
+val app_name : string
+(** ["l2.learning"] *)
+
+val dict_macs : string
+(** ["mac_tables"] — per-switch MAC-to-port map. *)
+
+val app : unit -> Beehive_core.App.t
+
+val learned_port :
+  Beehive_core.Platform.t -> switch:int -> mac:int64 -> int option
+(** Inspection helper: the port the app has learned for [mac] on
+    [switch]. *)

@@ -1,0 +1,133 @@
+type prefix = { p_addr : int32; p_len : int }
+
+type 'a t =
+  | Leaf
+  | Node of { value : 'a option; zero : 'a t; one : 'a t }
+
+let mask_of_len len =
+  if len = 0 then 0l else Int32.shift_left (-1l) (32 - len)
+
+let normalize addr len =
+  if len < 0 || len > 32 then invalid_arg "Lpm_trie: prefix length out of [0,32]";
+  { p_addr = Int32.logand addr (mask_of_len len); p_len = len }
+
+let bit addr i = Int32.logand (Int32.shift_right_logical addr (31 - i)) 1l = 1l
+
+let addr_of_string s =
+  match String.split_on_char '.' s with
+  | [ a; b; c; d ] ->
+    let byte x =
+      let n = int_of_string x in
+      if n < 0 || n > 255 then invalid_arg "Lpm_trie.addr_of_string: bad octet";
+      n
+    in
+    Int32.logor
+      (Int32.shift_left (Int32.of_int (byte a)) 24)
+      (Int32.of_int ((byte b lsl 16) lor (byte c lsl 8) lor byte d))
+  | _ -> invalid_arg "Lpm_trie.addr_of_string: expected a.b.c.d"
+
+let string_of_addr a =
+  let b i = Int32.to_int (Int32.logand (Int32.shift_right_logical a i) 0xFFl) in
+  Printf.sprintf "%d.%d.%d.%d" (b 24) (b 16) (b 8) (b 0)
+
+let prefix_of_string s =
+  match String.index_opt s '/' with
+  | None -> invalid_arg "Lpm_trie.prefix_of_string: missing /len"
+  | Some i ->
+    let addr = addr_of_string (String.sub s 0 i) in
+    let len = int_of_string (String.sub s (i + 1) (String.length s - i - 1)) in
+    normalize addr len
+
+let string_of_prefix p = Printf.sprintf "%s/%d" (string_of_addr p.p_addr) p.p_len
+
+let prefix_matches p addr =
+  Int32.equal (Int32.logand addr (mask_of_len p.p_len)) p.p_addr
+
+let empty = Leaf
+
+let is_empty = function
+  | Leaf -> true
+  | Node _ -> false
+
+let rec cardinal = function
+  | Leaf -> 0
+  | Node { value; zero; one } ->
+    (match value with Some _ -> 1 | None -> 0) + cardinal zero + cardinal one
+
+let node value zero one =
+  match (value, zero, one) with
+  | None, Leaf, Leaf -> Leaf
+  | _ -> Node { value; zero; one }
+
+let insert t p v =
+  let rec go t depth =
+    match t with
+    | Leaf ->
+      if depth = p.p_len then Node { value = Some v; zero = Leaf; one = Leaf }
+      else if bit p.p_addr depth then Node { value = None; zero = Leaf; one = go Leaf (depth + 1) }
+      else Node { value = None; zero = go Leaf (depth + 1); one = Leaf }
+    | Node { value; zero; one } ->
+      if depth = p.p_len then Node { value = Some v; zero; one }
+      else if bit p.p_addr depth then Node { value; zero; one = go one (depth + 1) }
+      else Node { value; zero = go zero (depth + 1); one }
+  in
+  go t 0
+
+let remove t p =
+  let rec go t depth =
+    match t with
+    | Leaf -> Leaf
+    | Node { value; zero; one } ->
+      if depth = p.p_len then node None zero one
+      else if bit p.p_addr depth then node value zero (go one (depth + 1))
+      else node value (go zero (depth + 1)) one
+  in
+  go t 0
+
+let find_exact t p =
+  let rec go t depth =
+    match t with
+    | Leaf -> None
+    | Node { value; zero; one } ->
+      if depth = p.p_len then value
+      else if bit p.p_addr depth then go one (depth + 1)
+      else go zero (depth + 1)
+  in
+  go t 0
+
+let lookup t addr =
+  let rec go t depth best =
+    match t with
+    | Leaf -> best
+    | Node { value; zero; one } ->
+      let best =
+        match value with
+        | Some v -> Some (normalize addr depth, v)
+        | None -> best
+      in
+      if depth = 32 then best
+      else if bit addr depth then go one (depth + 1) best
+      else go zero (depth + 1) best
+  in
+  go t 0 None
+
+let fold f t init =
+  let rec go t depth addr acc =
+    match t with
+    | Leaf -> acc
+    | Node { value; zero; one } ->
+      let acc =
+        match value with
+        | Some v -> f { p_addr = addr; p_len = depth } v acc
+        | None -> acc
+      in
+      if depth = 32 then acc
+      else begin
+        let acc = go zero (depth + 1) addr acc in
+        let one_addr = Int32.logor addr (Int32.shift_left 1l (31 - depth)) in
+        go one (depth + 1) one_addr acc
+      end
+  in
+  go t 0 0l init
+
+let to_list t = List.rev (fold (fun p v acc -> (p, v) :: acc) t [])

@@ -1,0 +1,45 @@
+(** Network virtualization (Section 4, "Network Virtualization").
+
+    "Such applications can be modeled as a set of functions that, to
+    process messages, access the state using a virtual network identifier
+    as the key. This is basically sharding messages based on virtual
+    networks, with minimal shared state in between the shards."
+
+    Every message carries a virtual-network id; the platform guarantees
+    all messages of one VN land on one bee, which owns that VN's port
+    bindings and MAC locations. Cross-VN leakage is structurally
+    impossible (the bee cannot even address another VN's cell) and is
+    additionally counted when a destination is unknown inside the VN. *)
+
+val app_name : string
+(** ["netvirt"] *)
+
+val dict_vnets : string  (** ["vnets"] — key: virtual network id *)
+
+(** {2 Messages} *)
+
+val k_create : string
+val k_attach : string
+val k_detach : string
+val k_packet : string
+val k_isolation_drop : string
+
+type Beehive_core.Message.payload +=
+  | Create_vnet of { cv_vnet : string; cv_tenant : string }
+  | Attach_port of { ap_vnet : string; ap_switch : int; ap_port : int; ap_mac : int64 }
+  | Detach_port of { dp_vnet : string; dp_mac : int64 }
+  | Vn_packet of { vp_vnet : string; vp_src_mac : int64; vp_dst_mac : int64 }
+      (** an encapsulated packet event tagged with its VN *)
+  | Isolation_drop of { id_vnet : string; id_dst_mac : int64 }
+
+val app : unit -> Beehive_core.App.t
+(** Forwards intra-VN packets by emitting [App_packet_out] on the
+    destination's attachment switch; unknown destinations emit
+    [Isolation_drop] instead of ever touching another VN's state. *)
+
+(** {2 Inspection} *)
+
+val vnet_ports : Beehive_core.Platform.t -> vnet:string -> (int64 * int * int) list
+(** [(mac, switch, port)] bindings of a virtual network. *)
+
+val vnet_tenant : Beehive_core.Platform.t -> vnet:string -> string option

@@ -1,0 +1,50 @@
+(** ONIX-style Network Information Base (Section 4, "ONIX's NIB").
+
+    "NIB is basically an abstract graph that represents networking
+    elements and their interlinking. To process a message in a NIB
+    manager, we only need the state of a particular node. As such, each
+    node would be equivalent to a cell managed by a single bee."
+
+    Nodes carry a kind ("switch", "port", "host", ...) and attributes;
+    links are stored on both endpoint nodes. Queries are answered
+    asynchronously with [Node_info] messages. *)
+
+val app_name : string
+(** ["onix.nib"] *)
+
+val dict_nodes : string  (** ["nodes"] *)
+
+(** {2 Messages} *)
+
+val k_add_node : string
+val k_del_node : string
+val k_set_attr : string
+val k_add_link : string
+val k_del_link : string
+val k_query : string
+val k_node_info : string
+
+type Beehive_core.Message.payload +=
+  | Add_node of { an_id : string; an_kind : string }
+  | Del_node of { dn_id : string }
+  | Set_attr of { sa_id : string; sa_key : string; sa_value : string }
+  | Add_link of { al_src : string; al_dst : string }
+      (** directed; send both directions for a bidirectional link *)
+  | Del_link of { dl_src : string; dl_dst : string }
+  | Query of { q_id : string; q_token : int }
+  | Node_info of {
+      ni_token : int;
+      ni_id : string;
+      ni_exists : bool;
+      ni_kind : string;
+      ni_attrs : (string * string) list;
+      ni_links : string list;
+    }
+
+val app : unit -> Beehive_core.App.t
+
+(** {2 Inspection helpers (read bee state directly)} *)
+
+val node_exists : Beehive_core.Platform.t -> string -> bool
+val node_links : Beehive_core.Platform.t -> string -> string list
+val node_attrs : Beehive_core.Platform.t -> string -> (string * string) list

@@ -1,0 +1,28 @@
+(** The naive Traffic Engineering application — Figure 2 of the paper,
+    verbatim in structure:
+
+    - [Init] on [SwitchJoined], with [S\[switch\]];
+    - [Query] every second, foreach entry of [S];
+    - [Collect] on [StatReply], with [S\[switch\]];
+    - [Route] every second, with the whole [S] and [T].
+
+    Because [Route] maps whole dictionaries, the platform collocates every
+    cell of [S] and [T] on one bee: the application is effectively
+    centralized — exactly the design bottleneck Section 5 instruments
+    (Figure 4 a, d). *)
+
+val app_name : string
+(** ["te.naive"] *)
+
+val dict_stats : string  (** ["flow_stats"] — the paper's S *)
+
+val dict_topo : string  (** ["topology"] — the paper's T *)
+
+val app :
+  ?delta:float ->
+  ?query_period:Beehive_sim.Simtime.t ->
+  ?route_period:Beehive_sim.Simtime.t ->
+  unit ->
+  Beehive_core.App.t
+(** [delta] is the re-routing rate threshold in bytes/s (default
+    100_000). *)

@@ -1,0 +1,1 @@
+lib/core/app.ml: Beehive_sim Context List Mapping Message String

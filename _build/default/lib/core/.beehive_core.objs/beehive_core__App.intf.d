@@ -1,0 +1,1 @@
+lib/core/app.mli: Beehive_sim Context Mapping Message

@@ -1,0 +1,1 @@
+lib/core/cell.ml: Format List Set String

@@ -1,0 +1,1 @@
+lib/core/context.ml: Beehive_net Beehive_sim Cell List Message State String

@@ -1,0 +1,1 @@
+lib/core/context.mli: Beehive_net Beehive_sim Cell Message State Value

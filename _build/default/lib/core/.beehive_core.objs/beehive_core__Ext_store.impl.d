@@ -1,0 +1,1 @@
+lib/core/ext_store.ml: Beehive_net Beehive_sim Hashtbl Platform Stats Value

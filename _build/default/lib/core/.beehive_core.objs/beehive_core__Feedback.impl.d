@@ -1,0 +1,1 @@
+lib/core/feedback.ml: Array Beehive_net Cell Format Hashtbl Instrumentation Int List Option Platform Printf Stats String

@@ -1,0 +1,1 @@
+lib/core/instrumentation.ml: App Array Beehive_sim Cell Context Hashtbl Int List Mapping Message Option Platform Printf Stats String Value

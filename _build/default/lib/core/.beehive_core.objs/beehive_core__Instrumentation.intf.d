@@ -1,0 +1,1 @@
+lib/core/instrumentation.mli: Beehive_sim Platform

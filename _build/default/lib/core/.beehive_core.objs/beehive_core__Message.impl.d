@@ -1,0 +1,1 @@
+lib/core/message.ml: Beehive_net Beehive_sim Format Printf

@@ -1,0 +1,1 @@
+lib/core/message.mli: Beehive_net Beehive_sim Format

@@ -1,0 +1,1 @@
+lib/core/platform.ml: App Array Beehive_locksvc Beehive_net Beehive_sim Cell Context Hashtbl Int List Logs Mapping Message Option Printexc Printf Queue Registry State Stats String Value

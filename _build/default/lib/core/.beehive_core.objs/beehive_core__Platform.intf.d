@@ -1,0 +1,1 @@
+lib/core/platform.mli: App Beehive_net Beehive_sim Cell Message Registry Stats Value

@@ -1,0 +1,1 @@
+lib/core/raft_replication.ml: Array Beehive_net Beehive_raft Beehive_sim Cell Hashtbl List Option Platform Printf State String

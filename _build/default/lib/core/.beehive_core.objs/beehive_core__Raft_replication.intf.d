@@ -1,0 +1,1 @@
+lib/core/raft_replication.mli: Platform Value

@@ -1,0 +1,1 @@
+lib/core/registry.ml: Cell Hashtbl Int List Printf String

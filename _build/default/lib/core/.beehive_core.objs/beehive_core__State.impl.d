@@ -1,0 +1,1 @@
+lib/core/state.ml: Cell Hashtbl List String Value

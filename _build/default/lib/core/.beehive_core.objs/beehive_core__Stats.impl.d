@@ -1,0 +1,1 @@
+lib/core/stats.ml: Array Beehive_sim Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/core/trace.ml: Beehive_sim Format Hashtbl List Message Option Platform Printf Queue String

@@ -1,0 +1,1 @@
+lib/core/trace.mli: Beehive_sim Format Platform

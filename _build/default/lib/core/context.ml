@@ -1,0 +1,71 @@
+exception Access_violation of { app : string; dict : string; key : string }
+
+type t = {
+  app : string;
+  bee : int;
+  hive : int;
+  now : unit -> Beehive_sim.Simtime.t;
+  rng : Beehive_sim.Rng.t;
+  allowed : Cell.Set.t;
+  tx : State.tx;
+  emit_fn : ?size:int -> kind:string -> Message.payload -> unit;
+  to_endpoint_fn :
+    Beehive_net.Channels.endpoint -> ?size:int -> kind:string -> Message.payload -> unit;
+}
+
+let make ~app ~bee ~hive ~now ~rng ~allowed ~tx ~emit ~to_endpoint =
+  { app; bee; hive; now; rng; allowed; tx; emit_fn = emit; to_endpoint_fn = to_endpoint }
+
+let app t = t.app
+let bee_id t = t.bee
+let hive_id t = t.hive
+let now t = t.now ()
+let rng t = t.rng
+let allowed t = t.allowed
+
+let check t ~dict ~key =
+  let c = Cell.cell dict key in
+  if not (Cell.Set.exists (fun a -> Cell.intersects a c) t.allowed) then
+    raise (Access_violation { app = t.app; dict; key })
+
+let check_dict t ~dict =
+  if not (Cell.Set.exists (fun a -> String.equal a.Cell.dict dict) t.allowed) then
+    raise (Access_violation { app = t.app; dict; key = "*" })
+
+let get t ~dict ~key =
+  check t ~dict ~key;
+  State.tx_get t.tx ~dict ~key
+
+let mem t ~dict ~key =
+  check t ~dict ~key;
+  State.tx_mem t.tx ~dict ~key
+
+let set t ~dict ~key v =
+  check t ~dict ~key;
+  State.tx_set t.tx ~dict ~key v
+
+let del t ~dict ~key =
+  check t ~dict ~key;
+  State.tx_del t.tx ~dict ~key
+
+let update t ~dict ~key f =
+  check t ~dict ~key;
+  match f (State.tx_get t.tx ~dict ~key) with
+  | Some v -> State.tx_set t.tx ~dict ~key v
+  | None -> State.tx_del t.tx ~dict ~key
+
+let visible t ~dict key =
+  let c = Cell.cell dict key in
+  Cell.Set.exists (fun a -> Cell.intersects a c) t.allowed
+
+let iter_dict t ~dict f =
+  check_dict t ~dict;
+  State.tx_iter t.tx ~dict (fun k v -> if visible t ~dict k then f k v)
+
+let dict_keys t ~dict =
+  let acc = ref [] in
+  iter_dict t ~dict (fun k _ -> acc := k :: !acc);
+  List.rev !acc
+
+let emit t ?size ~kind payload = t.emit_fn ?size ~kind payload
+let send_to t ep ?size ~kind payload = t.to_endpoint_fn ep ?size ~kind payload

@@ -1,0 +1,62 @@
+(** Handler execution context.
+
+    Passed to every handler invocation. It scopes state access to the
+    entries the message was mapped to (the platform's consistency guarantee
+    relies on handlers not reaching outside their mapped cells — doing so
+    raises {!Access_violation}), runs all writes in the invocation's
+    transaction, and lets the handler emit further messages. *)
+
+exception Access_violation of { app : string; dict : string; key : string }
+
+type t
+
+val make :
+  app:string ->
+  bee:int ->
+  hive:int ->
+  now:(unit -> Beehive_sim.Simtime.t) ->
+  rng:Beehive_sim.Rng.t ->
+  allowed:Cell.Set.t ->
+  tx:State.tx ->
+  emit:(?size:int -> kind:string -> Message.payload -> unit) ->
+  to_endpoint:
+    (Beehive_net.Channels.endpoint -> ?size:int -> kind:string -> Message.payload -> unit) ->
+  t
+(** Used by the platform (and by tests that drive handlers directly). *)
+
+val app : t -> string
+val bee_id : t -> int
+val hive_id : t -> int
+val now : t -> Beehive_sim.Simtime.t
+val rng : t -> Beehive_sim.Rng.t
+val allowed : t -> Cell.Set.t
+
+(** {2 State access (within mapped cells)} *)
+
+val get : t -> dict:string -> key:string -> Value.t option
+val mem : t -> dict:string -> key:string -> bool
+val set : t -> dict:string -> key:string -> Value.t -> unit
+val del : t -> dict:string -> key:string -> unit
+
+val update :
+  t -> dict:string -> key:string -> (Value.t option -> Value.t option) -> unit
+(** Read-modify-write of one entry; [None] result deletes. *)
+
+val iter_dict : t -> dict:string -> (string -> Value.t -> unit) -> unit
+(** Iterates the entries of [dict] visible to this invocation (all the
+    bee's entries when the mapping includes the dictionary's wildcard or a
+    [Foreach] on it). Raises {!Access_violation} if [dict] is not mapped
+    at all. *)
+
+val dict_keys : t -> dict:string -> string list
+
+(** {2 Messaging} *)
+
+val emit : t -> ?size:int -> kind:string -> Message.payload -> unit
+(** Emits an asynchronous message into the platform; it is dispatched to
+    every application with a handler for [kind]. *)
+
+val send_to :
+  t -> Beehive_net.Channels.endpoint -> ?size:int -> kind:string ->
+  Message.payload -> unit
+(** Sends over an IO channel (e.g. driver-to-switch wire messages). *)

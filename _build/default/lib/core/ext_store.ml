@@ -1,0 +1,67 @@
+module Engine = Beehive_sim.Engine
+module Simtime = Beehive_sim.Simtime
+module Channels = Beehive_net.Channels
+
+type t = {
+  platform : Platform.t;
+  n_nodes : int;
+  data : (string, Value.t) Hashtbl.t;
+  mutable rpcs : int;
+  rpc_stats : Stats.t;  (* only its latency histogram is used *)
+}
+
+let request_size = 32
+let ack_size = 16
+
+let create platform ?(n_store_nodes = 3) () =
+  let n = Platform.n_hives platform in
+  if n_store_nodes <= 0 || n_store_nodes > n then
+    invalid_arg "Ext_store.create: store node count out of range";
+  { platform; n_nodes = n_store_nodes; data = Hashtbl.create 256; rpcs = 0;
+    rpc_stats = Stats.create () }
+
+let store_hive_of_key t key = Hashtbl.hash key mod t.n_nodes
+
+let round_trip t ~from_hive ~to_hive ~req_bytes ~resp_bytes k =
+  t.rpcs <- t.rpcs + 1;
+  let chans = Platform.channels t.platform in
+  let now = Engine.now (Platform.engine t.platform) in
+  let l1 =
+    Channels.transfer chans ~src:(Channels.Hive from_hive) ~dst:(Channels.Hive to_hive)
+      ~bytes:req_bytes ~now
+  in
+  let l2 =
+    Channels.transfer chans ~src:(Channels.Hive to_hive) ~dst:(Channels.Hive from_hive)
+      ~bytes:resp_bytes ~now
+  in
+  let rt = Simtime.add l1 l2 in
+  Stats.record_latency t.rpc_stats rt;
+  ignore (Engine.schedule_after (Platform.engine t.platform) rt k)
+
+let get t ~from_hive ~key k =
+  let shard = store_hive_of_key t key in
+  let value = Hashtbl.find_opt t.data key in
+  let resp_bytes =
+    match value with Some v -> ack_size + Value.size v | None -> ack_size
+  in
+  round_trip t ~from_hive ~to_hive:shard ~req_bytes:request_size ~resp_bytes (fun () ->
+      k value)
+
+let put t ~from_hive ~key v k =
+  let shard = store_hive_of_key t key in
+  round_trip t ~from_hive ~to_hive:shard
+    ~req_bytes:(request_size + Value.size v)
+    ~resp_bytes:ack_size
+    (fun () ->
+      Hashtbl.replace t.data key v;
+      k ())
+
+let update t ~from_hive ~key f k =
+  get t ~from_hive ~key (fun prev ->
+      let v = f prev in
+      put t ~from_hive ~key v (fun () -> k v))
+
+let n_keys t = Hashtbl.length t.data
+let total_rpcs t = t.rpcs
+let fold_keys t f init = Hashtbl.fold f t.data init
+let rpc_latency_percentile t p = Stats.latency_percentile t.rpc_stats p

@@ -1,0 +1,359 @@
+module Simtime = Beehive_sim.Simtime
+
+let app_name = "beehive.instrumentation"
+let dict_loads = "loads"
+let kind_collect = "beehive.collect_tick"
+let kind_optimize = "beehive.optimize_tick"
+let kind_report = "beehive.hive_report"
+
+(* ------------------------------------------------------------------ *)
+(* Placement policies                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type bee_load = {
+  bl_bee : int;
+  bl_app : string;
+  bl_hive : int;
+  bl_processed : int;
+  bl_in_by_hive : (int * float) list;
+}
+
+type decision = {
+  d_bee : int;
+  d_to_hive : int;
+  d_reason : string;
+}
+
+type policy = Platform.t -> bee_load list -> decision list
+
+let greedy_source_policy ?(majority = 0.5) ?(min_messages = 5) () : policy =
+ fun _platform loads ->
+  List.filter_map
+    (fun l ->
+      let total = List.fold_left (fun a (_, c) -> a +. c) 0.0 l.bl_in_by_hive in
+      if total < float_of_int min_messages then None
+      else begin
+        let best_hive, best =
+          List.fold_left
+            (fun (bh, bc) (h, c) -> if c > bc then (h, c) else (bh, bc))
+            (-1, 0.0) l.bl_in_by_hive
+        in
+        if best_hive >= 0 && best_hive <> l.bl_hive && best /. total > majority then
+          Some
+            {
+              d_bee = l.bl_bee;
+              d_to_hive = best_hive;
+              d_reason =
+                Printf.sprintf "optimizer: %.0f%% of traffic from hive %d"
+                  (100.0 *. best /. total) best_hive;
+            }
+        else None
+      end)
+    loads
+
+let load_balance_policy ?(imbalance = 2.0) () : policy =
+ fun platform loads ->
+  let n = Platform.n_hives platform in
+  if n < 2 || loads = [] then []
+  else begin
+    let per_hive = Array.make n 0 in
+    List.iter
+      (fun l ->
+        if l.bl_hive >= 0 && l.bl_hive < n then
+          per_hive.(l.bl_hive) <- per_hive.(l.bl_hive) + l.bl_processed)
+      loads;
+    let busiest = ref 0 and calmest = ref 0 in
+    Array.iteri
+      (fun h v ->
+        if v > per_hive.(!busiest) then busiest := h;
+        if v < per_hive.(!calmest) then calmest := h)
+      per_hive;
+    let total = Array.fold_left ( + ) 0 per_hive in
+    let avg = float_of_int total /. float_of_int n in
+    if avg <= 0.0 || float_of_int per_hive.(!busiest) <= imbalance *. avg then []
+    else begin
+      (* Shed the least-loaded active bee of the hot hive. *)
+      let candidates =
+        List.filter (fun l -> l.bl_hive = !busiest && l.bl_processed > 0) loads
+        |> List.sort (fun a b -> Int.compare a.bl_processed b.bl_processed)
+      in
+      match candidates with
+      | [] -> []
+      | l :: _ ->
+        [
+          {
+            d_bee = l.bl_bee;
+            d_to_hive = !calmest;
+            d_reason =
+              Printf.sprintf "load-balance: hive %d at %d msgs vs avg %.0f" !busiest
+                per_hive.(!busiest) avg;
+          };
+        ]
+    end
+  end
+
+let combined_policy policies : policy =
+ fun platform loads ->
+  let seen = Hashtbl.create 16 in
+  List.concat_map
+    (fun p ->
+      List.filter
+        (fun d ->
+          if Hashtbl.mem seen d.d_bee then false
+          else begin
+            Hashtbl.add seen d.d_bee ();
+            true
+          end)
+        (p platform loads))
+    policies
+
+(* ------------------------------------------------------------------ *)
+(* Configuration                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type config = {
+  window : Simtime.t;
+  optimize_every : Simtime.t;
+  majority : float;
+  min_messages : int;
+  decay : float;
+  optimize : bool;
+  max_migrations_per_round : int;
+  policy : policy option;
+}
+
+let default_config =
+  {
+    window = Simtime.of_sec 1.0;
+    optimize_every = Simtime.of_sec 5.0;
+    majority = 0.5;
+    min_messages = 5;
+    decay = 0.5;
+    optimize = true;
+    max_migrations_per_round = 64;
+    policy = None;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The instrumentation application                                      *)
+(* ------------------------------------------------------------------ *)
+
+type report_entry = {
+  e_bee : int;
+  e_app : string;
+  e_hive : int;
+  e_processed : int;
+  e_in_by_hive : (int * int) list;
+}
+
+type Message.payload +=
+  | Collect_tick
+  | Optimize_tick
+  | Hive_report of { rh_hive : int; rh_entries : report_entry list }
+
+type load = {
+  l_app : string;
+  l_hive : int;
+  l_processed : float;
+  l_in_by_hive : (int * float) list;
+}
+
+type Value.t += V_load of load
+
+let () =
+  Value.register_size (function
+    | V_load l -> Some (32 + (12 * List.length l.l_in_by_hive))
+    | _ -> None)
+
+type handle = {
+  platform : Platform.t;
+  cfg : config;
+  suggested : int ref;
+  performed : int ref;
+}
+
+(* Merge a window's per-hive counts into the decayed history. *)
+let merge_counts history window =
+  let tbl = Hashtbl.create 8 in
+  List.iter (fun (h, c) -> Hashtbl.replace tbl h c) history;
+  List.iter
+    (fun (h, c) ->
+      let prev = Option.value ~default:0.0 (Hashtbl.find_opt tbl h) in
+      Hashtbl.replace tbl h (prev +. float_of_int c))
+    window;
+  Hashtbl.fold (fun h c acc -> (h, c) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let collector_handler platform =
+  App.handler ~kind:kind_collect
+    ~map:(fun _ -> Mapping.Local)
+    (fun ctx _msg ->
+      let hive = Context.hive_id ctx in
+      let windows = Platform.local_windows platform ~hive in
+      let entries =
+        List.filter_map
+          (fun ((v : Platform.bee_view), (w : Stats.window)) ->
+            if String.equal v.Platform.view_app app_name then None
+            else if w.Stats.w_processed = 0 then None
+            else
+              Some
+                {
+                  e_bee = v.Platform.view_id;
+                  e_app = v.Platform.view_app;
+                  e_hive = v.Platform.view_hive;
+                  e_processed = w.Stats.w_processed;
+                  e_in_by_hive = w.Stats.w_in_by_hive;
+                })
+          windows
+      in
+      if entries <> [] then
+        Context.emit ctx
+          ~size:(16 + (24 * List.length entries))
+          ~kind:kind_report
+          (Hive_report { rh_hive = hive; rh_entries = entries }))
+
+let aggregator_handler =
+  App.handler ~kind:kind_report
+    ~map:(fun _ -> Mapping.whole_dict dict_loads)
+    (fun ctx msg ->
+      match msg.Message.payload with
+      | Hive_report { rh_entries; _ } ->
+        List.iter
+          (fun e ->
+            let key = string_of_int e.e_bee in
+            let prev =
+              match Context.get ctx ~dict:dict_loads ~key with
+              | Some (V_load l) -> l
+              | Some _ | None ->
+                { l_app = e.e_app; l_hive = e.e_hive; l_processed = 0.0; l_in_by_hive = [] }
+            in
+            let merged =
+              {
+                l_app = e.e_app;
+                l_hive = e.e_hive;
+                l_processed = prev.l_processed +. float_of_int e.e_processed;
+                l_in_by_hive = merge_counts prev.l_in_by_hive e.e_in_by_hive;
+              }
+            in
+            Context.set ctx ~dict:dict_loads ~key (V_load merged))
+          rh_entries
+      | _ -> ())
+
+(* The current placement of a bee; dead or unknown bees are skipped. *)
+let current_hive platform ~bee ~reported:_ =
+  match Platform.bee_view platform bee with
+  | Some view when view.Platform.view_alive -> Some view.Platform.view_hive
+  | Some _ | None -> None
+
+let optimizer_handler handle =
+  let { platform; cfg; suggested; performed } = handle in
+  let policy =
+    match cfg.policy with
+    | Some p -> p
+    | None -> greedy_source_policy ~majority:cfg.majority ~min_messages:cfg.min_messages ()
+  in
+  App.handler ~kind:kind_optimize
+    ~map:(fun _ -> Mapping.whole_dict dict_loads)
+    (fun ctx _msg ->
+      (* Materialize the aggregated view. *)
+      let view = ref [] in
+      Context.iter_dict ctx ~dict:dict_loads (fun key v ->
+          match v with
+          | V_load l -> (
+            let bee = int_of_string key in
+            match current_hive platform ~bee ~reported:l.l_hive with
+            | Some hive ->
+              let total =
+                List.fold_left (fun a (_, c) -> a +. c) 0.0 l.l_in_by_hive
+              in
+              view :=
+                {
+                  bl_bee = bee;
+                  bl_app = l.l_app;
+                  bl_hive = hive;
+                  bl_processed = int_of_float total;
+                  bl_in_by_hive = l.l_in_by_hive;
+                }
+                :: !view
+            | None -> ())
+          | _ -> ());
+      let loads = List.rev !view in
+      (if cfg.optimize then begin
+         let budget = ref cfg.max_migrations_per_round in
+         List.iter
+           (fun d ->
+             if !budget > 0 then begin
+               incr suggested;
+               decr budget;
+               if
+                 Platform.migrate_bee platform ~bee:d.d_bee ~to_hive:d.d_to_hive
+                   ~reason:d.d_reason
+               then incr performed
+             end)
+           (policy platform loads)
+       end);
+      (* Decay history; forget entries that faded out. *)
+      let decisions = ref [] in
+      Context.iter_dict ctx ~dict:dict_loads (fun key v ->
+          match v with
+          | V_load l ->
+            let decayed =
+              {
+                l with
+                l_processed = l.l_processed *. cfg.decay;
+                l_in_by_hive =
+                  List.filter_map
+                    (fun (h, c) ->
+                      let c = c *. cfg.decay in
+                      if c < 0.25 then None else Some (h, c))
+                    l.l_in_by_hive;
+              }
+            in
+            decisions :=
+              (key, if decayed.l_in_by_hive = [] then None else Some (V_load decayed))
+              :: !decisions
+          | _ -> ());
+      List.iter
+        (fun (key, v) ->
+          match v with
+          | Some v -> Context.set ctx ~dict:dict_loads ~key v
+          | None -> Context.del ctx ~dict:dict_loads ~key)
+        !decisions)
+
+let install platform cfg =
+  let handle = { platform; cfg; suggested = ref 0; performed = ref 0 } in
+  let timers =
+    [
+      App.timer ~kind:kind_collect ~period:cfg.window ~size:16 (fun ~now:_ -> Collect_tick);
+      App.timer ~kind:kind_optimize ~period:cfg.optimize_every ~size:16 (fun ~now:_ ->
+          Optimize_tick);
+    ]
+  in
+  let app =
+    App.create ~name:app_name ~dicts:[ dict_loads ] ~timers
+      [ collector_handler platform; aggregator_handler; optimizer_handler handle ]
+  in
+  Platform.register_app platform app;
+  handle
+
+let loads handle =
+  match Platform.find_owner handle.platform ~app:app_name (Cell.whole dict_loads) with
+  | None -> []
+  | Some bee ->
+    Platform.bee_state_entries handle.platform bee
+    |> List.filter_map (fun (dict, key, v) ->
+           match v with
+           | V_load l when String.equal dict dict_loads ->
+             Some
+               {
+                 bl_bee = int_of_string key;
+                 bl_app = l.l_app;
+                 bl_hive = l.l_hive;
+                 bl_processed = int_of_float l.l_processed;
+                 bl_in_by_hive = l.l_in_by_hive;
+               }
+           | _ -> None)
+    |> List.sort (fun a b -> Int.compare a.bl_bee b.bl_bee)
+
+let suggested_migrations handle = !(handle.suggested)
+let performed_migrations handle = !(handle.performed)

@@ -1,0 +1,87 @@
+(** Runtime instrumentation and placement optimization.
+
+    Implemented — as in the paper — {e using the programming abstraction
+    itself}: a hive-local collector function snapshots the metrics window
+    of every bee on its hive each second and emits a report; a centralized
+    aggregator function merges the reports on one hive; a periodic
+    optimizer function walks the aggregated view and live-migrates bees
+    toward the hive that sources the majority of their messages, capacity
+    permitting (Section 3, "Runtime Instrumentation" and "On Optimal
+    Placement"). *)
+
+(** {2 Placement policies} *)
+
+type bee_load = {
+  bl_bee : int;
+  bl_app : string;
+  bl_hive : int;
+  bl_processed : int;  (** decayed inbound message count *)
+  bl_in_by_hive : (int * float) list;  (** decayed per-source-hive counts *)
+}
+
+type decision = {
+  d_bee : int;
+  d_to_hive : int;
+  d_reason : string;
+}
+
+type policy = Platform.t -> bee_load list -> decision list
+(** A placement strategy: given the aggregated view, propose migrations.
+    The optimizer applies them through {!Platform.migrate_bee} subject to
+    the per-round budget; rejected decisions are dropped. *)
+
+val greedy_source_policy : ?majority:float -> ?min_messages:int -> unit -> policy
+(** The paper's heuristic ("On Optimal Placement"): move a bee to the
+    hive sourcing a strict majority of its messages. *)
+
+val load_balance_policy : ?imbalance:float -> unit -> policy
+(** Alternative strategy: when the busiest hive processes more than
+    [imbalance] (default 2.0) times the average load, move its
+    least-loaded migratable bee to the least-busy hive. *)
+
+val combined_policy : policy list -> policy
+(** Tries policies in order; the first decision per bee wins. *)
+
+type config = {
+  window : Beehive_sim.Simtime.t;  (** collection period (default 1 s) *)
+  optimize_every : Beehive_sim.Simtime.t;
+      (** how often the placement heuristic runs (default 5 s) *)
+  majority : float;
+      (** share of a bee's inbound messages a foreign hive must strictly
+          exceed to trigger migration (default 0.5, i.e. a strict
+          majority) *)
+  min_messages : int;
+      (** ignore bees with fewer inbound messages in the history
+          (default 5 — about one collection window of steady traffic
+          after decay) *)
+  decay : float;
+      (** multiplicative decay of history at each optimization round
+          (default 0.5); keeps the view biased to recent traffic *)
+  optimize : bool;  (** when false, instrument but never migrate *)
+  max_migrations_per_round : int;  (** default 64 *)
+  policy : policy option;
+      (** placement strategy; [None] uses {!greedy_source_policy} with
+          the [majority]/[min_messages] knobs above *)
+}
+
+val default_config : config
+
+val app_name : string
+(** ["beehive.instrumentation"] *)
+
+type handle
+
+val install : Platform.t -> config -> handle
+(** Registers the instrumentation application on the platform. Call
+    before {!Platform.start}. *)
+
+(** {2 Aggregated analytics} *)
+
+val loads : handle -> bee_load list
+(** The aggregator's current view (reads the aggregator bee's state). *)
+
+val suggested_migrations : handle -> int
+(** Number of migrations the optimizer decided on so far. *)
+
+val performed_migrations : handle -> int
+(** How many of those the platform accepted. *)

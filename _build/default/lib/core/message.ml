@@ -1,0 +1,39 @@
+type payload = ..
+
+type source =
+  | From_bee of { bee : int; hive : int; app : string }
+  | From_endpoint of Beehive_net.Channels.endpoint
+  | From_system
+
+type t = {
+  msg_id : int;
+  kind : string;
+  payload : payload;
+  size : int;
+  src : source;
+  sent_at : Beehive_sim.Simtime.t;
+}
+
+let default_size = 64
+let counter = ref 0
+
+let make ?(size = default_size) ~kind ~src ~sent_at payload =
+  incr counter;
+  { msg_id = !counter; kind; payload; size; src; sent_at }
+
+let src_hive m =
+  match m.src with
+  | From_bee { hive; _ } -> Some hive
+  | From_endpoint (Beehive_net.Channels.Hive h) -> Some h
+  | From_endpoint (Beehive_net.Channels.Switch _) | From_system -> None
+
+let pp fmt m =
+  let src =
+    match m.src with
+    | From_bee { bee; hive; app } -> Printf.sprintf "bee%d@hive%d(%s)" bee hive app
+    | From_endpoint (Beehive_net.Channels.Hive h) -> Printf.sprintf "hive%d" h
+    | From_endpoint (Beehive_net.Channels.Switch s) -> Printf.sprintf "switch%d" s
+    | From_system -> "system"
+  in
+  Format.fprintf fmt "#%d %s from %s (%dB at %a)" m.msg_id m.kind src m.size
+    Beehive_sim.Simtime.pp m.sent_at

@@ -1,0 +1,907 @@
+module Engine = Beehive_sim.Engine
+module Simtime = Beehive_sim.Simtime
+module Rng = Beehive_sim.Rng
+module Channels = Beehive_net.Channels
+module Lock_service = Beehive_locksvc.Lock_service
+
+let src = Logs.Src.create "beehive.platform" ~doc:"Beehive control platform"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type config = {
+  n_hives : int;
+  channel : Channels.config;
+  lock_master : int;
+  lock_rpc_size : int;
+  hive_capacity : int;
+  replication : bool;
+}
+
+let default_config ~n_hives =
+  {
+    n_hives;
+    channel = Channels.default_config;
+    lock_master = 0;
+    lock_rpc_size = 48;
+    hive_capacity = max_int;
+    replication = false;
+  }
+
+type allowed_spec =
+  | A_cells of Cell.Set.t
+  | A_dict of string  (* Foreach: the bee's cells of this dict, at processing time *)
+  | A_all  (* Local bees: every dictionary of the app *)
+
+type delivery = {
+  d_msg : Message.t;
+  d_handler : App.handler;
+  d_allowed : allowed_spec;
+  d_src_hive : int option;
+  d_src_bee : int option;
+}
+
+type bee = {
+  id : int;
+  app : App.t;
+  mutable hive : int;
+  mutable state : State.t;
+  mailbox : delivery Queue.t;
+  stats : Stats.t;
+  is_local : bool;
+  rng : Rng.t;
+  mutable busy : bool;
+  mutable status : [ `Active | `Paused | `Dead ];
+      (* [`Paused] while migrating or while a merge it participates in is
+         in flight: incoming messages buffer in the mailbox. *)
+  mutable pending_migration : (int * string) option;
+  mutable on_idle : (unit -> unit) list;
+      (* continuations run when the current handler (if any) completes;
+         used by merge to wait for losers to quiesce *)
+  mutable forwarded_to : bee option;
+      (* set when this bee was merged away: in-flight messages follow *)
+}
+
+type migration = {
+  mig_at : Simtime.t;
+  mig_bee : int;
+  mig_app : string;
+  mig_src : int;
+  mig_dst : int;
+  mig_bytes : int;
+  mig_reason : string;
+}
+
+type commit_info = {
+  ci_bee : int;
+  ci_app : string;
+  ci_hive : int;
+  ci_writes : (string * string * Value.t option) list;
+  ci_bytes : int;
+}
+
+type bee_view = {
+  view_id : int;
+  view_app : string;
+  view_hive : int;
+  view_cells : Cell.Set.t;
+  view_queue : int;
+  view_is_local : bool;
+  view_alive : bool;
+}
+
+type t = {
+  engine : Engine.t;
+  cfg : config;
+  chans : Channels.t;
+  reg : Registry.t;
+  locks : Lock_service.t;
+  lock_session : Lock_service.session;
+  mutable apps : App.t list;  (* sorted by name *)
+  subscribers : (string, (App.t * App.handler) list) Hashtbl.t;
+  bees : (int, bee) Hashtbl.t;
+  local_bees : (string * int, int) Hashtbl.t;
+  mutable next_bee : int;
+  mutable version : int;
+  lookup_cache : (int * string * Cell.t, int * int) Hashtbl.t;
+  hive_up : bool array;
+  pinned_bees : (int, unit) Hashtbl.t;
+  endpoints : (Channels.endpoint, Message.t -> unit) Hashtbl.t;
+  backups : (int, State.t) Hashtbl.t;
+  mutable migration_log : migration list;  (* newest first *)
+  mutable mig_hooks : (migration -> unit) list;
+  mutable commit_hooks : (commit_info -> unit) list;
+  mutable recovery_providers : (bee:int -> (string * string * Value.t) list option) list;
+      (* newest first; first Some wins *)
+  mutable failure_hooks : (int -> unit) list;
+  mutable emit_hooks :
+    (parent:Message.t option -> child:Message.t -> emitter:(int * string * int) option -> unit)
+    list;
+      (* emitter = (bee, app, hive) for bee emissions; None for injected
+         and system messages *)
+  mutable started : bool;
+  mutable n_processed : int;
+  mutable n_lock_rpcs : int;
+  mutable n_merges : int;
+  mutable n_dropped : int;
+}
+
+let create engine cfg =
+  if cfg.n_hives <= 0 then invalid_arg "Platform.create: need at least one hive";
+  if cfg.lock_master < 0 || cfg.lock_master >= cfg.n_hives then
+    invalid_arg "Platform.create: lock_master out of range";
+  let locks = Lock_service.create engine () in
+  let lock_session = Lock_service.create_session locks ~owner:"platform" in
+  (* Keep the platform's lock session alive for the whole run. *)
+  ignore
+    (Engine.every engine (Simtime.of_sec 4.0) (fun () ->
+         if Lock_service.session_alive lock_session then
+           Lock_service.keep_alive lock_session));
+  {
+    engine;
+    cfg;
+    chans = Channels.create ~n_hives:cfg.n_hives cfg.channel;
+    reg = Registry.create ();
+    locks;
+    lock_session;
+    apps = [];
+    subscribers = Hashtbl.create 32;
+    bees = Hashtbl.create 256;
+    local_bees = Hashtbl.create 64;
+    next_bee = 0;
+    version = 0;
+    lookup_cache = Hashtbl.create 1024;
+    hive_up = Array.make cfg.n_hives true;
+    pinned_bees = Hashtbl.create 64;
+    endpoints = Hashtbl.create 64;
+    backups = Hashtbl.create 64;
+    migration_log = [];
+    mig_hooks = [];
+    commit_hooks = [];
+    recovery_providers = [];
+    failure_hooks = [];
+    emit_hooks = [];
+    started = false;
+    n_processed = 0;
+    n_lock_rpcs = 0;
+    n_merges = 0;
+    n_dropped = 0;
+  }
+
+let engine t = t.engine
+let channels t = t.chans
+let registry t = t.reg
+let config t = t.cfg
+let n_hives t = t.cfg.n_hives
+let now t = Engine.now t.engine
+let hive_alive t h = h >= 0 && h < t.cfg.n_hives && t.hive_up.(h)
+
+let register_app t app =
+  if t.started then invalid_arg "Platform.register_app: platform already started";
+  if List.exists (fun a -> String.equal a.App.name app.App.name) t.apps then
+    invalid_arg "Platform.register_app: duplicate app name";
+  t.apps <- List.sort (fun a b -> String.compare a.App.name b.App.name) (app :: t.apps);
+  List.iter
+    (fun h ->
+      let prev = Option.value ~default:[] (Hashtbl.find_opt t.subscribers h.App.on_kind) in
+      Hashtbl.replace t.subscribers h.App.on_kind (prev @ [ (app, h) ]))
+    app.App.handlers;
+  (* Keep subscriber lists in deterministic app-name order. *)
+  Hashtbl.iter
+    (fun kind subs ->
+      Hashtbl.replace t.subscribers kind
+        (List.stable_sort
+           (fun (a, _) (b, _) -> String.compare a.App.name b.App.name)
+           subs))
+    t.subscribers
+
+let find_app t name = List.find_opt (fun a -> String.equal a.App.name name) t.apps
+
+let register_endpoint t ep cb = Hashtbl.replace t.endpoints ep cb
+
+(* ------------------------------------------------------------------ *)
+(* Lock service accounting                                             *)
+(* ------------------------------------------------------------------ *)
+
+let lock_path app (c : Cell.t) =
+  let key = match c.Cell.key with Cell.All -> "*" | Cell.Key k -> k in
+  Printf.sprintf "/beehive/cells/%s/%s/%s" app c.Cell.dict key
+
+(* One request/response round trip between [hive] and the lock master,
+   charged on the control channel. Returns the added latency. *)
+let charge_lock_rpc t ~hive =
+  t.n_lock_rpcs <- t.n_lock_rpcs + 1;
+  let bytes = t.cfg.lock_rpc_size in
+  let l1 =
+    Channels.transfer t.chans ~src:(Channels.Hive hive)
+      ~dst:(Channels.Hive t.cfg.lock_master) ~bytes ~now:(now t)
+  in
+  let l2 =
+    Channels.transfer t.chans ~src:(Channels.Hive t.cfg.lock_master)
+      ~dst:(Channels.Hive hive) ~bytes ~now:(now t)
+  in
+  Simtime.add l1 l2
+
+let acquire_cell_locks t ~app cells =
+  Cell.Set.iter
+    (fun c ->
+      match Lock_service.try_acquire t.locks t.lock_session ~path:(lock_path app c) () with
+      | `Acquired _ -> ()
+      | `Held_by other ->
+        (* Single platform instance: this would mean a foreign owner. *)
+        failwith (Printf.sprintf "cell lock %s held by %s" (lock_path app c) other))
+    cells
+
+let release_cell_locks t ~app cells =
+  Cell.Set.iter
+    (fun c ->
+      let path = lock_path app c in
+      match Lock_service.holder t.locks ~path with
+      | Some _ -> Lock_service.release t.locks t.lock_session ~path
+      | None -> ())
+    cells
+
+(* ------------------------------------------------------------------ *)
+(* Bee lifecycle                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let get_bee t id = Hashtbl.find_opt t.bees id
+
+let new_bee t ~(app : App.t) ~hive ~is_local =
+  let id = t.next_bee in
+  t.next_bee <- t.next_bee + 1;
+  let b =
+    {
+      id;
+      app;
+      hive;
+      state = State.create ();
+      mailbox = Queue.create ();
+      stats = Stats.create ();
+      is_local;
+      rng = Rng.split (Engine.rng t.engine);
+      busy = false;
+      status = `Active;
+      pending_migration = None;
+      on_idle = [];
+      forwarded_to = None;
+    }
+  in
+  Hashtbl.add t.bees id b;
+  ignore (Registry.register_bee t.reg ~bee_id:id ~app:app.App.name ~hive);
+  if is_local || app.App.pinned then Hashtbl.replace t.pinned_bees id ();
+  b
+
+let kill_bee t b =
+  b.status <- `Dead;
+  Queue.clear b.mailbox;
+  release_cell_locks t ~app:b.app.App.name (Registry.bee t.reg b.id).Registry.bee_cells;
+  Registry.unassign_bee t.reg ~bee:b.id;
+  Hashtbl.remove t.pinned_bees b.id;
+  Hashtbl.remove t.backups b.id
+
+let local_bee_of t ~(app : App.t) ~hive =
+  match Hashtbl.find_opt t.local_bees (app.App.name, hive) with
+  | Some id -> get_bee t id
+  | None ->
+    if not (hive_alive t hive) then None
+    else begin
+      let b = new_bee t ~app ~hive ~is_local:true in
+      Hashtbl.replace t.local_bees (app.App.name, hive) b.id;
+      Some b
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Replication                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let backup_hive t h =
+  let n = t.cfg.n_hives in
+  let rec pick k = if k = n then h else if t.hive_up.((h + k) mod n) then (h + k) mod n else pick (k + 1) in
+  pick 1
+
+let replicate_commit t (b : bee) pending =
+  if t.cfg.replication && b.app.App.replicated && not b.is_local then begin
+    let replica =
+      match Hashtbl.find_opt t.backups b.id with
+      | Some s -> s
+      | None ->
+        let s = State.create () in
+        Hashtbl.add t.backups b.id s;
+        s
+    in
+    let bytes = ref 32 in
+    List.iter
+      (fun (dict, key, w) ->
+        bytes := !bytes + String.length dict + String.length key;
+        match w with
+        | Some v ->
+          bytes := !bytes + Value.size v;
+          State.insert replica [ (dict, key, v) ]
+        | None -> ignore (State.extract replica (Cell.Set.singleton (Cell.cell dict key))))
+      pending;
+    let bh = backup_hive t b.hive in
+    if bh <> b.hive then
+      ignore
+        (Channels.transfer t.chans ~src:(Channels.Hive b.hive) ~dst:(Channels.Hive bh)
+           ~bytes:!bytes ~now:(now t))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Processing loop                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let rec maybe_process t (b : bee) =
+  if b.status = `Active && (not b.busy) && not (Queue.is_empty b.mailbox) then begin
+    b.busy <- true;
+    let d = Queue.pop b.mailbox in
+    let cost = d.d_handler.App.cost d.d_msg in
+    ignore
+      (Engine.schedule_after t.engine cost (fun () ->
+           if b.status <> `Dead then begin
+             process t b d cost;
+             b.busy <- false;
+             run_idle_hooks t b;
+             (match (b.pending_migration, b.status) with
+             | Some (dst, reason), `Active -> start_transfer t b dst reason
+             | _ -> ());
+             maybe_process t b
+           end))
+  end
+
+and run_idle_hooks _t b =
+  match b.on_idle with
+  | [] -> ()
+  | hooks ->
+    b.on_idle <- [];
+    List.iter (fun f -> f ()) (List.rev hooks)
+
+and allowed_cells t (b : bee) = function
+  | A_cells cs -> cs
+  | A_dict dict -> (
+    match Registry.find_bee t.reg b.id with
+    | None -> Cell.Set.empty
+    | Some info ->
+      Cell.Set.filter (fun c -> String.equal c.Cell.dict dict) info.Registry.bee_cells)
+  | A_all -> Cell.Set.of_list (List.map Cell.whole b.app.App.dicts)
+
+and process t (b : bee) d cost =
+  let msg = d.d_msg in
+  Stats.record_in b.stats ~src_hive:d.d_src_hive ~src_bee:d.d_src_bee ~kind:msg.Message.kind;
+  Stats.record_latency b.stats (Simtime.diff (now t) msg.Message.sent_at);
+  t.n_processed <- t.n_processed + 1;
+  let tx = State.begin_tx b.state in
+  let allowed = allowed_cells t b d.d_allowed in
+  let emit ?size ~kind payload =
+    Stats.record_out b.stats ~in_kind:(Some msg.Message.kind) ~out_kind:kind;
+    let src = Message.From_bee { bee = b.id; hive = b.hive; app = b.app.App.name } in
+    let m = Message.make ?size ~kind ~src ~sent_at:(now t) payload in
+    List.iter
+      (fun f -> f ~parent:(Some msg) ~child:m ~emitter:(Some (b.id, b.app.App.name, b.hive)))
+      t.emit_hooks;
+    route t ~src_ep:(Channels.Hive b.hive) m
+  in
+  let to_endpoint ep ?size ~kind payload =
+    Stats.record_out b.stats ~in_kind:(Some msg.Message.kind) ~out_kind:kind;
+    let src = Message.From_bee { bee = b.id; hive = b.hive; app = b.app.App.name } in
+    let m = Message.make ?size ~kind ~src ~sent_at:(now t) payload in
+    List.iter
+      (fun f -> f ~parent:(Some msg) ~child:m ~emitter:(Some (b.id, b.app.App.name, b.hive)))
+      t.emit_hooks;
+    let lat = Channels.transfer t.chans ~src:(Channels.Hive b.hive) ~dst:ep ~bytes:m.Message.size ~now:(now t) in
+    match Hashtbl.find_opt t.endpoints ep with
+    | None -> t.n_dropped <- t.n_dropped + 1
+    | Some cb -> ignore (Engine.schedule_after t.engine lat (fun () -> cb m))
+  in
+  let ctx =
+    Context.make ~app:b.app.App.name ~bee:b.id ~hive:b.hive
+      ~now:(fun () -> now t)
+      ~rng:b.rng ~allowed ~tx ~emit ~to_endpoint
+  in
+  (match d.d_handler.App.rcv ctx msg with
+  | () ->
+    let pending = State.tx_pending tx in
+    State.commit tx;
+    replicate_commit t b pending;
+    if b.app.App.replicated && (not b.is_local) && pending <> [] && t.commit_hooks <> []
+    then begin
+      let bytes =
+        List.fold_left
+          (fun acc (dict, key, w) ->
+            acc + String.length dict + String.length key
+            + match w with Some v -> Value.size v | None -> 0)
+          32 pending
+      in
+      let info =
+        { ci_bee = b.id; ci_app = b.app.App.name; ci_hive = b.hive; ci_writes = pending;
+          ci_bytes = bytes }
+      in
+      List.iter (fun f -> f info) t.commit_hooks
+    end
+  | exception exn ->
+    State.abort tx;
+    Stats.record_error b.stats;
+    Log.warn (fun m ->
+        m "bee %d (%s) handler for %s raised %s" b.id b.app.App.name msg.Message.kind
+          (Printexc.to_string exn)));
+  Stats.record_done b.stats ~busy:cost
+
+(* ------------------------------------------------------------------ *)
+(* Migration                                                           *)
+(* ------------------------------------------------------------------ *)
+
+and start_transfer t (b : bee) dst reason =
+  b.pending_migration <- None;
+  if b.status = `Active && hive_alive t dst && dst <> b.hive then begin
+    b.status <- `Paused;
+    let src_hive = b.hive in
+    let bytes = 64 + State.size_bytes b.state in
+    let lat =
+      Channels.transfer t.chans ~src:(Channels.Hive src_hive) ~dst:(Channels.Hive dst)
+        ~bytes ~now:(now t)
+    in
+    (* Registry update: one lock-service round trip from each side. *)
+    let l_rpc = charge_lock_rpc t ~hive:src_hive in
+    ignore
+      (Engine.schedule_after t.engine (Simtime.add lat l_rpc) (fun () ->
+           if b.status = `Paused then begin
+             b.hive <- dst;
+             Registry.set_hive t.reg ~bee:b.id ~hive:dst;
+             t.version <- t.version + 1;
+             b.status <- `Active;
+             let mig =
+               {
+                 mig_at = now t;
+                 mig_bee = b.id;
+                 mig_app = b.app.App.name;
+                 mig_src = src_hive;
+                 mig_dst = dst;
+                 mig_bytes = bytes;
+                 mig_reason = reason;
+               }
+             in
+             t.migration_log <- mig :: t.migration_log;
+             List.iter (fun f -> f mig) t.mig_hooks;
+             Log.debug (fun m ->
+                 m "migrated bee %d (%s) hive %d -> %d (%s)" b.id b.app.App.name src_hive
+                   dst reason);
+             maybe_process t b
+           end))
+  end
+  else if b.status = `Paused then begin
+    b.status <- `Active;
+    maybe_process t b
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Bee merge: late collocation of previously-disjoint cell groups      *)
+(* ------------------------------------------------------------------ *)
+
+and merge_bees t ~(winner : bee) ~(losers : bee list) =
+  t.n_merges <- t.n_merges + List.length losers;
+  t.version <- t.version + 1;
+  winner.status <- `Paused;
+  let remaining = ref (List.length losers) in
+  let finish_one () =
+    decr remaining;
+    if !remaining = 0 then begin
+      winner.status <- `Active;
+      maybe_process t winner
+    end
+  in
+  let fold_in (l : bee) () =
+    (* Move committed state, ownership and queued messages to the winner. *)
+    let info = Registry.bee t.reg l.id in
+    let cells = info.Registry.bee_cells in
+    let all_entries = State.snapshot l.state in
+    State.insert winner.state all_entries;
+    let bytes =
+      64 + List.fold_left (fun acc (_, _, v) -> acc + Value.size v) 0 all_entries
+    in
+    if l.hive <> winner.hive then
+      ignore
+        (Channels.transfer t.chans ~src:(Channels.Hive l.hive)
+           ~dst:(Channels.Hive winner.hive) ~bytes ~now:(now t));
+    release_cell_locks t ~app:l.app.App.name cells;
+    Registry.reassign_all t.reg ~from_bee:l.id ~to_bee:winner.id;
+    acquire_cell_locks t ~app:winner.app.App.name cells;
+    Queue.transfer l.mailbox winner.mailbox;
+    l.status <- `Dead;
+    l.forwarded_to <- Some winner;
+    Hashtbl.remove t.pinned_bees l.id;
+    Hashtbl.remove t.backups l.id;
+    Log.debug (fun m ->
+        m "merged bee %d into bee %d (%s)" l.id winner.id winner.app.App.name);
+    finish_one ()
+  in
+  List.iter
+    (fun (l : bee) ->
+      l.status <- `Paused;
+      if l.busy then l.on_idle <- (fold_in l) :: l.on_idle else fold_in l ())
+    losers
+
+(* ------------------------------------------------------------------ *)
+(* Routing: the life of a message                                      *)
+(* ------------------------------------------------------------------ *)
+
+and origin_hive_of t = function
+  | Channels.Hive h -> h
+  | Channels.Switch s -> Channels.master_of t.chans s
+
+and resolve_src t (msg : Message.t) =
+  match msg.Message.src with
+  | Message.From_bee { bee; hive; _ } -> (Some hive, Some bee)
+  | Message.From_endpoint ep -> (Some (origin_hive_of t ep), None)
+  | Message.From_system -> (None, None)
+
+and deliver t (b : bee) d ~latency =
+  (* Messages in flight to a bee that has since been merged away follow
+     its forwarding pointer to the surviving bee. *)
+  let rec resolve (b : bee) =
+    match (b.status, b.forwarded_to) with
+    | `Dead, Some w -> resolve w
+    | _ -> b
+  in
+  ignore
+    (Engine.schedule_after t.engine latency (fun () ->
+         let b = resolve b in
+         if b.status <> `Dead then begin
+           Queue.push d b.mailbox;
+           maybe_process t b
+         end
+         else t.n_dropped <- t.n_dropped + 1))
+
+and route_cells t ~(app : App.t) ~(handler : App.handler) ~src_ep ~origin cs msg =
+  let src_hive, src_bee = resolve_src t msg in
+  let extra = ref Simtime.zero in
+  let target =
+    match Registry.owners t.reg ~app:app.App.name cs with
+    | [] ->
+      (* No owner: the local hive creates a new bee and claims the cells. *)
+      let b = new_bee t ~app ~hive:origin ~is_local:false in
+      acquire_cell_locks t ~app:app.App.name cs;
+      Registry.assign t.reg ~bee:b.id cs;
+      t.version <- t.version + 1;
+      extra := Simtime.add !extra (charge_lock_rpc t ~hive:origin);
+      Some b
+    | [ owner ] -> (
+      match get_bee t owner with
+      | None -> None
+      | Some b ->
+        let info = Registry.bee t.reg owner in
+        (* Exact membership, not intersection: a wildcard that merely
+           intersects owned keys must still be claimed so that future keys
+           of the dictionary keep collocating with this bee. *)
+        let unowned =
+          Cell.Set.filter (fun c -> not (Cell.Set.mem c info.Registry.bee_cells)) cs
+        in
+        if not (Cell.Set.is_empty unowned) then begin
+          acquire_cell_locks t ~app:app.App.name unowned;
+          Registry.assign t.reg ~bee:owner unowned;
+          t.version <- t.version + 1;
+          extra := Simtime.add !extra (charge_lock_rpc t ~hive:origin)
+        end
+        else if b.hive <> origin then begin
+          (* Remote owner: consult the (cached) lock service. *)
+          let key = (origin, app.App.name, Cell.Set.min_elt cs) in
+          match Hashtbl.find_opt t.lookup_cache key with
+          | Some (bid, v) when bid = owner && v = t.version -> ()
+          | _ ->
+            extra := Simtime.add !extra (charge_lock_rpc t ~hive:origin);
+            Hashtbl.replace t.lookup_cache key (owner, t.version)
+        end;
+        Some b)
+    | owners ->
+      (* Multiple owners: the mapped cells bridge previously-disjoint
+         groups; merge them to preserve single-ownership. *)
+      let bees = List.filter_map (get_bee t) owners in
+      let by_size (x : bee) (y : bee) =
+        let cx = Cell.Set.cardinal (Registry.bee t.reg x.id).Registry.bee_cells in
+        let cy = Cell.Set.cardinal (Registry.bee t.reg y.id).Registry.bee_cells in
+        match Int.compare cy cx with 0 -> Int.compare x.id y.id | c -> c
+      in
+      (match List.sort by_size bees with
+      | [] -> None
+      | winner :: losers ->
+        merge_bees t ~winner ~losers;
+        extra := Simtime.add !extra (charge_lock_rpc t ~hive:origin);
+        let info = Registry.bee t.reg winner.id in
+        let unowned =
+          Cell.Set.filter (fun c -> not (Cell.Set.mem c info.Registry.bee_cells)) cs
+        in
+        if not (Cell.Set.is_empty unowned) then begin
+          acquire_cell_locks t ~app:app.App.name unowned;
+          Registry.assign t.reg ~bee:winner.id unowned
+        end;
+        t.version <- t.version + 1;
+        Some winner)
+  in
+  match target with
+  | None -> t.n_dropped <- t.n_dropped + 1
+  | Some b ->
+    if not (hive_alive t b.hive) then t.n_dropped <- t.n_dropped + 1
+    else begin
+      let lat =
+        Channels.transfer t.chans ~src:src_ep ~dst:(Channels.Hive b.hive)
+          ~bytes:msg.Message.size ~now:(now t)
+      in
+      deliver t b
+        {
+          d_msg = msg;
+          d_handler = handler;
+          d_allowed = A_cells cs;
+          d_src_hive = src_hive;
+          d_src_bee = src_bee;
+        }
+        ~latency:(Simtime.add lat !extra)
+    end
+
+and route_foreach t ~(app : App.t) ~(handler : App.handler) ~src_ep ~origin:_ dict msg =
+  let src_hive, src_bee = resolve_src t msg in
+  let owners = Registry.owners_of_dict t.reg ~app:app.App.name ~dict in
+  let bees = List.filter_map (get_bee t) owners in
+  (* Fan out: one control-channel copy per hive hosting owners, then local
+     delivery to each bee there. *)
+  let by_hive = Hashtbl.create 8 in
+  List.iter
+    (fun (b : bee) ->
+      let prev = Option.value ~default:[] (Hashtbl.find_opt by_hive b.hive) in
+      Hashtbl.replace by_hive b.hive (b :: prev))
+    bees;
+  let hives = List.sort Int.compare (Hashtbl.fold (fun h _ acc -> h :: acc) by_hive []) in
+  List.iter
+    (fun h ->
+      if hive_alive t h then begin
+        let lat =
+          Channels.transfer t.chans ~src:src_ep ~dst:(Channels.Hive h)
+            ~bytes:msg.Message.size ~now:(now t)
+        in
+        List.iter
+          (fun (b : bee) ->
+            deliver t b
+              {
+                d_msg = msg;
+                d_handler = handler;
+                d_allowed = A_dict dict;
+                d_src_hive = src_hive;
+                d_src_bee = src_bee;
+              }
+              ~latency:lat)
+          (List.rev (Hashtbl.find by_hive h))
+      end)
+    hives
+
+and route_local t ~(app : App.t) ~(handler : App.handler) ~src_ep ~origin msg =
+  let src_hive, src_bee = resolve_src t msg in
+  let deliver_on h =
+    if hive_alive t h then
+      match local_bee_of t ~app ~hive:h with
+      | None -> ()
+      | Some b ->
+        let lat =
+          Channels.transfer t.chans ~src:src_ep ~dst:(Channels.Hive h)
+            ~bytes:msg.Message.size ~now:(now t)
+        in
+        deliver t b
+          {
+            d_msg = msg;
+            d_handler = handler;
+            d_allowed = A_all;
+            d_src_hive = src_hive;
+            d_src_bee = src_bee;
+          }
+          ~latency:lat
+  in
+  (* System messages (timer ticks) trigger local handlers on every hive;
+     ordinary messages only on their origin hive. *)
+  match msg.Message.src with
+  | Message.From_system ->
+    for h = 0 to t.cfg.n_hives - 1 do
+      deliver_on h
+    done
+  | Message.From_bee _ | Message.From_endpoint _ -> deliver_on origin
+
+and route t ~src_ep msg =
+  let origin = origin_hive_of t src_ep in
+  if hive_alive t origin then
+    match Hashtbl.find_opt t.subscribers msg.Message.kind with
+    | None -> ()
+    | Some subs ->
+      List.iter
+        (fun ((app : App.t), handler) ->
+          match handler.App.map msg with
+          | Mapping.Drop -> ()
+          | Mapping.Local -> route_local t ~app ~handler ~src_ep ~origin msg
+          | Mapping.Foreach dict -> route_foreach t ~app ~handler ~src_ep ~origin dict msg
+          | Mapping.Cells cs ->
+            if Cell.Set.is_empty cs then ()
+            else route_cells t ~app ~handler ~src_ep ~origin cs msg)
+        subs
+  else t.n_dropped <- t.n_dropped + 1
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let inject t ~from ?size ~kind payload =
+  let msg =
+    Message.make ?size ~kind ~src:(Message.From_endpoint from) ~sent_at:(now t) payload
+  in
+  List.iter (fun f -> f ~parent:None ~child:msg ~emitter:None) t.emit_hooks;
+  route t ~src_ep:from msg
+
+let emit_system t ?hive ?size ~kind payload =
+  let h = Option.value ~default:0 hive in
+  let msg = Message.make ?size ~kind ~src:Message.From_system ~sent_at:(now t) payload in
+  route t ~src_ep:(Channels.Hive h) msg
+
+let start t =
+  if t.started then invalid_arg "Platform.start: already started";
+  t.started <- true;
+  List.iter
+    (fun (app : App.t) ->
+      List.iter
+        (fun (tm : App.timer) ->
+          ignore
+            (Engine.every t.engine tm.App.period (fun () ->
+                 let payload = tm.App.tick_payload ~now:(now t) in
+                 emit_system t ~size:tm.App.tick_size ~kind:tm.App.timer_kind payload)))
+        app.App.timers)
+    t.apps
+
+(* ------------------------------------------------------------------ *)
+(* Introspection                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let view_of t (b : bee) =
+  let cells =
+    match Registry.find_bee t.reg b.id with
+    | Some info -> info.Registry.bee_cells
+    | None -> Cell.Set.empty
+  in
+  {
+    view_id = b.id;
+    view_app = b.app.App.name;
+    view_hive = b.hive;
+    view_cells = cells;
+    view_queue = Queue.length b.mailbox;
+    view_is_local = b.is_local;
+    view_alive = b.status <> `Dead;
+  }
+
+let bee_view t id = Option.map (view_of t) (get_bee t id)
+
+let live_bees t =
+  Hashtbl.fold (fun _ b acc -> if b.status <> `Dead then b :: acc else acc) t.bees []
+  |> List.sort (fun (a : bee) b -> Int.compare a.id b.id)
+  |> List.map (view_of t)
+
+let bee_stats t id = Option.map (fun b -> b.stats) (get_bee t id)
+let bee_state_size t id =
+  match get_bee t id with Some b -> State.size_bytes b.state | None -> 0
+
+let bee_state_entries t id =
+  match get_bee t id with Some b -> State.snapshot b.state | None -> []
+
+let local_bee t ~app ~hive = Hashtbl.find_opt t.local_bees (app, hive)
+
+let find_owner t ~app cell =
+  match Registry.owners t.reg ~app (Cell.Set.singleton cell) with
+  | [] -> None
+  | b :: _ -> Some b
+
+let local_windows t ~hive =
+  Hashtbl.fold
+    (fun _ (b : bee) acc ->
+      if b.status <> `Dead && b.hive = hive then
+        (view_of t b, Stats.take_window b.stats) :: acc
+      else acc)
+    t.bees []
+  |> List.sort (fun ((a : bee_view), _) (b, _) -> Int.compare a.view_id b.view_id)
+
+let quiescent t =
+  Hashtbl.fold
+    (fun _ (b : bee) acc ->
+      acc && (b.status = `Dead || ((not b.busy) && Queue.is_empty b.mailbox)))
+    t.bees true
+
+(* ------------------------------------------------------------------ *)
+(* Placement control                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let pin_bee t ~bee = Hashtbl.replace t.pinned_bees bee ()
+let bee_pinned t ~bee = Hashtbl.mem t.pinned_bees bee
+
+let migrate_bee t ~bee ~to_hive ~reason =
+  match get_bee t bee with
+  | None -> false
+  | Some b ->
+    if
+      b.status <> `Active || b.is_local
+      || Hashtbl.mem t.pinned_bees bee
+      || b.pending_migration <> None
+      || to_hive = b.hive
+      || not (hive_alive t to_hive)
+    then false
+    else begin
+      let cells = Cell.Set.cardinal (Registry.bee t.reg bee).Registry.bee_cells in
+      if Registry.cells_on_hive t.reg ~hive:to_hive + cells > t.cfg.hive_capacity then false
+      else begin
+        if b.busy then b.pending_migration <- Some (to_hive, reason)
+        else start_transfer t b to_hive reason;
+        true
+      end
+    end
+
+let migrations t = List.rev t.migration_log
+let on_migration t f = t.mig_hooks <- f :: t.mig_hooks
+let on_commit t f = t.commit_hooks <- f :: t.commit_hooks
+let set_recovery_provider t f = t.recovery_providers <- f :: t.recovery_providers
+let on_hive_failure t f = t.failure_hooks <- f :: t.failure_hooks
+let on_emit t f = t.emit_hooks <- f :: t.emit_hooks
+
+let recover_entries t ~bee =
+  List.find_map (fun provider -> provider ~bee) t.recovery_providers
+
+(* ------------------------------------------------------------------ *)
+(* Failures                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let fail_hive t h =
+  if hive_alive t h then begin
+    t.hive_up.(h) <- false;
+    t.version <- t.version + 1;
+    List.iter (fun f -> f h) t.failure_hooks;
+    let victims =
+      Hashtbl.fold
+        (fun _ (b : bee) acc -> if b.status <> `Dead && b.hive = h then b :: acc else acc)
+        t.bees []
+      |> List.sort (fun (a : bee) b -> Int.compare a.id b.id)
+    in
+    List.iter
+      (fun (b : bee) ->
+        if b.is_local then begin
+          b.status <- `Dead;
+          Hashtbl.remove t.local_bees (b.app.App.name, h);
+          Registry.unassign_bee t.reg ~bee:b.id
+        end
+        else begin
+          let recovered =
+            if b.app.App.replicated then
+              match recover_entries t ~bee:b.id with
+              | Some entries -> Some entries
+              | None -> (
+                match Hashtbl.find_opt t.backups b.id with
+                | Some replica when t.cfg.replication -> Some (State.snapshot replica)
+                | Some _ | None -> None)
+            else None
+          in
+          match recovered with
+          | Some entries ->
+            (* Fail over onto the backup hive from the recovered state. *)
+            let bh = backup_hive t h in
+            b.hive <- bh;
+            b.state <- State.restore entries;
+            Queue.clear b.mailbox;
+            b.busy <- false;
+            b.status <- `Active;
+            Registry.set_hive t.reg ~bee:b.id ~hive:bh;
+            Log.info (fun m -> m "bee %d failed over from hive %d to %d" b.id h bh)
+          | None -> kill_bee t b
+        end)
+      victims
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Counters                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let total_processed t = t.n_processed
+let total_lock_rpcs t = t.n_lock_rpcs
+let total_bee_merges t = t.n_merges
+
+let message_latency_percentile t p =
+  let merged = Stats.create () in
+  Hashtbl.iter
+    (fun _ (b : bee) -> if b.status <> `Dead then Stats.merge_latency ~into:merged b.stats)
+    t.bees;
+  Stats.latency_percentile merged p

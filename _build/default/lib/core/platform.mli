@@ -1,0 +1,179 @@
+(** The Beehive control platform.
+
+    The runtime environment of Section 3: a cluster of hives hosting bees.
+    Implements the "life of a message" — dispatch through generated map
+    functions, ownership resolution against the registry (charging
+    lock-service round trips on the control channel), bee creation, bee
+    merging when previously-disjoint cell groups are joined, live
+    migration, hive-local applications, periodic timers, and optional
+    primary-backup replication with hive failover.
+
+    All activity runs on the discrete-event {!Beehive_sim.Engine}; nothing
+    here touches wall-clock time. *)
+
+type t
+
+type config = {
+  n_hives : int;
+  channel : Beehive_net.Channels.config;
+  lock_master : int;
+      (** hive hosting the lock-service master (ownership RPCs go there) *)
+  lock_rpc_size : int;  (** bytes per lock-service request/response *)
+  hive_capacity : int;  (** max cells hosted per hive *)
+  replication : bool;  (** enable primary-backup replication *)
+}
+
+val default_config : n_hives:int -> config
+
+val create : Beehive_sim.Engine.t -> config -> t
+val engine : t -> Beehive_sim.Engine.t
+val channels : t -> Beehive_net.Channels.t
+val registry : t -> Registry.t
+val config : t -> config
+val n_hives : t -> int
+
+(** {2 Setup} *)
+
+val register_app : t -> App.t -> unit
+(** Must be called before {!start}. App names must be unique. *)
+
+val find_app : t -> string -> App.t option
+
+val start : t -> unit
+(** Arms every application timer. Call once after registering apps. *)
+
+val register_endpoint :
+  t -> Beehive_net.Channels.endpoint -> (Message.t -> unit) -> unit
+(** Connects an IO channel (e.g. a simulated switch): messages sent by
+    handlers via {!Context.send_to} are delivered to the callback after
+    channel latency. *)
+
+(** {2 Message entry points} *)
+
+val inject :
+  t -> from:Beehive_net.Channels.endpoint -> ?size:int -> kind:string ->
+  Message.payload -> unit
+(** Injects an external message (switch event, administrative command).
+    It enters the platform at the endpoint's hive (a switch's master
+    hive) and is dispatched to all subscribed applications. *)
+
+val emit_system :
+  t -> ?hive:int -> ?size:int -> kind:string -> Message.payload -> unit
+(** Emits a platform-internal message as if from a timer on [hive]
+    (default: hive 0). *)
+
+(** {2 Introspection} *)
+
+type bee_view = {
+  view_id : int;
+  view_app : string;
+  view_hive : int;
+  view_cells : Cell.Set.t;
+  view_queue : int;  (** messages waiting in the mailbox *)
+  view_is_local : bool;
+  view_alive : bool;
+}
+
+val bee_view : t -> int -> bee_view option
+val live_bees : t -> bee_view list
+val bee_stats : t -> int -> Stats.t option
+
+val bee_state_size : t -> int -> int
+
+val bee_state_entries : t -> int -> (string * string * Value.t) list
+(** Read-only snapshot of a bee's committed state (analytics/debug). *)
+
+val local_bee : t -> app:string -> hive:int -> int option
+val find_owner : t -> app:string -> Cell.t -> int option
+
+val local_windows : t -> hive:int -> (bee_view * Stats.window) list
+(** Snapshots and resets the stats window of every live bee on a hive —
+    what a per-hive instrumentation collector gathers. *)
+
+val quiescent : t -> bool
+(** True when no bee is processing or has queued messages (in-flight
+    engine events may still exist). *)
+
+(** {2 Placement control} *)
+
+val migrate_bee : t -> bee:int -> to_hive:int -> reason:string -> bool
+(** Live-migrates a bee: stop, buffer, move cells (charged on the control
+    channel), recreate, drain (Section 3, "Migration of Bees"). Returns
+    [false] if the bee is unknown/dead/local/pinned, already there, the
+    destination is dead or over capacity, or a migration is in flight. *)
+
+val pin_bee : t -> bee:int -> unit
+val bee_pinned : t -> bee:int -> bool
+
+type migration = {
+  mig_at : Beehive_sim.Simtime.t;
+  mig_bee : int;
+  mig_app : string;
+  mig_src : int;
+  mig_dst : int;
+  mig_bytes : int;
+  mig_reason : string;
+}
+
+val migrations : t -> migration list
+(** Completed migrations, oldest first. *)
+
+val on_migration : t -> (migration -> unit) -> unit
+
+(** {2 Replication hooks}
+
+    The built-in replication is primary-backup; these hooks let an
+    external replication scheme (e.g. the Raft-backed
+    {!Raft_replication}) observe commits and provide recovered state. *)
+
+type commit_info = {
+  ci_bee : int;
+  ci_app : string;
+  ci_hive : int;
+  ci_writes : (string * string * Value.t option) list;
+  ci_bytes : int;  (** serialized size of the write set *)
+}
+
+val on_commit : t -> (commit_info -> unit) -> unit
+(** Called after every successful transaction commit of a non-local bee
+    of a [replicated] app (regardless of the built-in replication
+    flag). *)
+
+val set_recovery_provider :
+  t -> (bee:int -> (string * string * Value.t) list option) -> unit
+(** Consulted by {!fail_hive} before the built-in backup: when it returns
+    entries, the bee fails over with that state. Later providers win. *)
+
+val on_hive_failure : t -> (int -> unit) -> unit
+(** Called at the start of {!fail_hive} (e.g. to crash co-located
+    consensus nodes). *)
+
+val on_emit :
+  t ->
+  (parent:Message.t option ->
+  child:Message.t ->
+  emitter:(int * string * int) option ->
+  unit) ->
+  unit
+(** Observes every message creation: bee emissions carry the message
+    being processed as [parent] and the emitting [(bee, app, hive)];
+    injected messages have neither. Drives {!Trace}. *)
+
+(** {2 Failures (replication extension)} *)
+
+val fail_hive : t -> int -> unit
+(** Kills a hive. Bees of replicated apps fail over to their backup hive
+    using the recovery provider's state if available, else the built-in
+    replica; other bees (and their cells) are lost. *)
+
+val hive_alive : t -> int -> bool
+
+(** {2 Counters} *)
+
+val total_processed : t -> int
+val total_lock_rpcs : t -> int
+val total_bee_merges : t -> int
+
+val message_latency_percentile : t -> float -> int option
+(** Cluster-wide percentile (in microseconds) of the emission-to-handler
+    delay over all messages processed so far. *)

@@ -1,0 +1,244 @@
+module Engine = Beehive_sim.Engine
+module Simtime = Beehive_sim.Simtime
+module Channels = Beehive_net.Channels
+module Raft = Beehive_raft.Raft
+
+type group = {
+  g_anchor : int;
+  g_members : int list;
+  g_nodes : (int, Raft.t) Hashtbl.t;  (* member hive -> node *)
+  g_replicas : (int, (int, State.t) Hashtbl.t) Hashtbl.t;
+      (* member hive -> (bee -> replica) *)
+  mutable g_queue : string list;  (* commands awaiting a leader, oldest last *)
+}
+
+type t = {
+  platform : Platform.t;
+  size : int;
+  mutable groups : group array;
+  pending : (string, Platform.commit_info) Hashtbl.t;  (* command id -> write set *)
+  anchors : (int, int) Hashtbl.t;  (* bee -> anchor hive of its group *)
+  counted : (string, unit) Hashtbl.t;  (* command ids seen applied at least once *)
+  mutable seq : int;
+  mutable committed : int;
+}
+
+let command_id t =
+  t.seq <- t.seq + 1;
+  Printf.sprintf "c%d" t.seq
+
+(* Commands carry their realistic wire size as padding. *)
+let encode_command id ~bytes =
+  let header = id ^ "|" in
+  let pad = max 0 (bytes - String.length header) in
+  header ^ String.make pad '.'
+
+let decode_command cmd =
+  match String.index_opt cmd '|' with
+  | Some i -> String.sub cmd 0 i
+  | None -> cmd
+
+let replica_table g ~member =
+  match Hashtbl.find_opt g.g_replicas member with
+  | Some tbl -> tbl
+  | None ->
+    let tbl = Hashtbl.create 16 in
+    Hashtbl.add g.g_replicas member tbl;
+    tbl
+
+let replica_state g ~member ~bee =
+  let tbl = replica_table g ~member in
+  match Hashtbl.find_opt tbl bee with
+  | Some st -> st
+  | None ->
+    let st = State.create () in
+    Hashtbl.add tbl bee st;
+    st
+
+let apply_write_set g ~member (ci : Platform.commit_info) =
+  let st = replica_state g ~member ~bee:ci.Platform.ci_bee in
+  List.iter
+    (fun (dict, key, w) ->
+      match w with
+      | Some v -> State.insert st [ (dict, key, v) ]
+      | None -> ignore (State.extract st (Cell.Set.singleton (Cell.cell dict key))))
+    ci.Platform.ci_writes
+
+let live_leader t g =
+  List.find_opt
+    (fun m ->
+      Platform.hive_alive t.platform m
+      &&
+      match Hashtbl.find_opt g.g_nodes m with
+      | Some node -> Raft.is_up node && Raft.role node = Raft.Leader
+      | None -> false)
+    g.g_members
+
+let flush_queue t g =
+  match live_leader t g with
+  | None -> ()
+  | Some leader_hive ->
+    let node = Hashtbl.find g.g_nodes leader_hive in
+    let rec go = function
+      | [] -> g.g_queue <- []
+      | cmd :: rest as cmds -> (
+        match Raft.propose node cmd with
+        | `Proposed _ -> go rest
+        | `Not_leader _ -> g.g_queue <- List.rev cmds)
+    in
+    go (List.rev g.g_queue)
+
+let make_group t engine ~anchor ~members =
+  let g =
+    {
+      g_anchor = anchor;
+      g_members = members;
+      g_nodes = Hashtbl.create 4;
+      g_replicas = Hashtbl.create 4;
+      g_queue = [];
+    }
+  in
+  List.iter
+    (fun member ->
+      let peers = List.filter (fun m -> m <> member) members in
+      let send ~dst rpc =
+        if Platform.hive_alive t.platform member && Platform.hive_alive t.platform dst
+        then begin
+          let lat =
+            Channels.transfer (Platform.channels t.platform) ~src:(Channels.Hive member)
+              ~dst:(Channels.Hive dst) ~bytes:(Raft.rpc_size rpc) ~now:(Engine.now engine)
+          in
+          ignore
+            (Engine.schedule_after engine lat (fun () ->
+                 match Hashtbl.find_opt g.g_nodes dst with
+                 | Some node when Raft.is_up node -> Raft.receive node rpc
+                 | Some _ | None -> ()))
+        end
+      in
+      let apply (e : Raft.entry) =
+        let id = decode_command e.Raft.e_command in
+        match Hashtbl.find_opt t.pending id with
+        | Some ci ->
+          apply_write_set g ~member ci;
+          (* Count each write set once, on its first apply anywhere. *)
+          if not (Hashtbl.mem t.counted id) then begin
+            Hashtbl.add t.counted id ();
+            t.committed <- t.committed + 1
+          end
+        | None -> ()
+      in
+      let node = Raft.create engine ~id:member ~peers ~send ~apply () in
+      Hashtbl.add g.g_nodes member node;
+      Raft.start node)
+    members;
+  g
+
+let on_commit t (ci : Platform.commit_info) =
+  (* A bee's replication group is anchored at its first commit's hive;
+     the group, not the bee's current placement, defines where replicas
+     live. *)
+  let anchor =
+    match Hashtbl.find_opt t.anchors ci.Platform.ci_bee with
+    | Some a -> a
+    | None ->
+      let a = ci.Platform.ci_hive mod Array.length t.groups in
+      Hashtbl.add t.anchors ci.Platform.ci_bee a;
+      a
+  in
+  let g = t.groups.(anchor) in
+  let id = command_id t in
+  Hashtbl.replace t.pending id ci;
+  g.g_queue <- encode_command id ~bytes:ci.Platform.ci_bytes :: g.g_queue;
+  flush_queue t g
+
+let anchor_of t ~bee = Hashtbl.find_opt t.anchors bee
+
+let recovery_provider t ~bee =
+  match anchor_of t ~bee with
+  | None -> None
+  | Some anchor ->
+    let g = t.groups.(anchor) in
+    (* Most caught-up live member wins. *)
+    let best =
+      List.fold_left
+        (fun acc m ->
+          if not (Platform.hive_alive t.platform m) then acc
+          else
+            match Hashtbl.find_opt g.g_nodes m with
+            | Some node when Raft.is_up node -> (
+              let score = Raft.last_applied node in
+              match acc with
+              | Some (_, s) when s >= score -> acc
+              | _ -> Some (m, score))
+            | Some _ | None -> acc)
+        None g.g_members
+    in
+    (match best with
+    | Some (member, _) -> (
+      match Hashtbl.find_opt g.g_replicas member with
+      | Some tbl -> (
+        match Hashtbl.find_opt tbl bee with
+        | Some st -> Some (State.snapshot st)
+        | None -> None)
+      | None -> None)
+    | None -> None)
+
+let on_hive_failure t h =
+  Array.iter
+    (fun g ->
+      match Hashtbl.find_opt g.g_nodes h with
+      | Some node -> Raft.crash node
+      | None -> ())
+    t.groups
+
+let install platform ?(group_size = 3) () =
+  let engine = Platform.engine platform in
+  let n = Platform.n_hives platform in
+  let size = max 1 (min group_size n) in
+  let t =
+    {
+      platform;
+      size;
+      groups = [||];
+      pending = Hashtbl.create 256;
+      anchors = Hashtbl.create 64;
+      counted = Hashtbl.create 256;
+      seq = 0;
+      committed = 0;
+    }
+  in
+  t.groups <-
+    Array.init n (fun anchor ->
+        let members = List.init size (fun k -> (anchor + k) mod n) in
+        make_group t engine ~anchor ~members);
+  Platform.on_commit platform (fun ci -> on_commit t ci);
+  Platform.set_recovery_provider platform (fun ~bee -> recovery_provider t ~bee);
+  Platform.on_hive_failure platform (fun h -> on_hive_failure t h);
+  (* Retry queued proposals until a leader exists. *)
+  ignore
+    (Engine.every engine (Simtime.of_ms 100) (fun () ->
+         Array.iter (fun g -> if g.g_queue <> [] then flush_queue t g) t.groups));
+  t
+
+let group_size t = t.size
+let group_members t ~hive = t.groups.(hive mod Array.length t.groups).g_members
+
+let group_leader t ~hive =
+  live_leader t t.groups.(hive mod Array.length t.groups)
+
+let replicated_commands t = t.committed
+let pending_commands t = Array.fold_left (fun a g -> a + List.length g.g_queue) 0 t.groups
+
+let replica_entries t ~member ~bee =
+  let found = ref None in
+  Array.iter
+    (fun g ->
+      if !found = None then
+        match Hashtbl.find_opt g.g_replicas member with
+        | Some tbl -> (
+          match Hashtbl.find_opt tbl bee with
+          | Some st -> found := Some (State.snapshot st)
+          | None -> ())
+        | None -> ())
+    t.groups;
+  Option.value ~default:[] !found

@@ -1,0 +1,39 @@
+(** Raft-backed state replication.
+
+    The consensus-grade alternative to the platform's built-in
+    primary-backup replication — the "enforcing the foundations of our
+    framework specially for fault-tolerance" direction the paper closes
+    with (the production Beehive replicates hive state with Raft).
+
+    One Raft group per hive, [group_size] members wide (the hive and its
+    successors). Every committed transaction of a [replicated] app is
+    proposed to the group anchored at the bee's hive at first commit;
+    each group member applies the write set to its own replica of the
+    bee's state. On hive failure the platform recovers a bee from the
+    most caught-up live member. All Raft traffic (elections, heartbeats,
+    entries) is charged on the inter-hive control channels, so the cost
+    of consensus is visible in the Figure-4 style measurements. *)
+
+type t
+
+val install : Platform.t -> ?group_size:int -> unit -> t
+(** Creates the groups, subscribes to the platform's commit / failure /
+    recovery hooks, and starts all Raft nodes. [group_size] defaults to 3
+    and is clamped to the hive count. *)
+
+val group_size : t -> int
+
+val group_members : t -> hive:int -> int list
+(** Member hives of the group anchored at [hive]. *)
+
+val group_leader : t -> hive:int -> int option
+(** The group's current leader hive, if elected. *)
+
+val replicated_commands : t -> int
+(** Write sets committed through consensus so far. *)
+
+val pending_commands : t -> int
+(** Write sets waiting for a group leader. *)
+
+val replica_entries : t -> member:int -> bee:int -> (string * string * Value.t) list
+(** A member hive's replica of a bee's state (tests/inspection). *)

@@ -1,0 +1,159 @@
+type bee_info = {
+  bee_id : int;
+  bee_app : string;
+  mutable bee_hive : int;
+  mutable bee_cells : Cell.Set.t;
+}
+
+type app_index = {
+  (* dict -> key -> owner bee *)
+  by_key : (string, (string, int) Hashtbl.t) Hashtbl.t;
+  (* dict -> wildcard owner *)
+  by_wildcard : (string, int) Hashtbl.t;
+}
+
+type t = {
+  infos : (int, bee_info) Hashtbl.t;
+  apps : (string, app_index) Hashtbl.t;
+}
+
+let create () = { infos = Hashtbl.create 64; apps = Hashtbl.create 8 }
+
+let app_index t app =
+  match Hashtbl.find_opt t.apps app with
+  | Some idx -> idx
+  | None ->
+    let idx = { by_key = Hashtbl.create 64; by_wildcard = Hashtbl.create 4 } in
+    Hashtbl.add t.apps app idx;
+    idx
+
+let register_bee t ~bee_id ~app ~hive =
+  if Hashtbl.mem t.infos bee_id then invalid_arg "Registry.register_bee: id in use";
+  let info = { bee_id; bee_app = app; bee_hive = hive; bee_cells = Cell.Set.empty } in
+  Hashtbl.add t.infos bee_id info;
+  info
+
+let find_bee t id = Hashtbl.find_opt t.infos id
+let bee t id = match find_bee t id with Some b -> b | None -> raise Not_found
+
+let dict_keys idx dict =
+  match Hashtbl.find_opt idx.by_key dict with
+  | Some keys -> keys
+  | None ->
+    let keys = Hashtbl.create 16 in
+    Hashtbl.add idx.by_key dict keys;
+    keys
+
+let owners t ~app cells =
+  let idx = app_index t app in
+  let found = Hashtbl.create 4 in
+  let add b = Hashtbl.replace found b () in
+  Cell.Set.iter
+    (fun c ->
+      let dict = c.Cell.dict in
+      (* Any cell of [dict] intersects the wildcard owner of [dict]. *)
+      (match Hashtbl.find_opt idx.by_wildcard dict with Some b -> add b | None -> ());
+      match c.Cell.key with
+      | Cell.Key k -> (
+        match Hashtbl.find_opt idx.by_key dict with
+        | Some keys -> ( match Hashtbl.find_opt keys k with Some b -> add b | None -> ())
+        | None -> ())
+      | Cell.All -> (
+        (* A wildcard intersects every owned key of the dictionary. *)
+        match Hashtbl.find_opt idx.by_key dict with
+        | Some keys -> Hashtbl.iter (fun _ b -> add b) keys
+        | None -> ()))
+    cells;
+  List.sort Int.compare (Hashtbl.fold (fun b () acc -> b :: acc) found [])
+
+let owners_of_dict t ~app ~dict =
+  owners t ~app (Cell.Set.singleton (Cell.whole dict))
+
+let assign t ~bee cells =
+  let info = Hashtbl.find t.infos bee in
+  let idx = app_index t info.bee_app in
+  (* Refuse assignment that would break single-ownership. *)
+  let conflicting =
+    owners t ~app:info.bee_app cells |> List.filter (fun b -> b <> bee)
+  in
+  if conflicting <> [] then
+    invalid_arg
+      (Printf.sprintf "Registry.assign: cells conflict with bee %d"
+         (List.hd conflicting));
+  Cell.Set.iter
+    (fun c ->
+      match c.Cell.key with
+      | Cell.Key k -> Hashtbl.replace (dict_keys idx c.Cell.dict) k bee
+      | Cell.All -> Hashtbl.replace idx.by_wildcard c.Cell.dict bee)
+    cells;
+  info.bee_cells <- Cell.Set.union info.bee_cells cells
+
+let release_cells idx bee cells =
+  Cell.Set.iter
+    (fun c ->
+      match c.Cell.key with
+      | Cell.Key k -> (
+        match Hashtbl.find_opt idx.by_key c.Cell.dict with
+        | Some keys when Hashtbl.find_opt keys k = Some bee -> Hashtbl.remove keys k
+        | Some _ | None -> ())
+      | Cell.All ->
+        if Hashtbl.find_opt idx.by_wildcard c.Cell.dict = Some bee then
+          Hashtbl.remove idx.by_wildcard c.Cell.dict)
+    cells
+
+let unassign_bee t ~bee =
+  match Hashtbl.find_opt t.infos bee with
+  | None -> ()
+  | Some info ->
+    release_cells (app_index t info.bee_app) bee info.bee_cells;
+    Hashtbl.remove t.infos bee
+
+let reassign_all t ~from_bee ~to_bee =
+  let src = Hashtbl.find t.infos from_bee in
+  let dst = Hashtbl.find t.infos to_bee in
+  if not (String.equal src.bee_app dst.bee_app) then
+    invalid_arg "Registry.reassign_all: apps differ";
+  let idx = app_index t src.bee_app in
+  let moved = src.bee_cells in
+  release_cells idx from_bee moved;
+  Hashtbl.remove t.infos from_bee;
+  Cell.Set.iter
+    (fun c ->
+      match c.Cell.key with
+      | Cell.Key k -> Hashtbl.replace (dict_keys idx c.Cell.dict) k to_bee
+      | Cell.All -> Hashtbl.replace idx.by_wildcard c.Cell.dict to_bee)
+    moved;
+  dst.bee_cells <- Cell.Set.union dst.bee_cells moved
+
+let set_hive t ~bee ~hive = (Hashtbl.find t.infos bee).bee_hive <- hive
+
+let bees t =
+  Hashtbl.fold (fun _ b acc -> b :: acc) t.infos []
+  |> List.sort (fun a b -> Int.compare a.bee_id b.bee_id)
+
+let bees_of_app t ~app = List.filter (fun b -> String.equal b.bee_app app) (bees t)
+let bees_on_hive t ~hive = List.filter (fun b -> b.bee_hive = hive) (bees t)
+let n_bees t = Hashtbl.length t.infos
+
+let cells_on_hive t ~hive =
+  List.fold_left
+    (fun acc b -> acc + Cell.Set.cardinal b.bee_cells)
+    0
+    (bees_on_hive t ~hive)
+
+let check_invariant t =
+  let all = bees t in
+  List.iteri
+    (fun i a ->
+      List.iteri
+        (fun j b ->
+          if
+            j > i
+            && String.equal a.bee_app b.bee_app
+            && Cell.Set.intersects a.bee_cells b.bee_cells
+          then
+            failwith
+              (Printf.sprintf "Registry invariant violated: bees %d and %d overlap"
+                 a.bee_id b.bee_id))
+        all)
+    all

@@ -1,0 +1,66 @@
+(** Cell-ownership registry.
+
+    The authoritative mapping from cells to bees and from bees to hives —
+    conceptually the data guarded by the distributed lock service
+    (Section 3, "Life of a Message"). The registry enforces the paper's
+    core invariant: {e every cell is owned by exactly one bee}, where a
+    wildcard cell [(dict, All)] conflicts with every key of [dict].
+
+    This module is a pure data structure; the platform drives it and
+    charges the corresponding lock-service round trips on the control
+    channel. *)
+
+type t
+
+type bee_info = {
+  bee_id : int;
+  bee_app : string;
+  mutable bee_hive : int;
+  mutable bee_cells : Cell.Set.t;
+}
+
+val create : unit -> t
+
+val register_bee : t -> bee_id:int -> app:string -> hive:int -> bee_info
+(** Declares a new (cell-less) bee. Bee ids must be fresh. *)
+
+val find_bee : t -> int -> bee_info option
+val bee : t -> int -> bee_info
+(** Raises [Not_found]. *)
+
+val owners : t -> app:string -> Cell.Set.t -> int list
+(** All distinct bees of [app] owning a cell that intersects the given
+    set, in ascending bee id order. The platform's consistency rule: if
+    this returns more than one bee, those bees must be merged before the
+    message is processed. *)
+
+val owners_of_dict : t -> app:string -> dict:string -> int list
+(** Bees owning at least one cell (or the wildcard) of [dict] — the
+    [foreach] fan-out set. *)
+
+val assign : t -> bee:int -> Cell.Set.t -> unit
+(** Grants ownership of the cells to the bee. Raises [Invalid_argument]
+    if any cell intersects another bee's cells (the caller must resolve
+    via {!reassign_all} first). *)
+
+val unassign_bee : t -> bee:int -> unit
+(** Removes the bee and releases all its cells. *)
+
+val reassign_all : t -> from_bee:int -> to_bee:int -> unit
+(** Moves every cell of [from_bee] to [to_bee] (bee merge) and removes
+    [from_bee]. Both bees must belong to the same app. *)
+
+val set_hive : t -> bee:int -> hive:int -> unit
+
+val bees : t -> bee_info list
+(** All bees, ascending id. *)
+
+val bees_of_app : t -> app:string -> bee_info list
+val bees_on_hive : t -> hive:int -> bee_info list
+val n_bees : t -> int
+val cells_on_hive : t -> hive:int -> int
+(** Number of concrete cells hosted on a hive (capacity accounting). *)
+
+val check_invariant : t -> unit
+(** Asserts no two bees own intersecting cells; raises [Failure]
+    otherwise. Used by tests and debug builds. *)

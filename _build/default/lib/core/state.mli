@@ -1,0 +1,65 @@
+(** A bee's state: named dictionaries with transactions.
+
+    "To process a message, a function accesses the application state which
+    is defined in the form of dictionaries (i.e., key-values) with support
+    for transactions" (Section 2). Each bee owns one [State.t] holding the
+    entries of the cells it owns. Every handler invocation runs inside a
+    transaction: writes are buffered and applied atomically on success,
+    discarded if the handler raises. *)
+
+type t
+type tx
+
+val create : unit -> t
+
+(** {2 Direct (committed) view} *)
+
+val get : t -> dict:string -> key:string -> Value.t option
+val mem : t -> dict:string -> key:string -> bool
+val iter : t -> dict:string -> (string -> Value.t -> unit) -> unit
+val keys : t -> dict:string -> string list
+val dicts : t -> string list
+val entry_count : t -> int
+
+val size_bytes : t -> int
+(** Estimated serialized size of all entries; the byte cost of migrating
+    or replicating this state. *)
+
+val cells : t -> Cell.Set.t
+(** Concrete [(dict, key)] cells currently materialized. *)
+
+(** {2 Transactions} *)
+
+val begin_tx : t -> tx
+val tx_get : tx -> dict:string -> key:string -> Value.t option
+val tx_mem : tx -> dict:string -> key:string -> bool
+val tx_set : tx -> dict:string -> key:string -> Value.t -> unit
+val tx_del : tx -> dict:string -> key:string -> unit
+
+val tx_iter : tx -> dict:string -> (string -> Value.t -> unit) -> unit
+(** Iterates the transactional view: base entries overlaid with the
+    transaction's pending writes and deletions. *)
+
+val tx_writes : tx -> int
+(** Number of pending writes/deletes (used for replication accounting). *)
+
+val tx_pending : tx -> (string * string * Value.t option) list
+(** The pending writes ([None] means deletion), in deterministic order;
+    what a primary ships to its backup on commit. *)
+
+val commit : tx -> unit
+(** Applies pending writes. A committed or aborted transaction cannot be
+    reused. *)
+
+val abort : tx -> unit
+
+(** {2 Bulk transfer (bee migration and merge)} *)
+
+val extract : t -> Cell.Set.t -> (string * string * Value.t) list
+(** Removes and returns all entries whose cell intersects the given set
+    (wildcards select whole dictionaries). *)
+
+val insert : t -> (string * string * Value.t) list -> unit
+
+val snapshot : t -> (string * string * Value.t) list
+val restore : (string * string * Value.t) list -> t

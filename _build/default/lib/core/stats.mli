@@ -1,0 +1,71 @@
+(** Per-bee runtime metrics.
+
+    "Our runtime instrumentation system measures the resource consumption
+    of each bee along with the number of messages it exchanges with other
+    bees ... We also store provenance and causation data for messages"
+    (Section 3). Each bee owns one [Stats.t]; collectors snapshot a window
+    periodically and aggregate on one hive. *)
+
+type t
+
+type window = {
+  w_processed : int;
+  w_errors : int;
+  w_busy_us : int;
+  w_in_by_hive : (int * int) list;
+      (** (source hive, messages received from bees/endpoints there) *)
+  w_in_by_bee : (int * int) list;  (** (source bee, messages) *)
+  w_emitted : int;
+}
+
+val create : unit -> t
+
+(** {2 Recording (called by the platform)} *)
+
+val record_in : t -> src_hive:int option -> src_bee:int option -> kind:string -> unit
+val record_done : t -> busy:Beehive_sim.Simtime.t -> unit
+val record_error : t -> unit
+val record_out : t -> in_kind:string option -> out_kind:string -> unit
+
+val record_latency : t -> Beehive_sim.Simtime.t -> unit
+(** End-to-end delay between a message's emission and the start of its
+    processing (queueing + channel + lock RPCs). Kept as a logarithmic
+    histogram. *)
+
+(** {2 Cumulative views} *)
+
+val processed : t -> int
+val errors : t -> int
+val emitted : t -> int
+val busy_us : t -> int
+val in_by_kind : t -> (string * int) list
+val out_by_kind : t -> (string * int) list
+
+val provenance : t -> (string * string * int) list
+(** [(in_kind, out_kind, count)]: how many [out_kind] messages were
+    emitted while processing an [in_kind] message ("packet_out messages
+    are emitted by the learning switch upon receiving packet_in's"). *)
+
+val latency_histogram : t -> (int * int) list
+(** [(bucket_floor_us, count)]: power-of-two latency buckets, ascending.
+    A sample in bucket [b] had latency in [b, 2b) microseconds. *)
+
+val latency_percentile : t -> float -> int option
+(** [latency_percentile t 0.99] estimates the given percentile in
+    microseconds (upper edge of the containing bucket); [None] with no
+    samples. *)
+
+val merge_latency : into:t -> t -> unit
+(** Adds the source's latency histogram into [into] (cluster-wide
+    percentile computation). *)
+
+(** {2 Windows} *)
+
+val take_window : t -> window
+(** Returns counters accumulated since the previous [take_window] and
+    starts a fresh window. *)
+
+val window_total_in : window -> int
+val window_majority_hive : window -> (int * float) option
+(** The hive contributing the most inbound messages in the window and its
+    share of the total, if any messages arrived. *)

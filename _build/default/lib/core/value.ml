@@ -1,0 +1,48 @@
+type t = ..
+
+type t +=
+  | V_int of int
+  | V_float of float
+  | V_string of string
+  | V_bool of bool
+  | V_pair of t * t
+  | V_list of t list
+
+let default_size = 64
+let size_hooks : (t -> int option) list ref = ref []
+let pp_hooks : (Format.formatter -> t -> bool) list ref = ref []
+let register_size f = size_hooks := f :: !size_hooks
+let register_pp f = pp_hooks := f :: !pp_hooks
+
+let rec size v =
+  match v with
+  | V_int _ -> 8
+  | V_float _ -> 8
+  | V_bool _ -> 1
+  | V_string s -> 4 + String.length s
+  | V_pair (a, b) -> size a + size b
+  | V_list l -> List.fold_left (fun acc x -> acc + size x) 4 l
+  | _ ->
+    let rec try_hooks = function
+      | [] -> default_size
+      | h :: rest -> ( match h v with Some n -> n | None -> try_hooks rest)
+    in
+    try_hooks !size_hooks
+
+let rec pp fmt v =
+  match v with
+  | V_int n -> Format.pp_print_int fmt n
+  | V_float f -> Format.fprintf fmt "%g" f
+  | V_bool b -> Format.pp_print_bool fmt b
+  | V_string s -> Format.fprintf fmt "%S" s
+  | V_pair (a, b) -> Format.fprintf fmt "(%a, %a)" pp a pp b
+  | V_list l ->
+    Format.fprintf fmt "[%a]"
+      (Format.pp_print_list ~pp_sep:(fun f () -> Format.pp_print_string f "; ") pp)
+      l
+  | _ ->
+    let rec try_hooks = function
+      | [] -> Format.pp_print_string fmt "<abstract>"
+      | h :: rest -> if not (h fmt v) then try_hooks rest
+    in
+    try_hooks !pp_hooks

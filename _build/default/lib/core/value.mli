@@ -1,0 +1,31 @@
+(** Dictionary values.
+
+    State dictionaries store extensible values so each application can keep
+    its own record types. A size estimator (needed for migration-cost and
+    replication byte accounting) can be registered per constructor family;
+    the built-in scalar constructors have exact-ish sizes. *)
+
+type t = ..
+
+type t +=
+  | V_int of int
+  | V_float of float
+  | V_string of string
+  | V_bool of bool
+  | V_pair of t * t
+  | V_list of t list
+
+val size : t -> int
+(** Serialized size estimate in bytes. Unknown constructors fall back to
+    {!default_size} unless an estimator claims them. *)
+
+val default_size : int
+
+val register_size : (t -> int option) -> unit
+(** Adds an estimator consulted (most recent first) before the default. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints scalars; unknown constructors print as ["<abstract>"].
+    Extensible via {!register_pp}. *)
+
+val register_pp : (Format.formatter -> t -> bool) -> unit

@@ -1,0 +1,1 @@
+lib/harness/fig4.ml: Array Beehive_apps Beehive_core Beehive_net Beehive_openflow Beehive_sim Float Format List Option Printf Scenario String Summary

@@ -1,0 +1,1 @@
+lib/harness/fig4.mli: Beehive_core Beehive_net Format Scenario Summary

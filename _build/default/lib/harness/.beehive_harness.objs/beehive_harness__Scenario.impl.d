@@ -1,0 +1,1 @@
+lib/harness/scenario.ml: Array Beehive_apps Beehive_core Beehive_net Beehive_openflow Beehive_sim List String

@@ -1,0 +1,1 @@
+lib/harness/scenario.mli: Beehive_core Beehive_net Beehive_openflow Beehive_sim

@@ -1,0 +1,1 @@
+lib/harness/summary.ml: Array Beehive_core Beehive_net Format List Option Scenario

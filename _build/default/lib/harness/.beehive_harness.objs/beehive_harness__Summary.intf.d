@@ -1,0 +1,1 @@
+lib/harness/summary.mli: Beehive_core Beehive_net Format Scenario

@@ -1,0 +1,1 @@
+lib/locksvc/lock_service.ml: Beehive_sim Hashtbl List String

@@ -1,0 +1,1 @@
+lib/locksvc/lock_service.mli: Beehive_sim

@@ -1,0 +1,1 @@
+lib/net/channels.ml: Beehive_sim Hashtbl Series Traffic_matrix

@@ -1,0 +1,1 @@
+lib/net/channels.mli: Beehive_sim Series Traffic_matrix

@@ -1,0 +1,1 @@
+lib/net/flow.ml: Array Beehive_sim Topology

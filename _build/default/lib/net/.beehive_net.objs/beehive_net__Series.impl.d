@@ -1,0 +1,1 @@
+lib/net/series.ml: Array Beehive_sim Format Stdlib String

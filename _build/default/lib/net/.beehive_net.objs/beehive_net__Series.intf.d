@@ -1,0 +1,1 @@
+lib/net/series.mli: Beehive_sim Format

@@ -1,0 +1,1 @@
+lib/net/topology.ml: Array Format Int Int64 List Queue

@@ -1,0 +1,1 @@
+lib/net/traffic_matrix.ml: Array Char Format Stdlib

@@ -1,0 +1,89 @@
+module Simtime = Beehive_sim.Simtime
+
+type endpoint =
+  | Hive of int
+  | Switch of int
+
+type config = {
+  local_latency : Simtime.t;
+  hive_latency : Simtime.t;
+  switch_latency : Simtime.t;
+  bytes_per_us : float;
+  bucket : Simtime.t;
+}
+
+let default_config =
+  {
+    local_latency = Simtime.of_us 5;
+    hive_latency = Simtime.of_us 200;
+    switch_latency = Simtime.of_us 100;
+    bytes_per_us = 100.0;
+    bucket = Simtime.of_sec 1.0;
+  }
+
+type t = {
+  n : int;
+  cfg : config;
+  masters : (int, int) Hashtbl.t;
+  matrix : Traffic_matrix.t;
+  mutable series : Series.t;
+  mutable sw_bytes : float;
+}
+
+let create ~n_hives cfg =
+  if n_hives <= 0 then invalid_arg "Channels.create: need at least one hive";
+  {
+    n = n_hives;
+    cfg;
+    masters = Hashtbl.create 64;
+    matrix = Traffic_matrix.create n_hives;
+    series = Series.create ~bucket:cfg.bucket;
+    sw_bytes = 0.0;
+  }
+
+let n_hives t = t.n
+
+let master_of t sw =
+  match Hashtbl.find_opt t.masters sw with Some h -> h | None -> 0
+
+let assign_switch t ~switch ~hive =
+  if hive < 0 || hive >= t.n then invalid_arg "Channels.assign_switch: bad hive";
+  Hashtbl.replace t.masters switch hive
+
+let ser_delay t bytes =
+  Simtime.of_us (int_of_float (float_of_int bytes /. t.cfg.bytes_per_us))
+
+let hive_of t = function
+  | Hive h -> h
+  | Switch s -> master_of t s
+
+let transfer t ~src ~dst ~bytes ~now =
+  let sh = hive_of t src and dh = hive_of t dst in
+  let crosses_switch_link =
+    match (src, dst) with Switch _, _ | _, Switch _ -> true | Hive _, Hive _ -> false
+  in
+  if crosses_switch_link then t.sw_bytes <- t.sw_bytes +. float_of_int bytes;
+  if sh = dh then
+    if crosses_switch_link then Simtime.add t.cfg.switch_latency (ser_delay t bytes)
+    else begin
+      (* Intra-hive bee-to-bee message: diagonal of the traffic matrix,
+         but not inter-hive channel bandwidth. *)
+      Traffic_matrix.add t.matrix ~src:sh ~dst:dh ~bytes;
+      t.cfg.local_latency
+    end
+  else begin
+    (* Remote: the message traverses an inter-hive channel. *)
+    Traffic_matrix.add t.matrix ~src:sh ~dst:dh ~bytes;
+    Series.add t.series ~at:now (float_of_int bytes);
+    let base = if crosses_switch_link then Simtime.add t.cfg.switch_latency t.cfg.hive_latency else t.cfg.hive_latency in
+    Simtime.add base (ser_delay t bytes)
+  end
+
+let matrix t = t.matrix
+let bandwidth t = t.series
+let switch_bytes t = t.sw_bytes
+
+let reset_accounting t =
+  Traffic_matrix.reset t.matrix;
+  t.series <- Series.create ~bucket:t.cfg.bucket;
+  t.sw_bytes <- 0.0

@@ -1,0 +1,62 @@
+(** Control-channel fabric.
+
+    Models every control-plane byte in flight: hive-to-hive links (the
+    inter-controller channels whose consumption Figure 4(d-f) plots) and
+    switch-to-hive links (OpenFlow connections). The fabric both computes
+    delivery latency and accounts traffic into a {!Traffic_matrix} and a
+    bandwidth {!Series}. *)
+
+type endpoint =
+  | Hive of int
+  | Switch of int
+
+type config = {
+  local_latency : Beehive_sim.Simtime.t;
+      (** delivery latency between bees on the same hive *)
+  hive_latency : Beehive_sim.Simtime.t;
+      (** one-way latency between two hives *)
+  switch_latency : Beehive_sim.Simtime.t;
+      (** one-way latency between a switch and its master hive *)
+  bytes_per_us : float;
+      (** serialization bandwidth: extra delay = bytes / bytes_per_us *)
+  bucket : Beehive_sim.Simtime.t;  (** bandwidth series bucket width *)
+}
+
+val default_config : config
+(** 5 us local, 200 us hive-to-hive, 100 us switch links, 100 MB/s
+    serialization, 1 s buckets. *)
+
+type t
+
+val create : n_hives:int -> config -> t
+
+val n_hives : t -> int
+
+val master_of : t -> int -> int
+(** [master_of t sw] is the hive that owns switch [sw]'s OpenFlow
+    connection. Set by {!assign_switch}; defaults to hive 0. *)
+
+val assign_switch : t -> switch:int -> hive:int -> unit
+
+val transfer :
+  t -> src:endpoint -> dst:endpoint -> bytes:int -> now:Beehive_sim.Simtime.t ->
+  Beehive_sim.Simtime.t
+(** Accounts a message of [bytes] and returns its delivery latency.
+    Hive-to-hive traffic lands in the traffic matrix (same-hive bee
+    messages on the diagonal, as in the paper's Figure 4 panels); only
+    cross-hive traffic consumes the control channel and enters the
+    bandwidth series. A switch endpoint is attributed to its master
+    hive. *)
+
+val matrix : t -> Traffic_matrix.t
+(** The inter-hive traffic matrix accumulated so far. *)
+
+val bandwidth : t -> Series.t
+(** Inter-hive bytes per bucket (plot as KB/s). *)
+
+val switch_bytes : t -> float
+(** Total bytes on switch-to-master links (not part of the inter-hive
+    matrix, reported separately). *)
+
+val reset_accounting : t -> unit
+(** Clears matrix and series (e.g. after a warm-up window). *)

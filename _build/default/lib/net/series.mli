@@ -1,0 +1,26 @@
+(** Time-bucketed scalar series.
+
+    Accumulates values (e.g. bytes sent) into fixed-width time buckets;
+    used for the bandwidth-over-time panels of Figure 4(d-f). *)
+
+type t
+
+val create : bucket:Beehive_sim.Simtime.t -> t
+(** [bucket] is the bucket width (the paper plots per-second KB/s). *)
+
+val add : t -> at:Beehive_sim.Simtime.t -> float -> unit
+
+val buckets : t -> (float * float) array
+(** [(bucket_start_seconds, sum)] for every bucket from 0 to the last
+    touched bucket, empty buckets included as 0. *)
+
+val rate_kbps : t -> (float * float) array
+(** Same buckets, value converted to kilobytes per second assuming the
+    accumulated values are bytes. *)
+
+val peak : t -> float
+val mean : t -> float
+val total : t -> float
+
+val render_sparkline : ?width:int -> Format.formatter -> t -> unit
+(** One-line unicode-free sparkline using ASCII levels [ .:-=+*#%@]. *)

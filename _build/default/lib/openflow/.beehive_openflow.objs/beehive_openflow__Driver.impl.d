@@ -1,0 +1,1 @@
+lib/openflow/driver.ml: Beehive_core Beehive_net Beehive_sim Flow_table List Wire

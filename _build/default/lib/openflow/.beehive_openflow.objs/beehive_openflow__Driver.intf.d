@@ -1,0 +1,1 @@
+lib/openflow/driver.mli: Beehive_core

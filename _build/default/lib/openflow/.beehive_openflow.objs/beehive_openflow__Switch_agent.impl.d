@@ -1,0 +1,1 @@
+lib/openflow/switch_agent.ml: Array Beehive_core Beehive_net Beehive_sim Flow_table Hashtbl Int Int64 List Wire

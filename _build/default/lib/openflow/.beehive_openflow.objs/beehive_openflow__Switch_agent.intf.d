@@ -1,0 +1,1 @@
+lib/openflow/switch_agent.mli: Beehive_core Beehive_net Beehive_sim Flow_table

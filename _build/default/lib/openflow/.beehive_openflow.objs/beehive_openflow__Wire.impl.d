@@ -1,0 +1,1 @@
+lib/openflow/wire.ml: Beehive_core Flow_table

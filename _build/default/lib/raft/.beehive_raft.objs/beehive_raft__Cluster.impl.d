@@ -1,0 +1,1 @@
+lib/raft/cluster.ml: Array Beehive_sim Fun List Raft

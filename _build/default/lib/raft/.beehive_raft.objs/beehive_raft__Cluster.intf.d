@@ -1,0 +1,1 @@
+lib/raft/cluster.mli: Beehive_sim Raft

@@ -1,0 +1,1 @@
+lib/raft/raft.ml: Array Beehive_sim Hashtbl List Option String

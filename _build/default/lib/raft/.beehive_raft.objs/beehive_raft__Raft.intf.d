@@ -1,0 +1,1 @@
+lib/raft/raft.mli: Beehive_sim

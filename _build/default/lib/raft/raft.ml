@@ -1,0 +1,408 @@
+module Engine = Beehive_sim.Engine
+module Simtime = Beehive_sim.Simtime
+module Rng = Beehive_sim.Rng
+
+type command = string
+
+type entry = {
+  e_term : int;
+  e_index : int;
+  e_command : command;
+}
+
+type rpc =
+  | Request_vote of {
+      rv_term : int;
+      rv_candidate : int;
+      rv_last_log_index : int;
+      rv_last_log_term : int;
+    }
+  | Vote of { v_term : int; v_voter : int; v_granted : bool }
+  | Append_entries of {
+      ae_term : int;
+      ae_leader : int;
+      ae_prev_index : int;
+      ae_prev_term : int;
+      ae_entries : entry list;
+      ae_commit : int;
+    }
+  | Append_reply of {
+      ar_term : int;
+      ar_follower : int;
+      ar_success : bool;
+      ar_match : int;
+    }
+
+let rpc_size = function
+  | Request_vote _ -> 32
+  | Vote _ -> 24
+  | Append_entries { ae_entries; _ } ->
+    40 + List.fold_left (fun a e -> a + 16 + String.length e.e_command) 0 ae_entries
+  | Append_reply _ -> 28
+
+type config = {
+  election_timeout_min : Simtime.t;
+  election_timeout_max : Simtime.t;
+  heartbeat_every : Simtime.t;
+}
+
+let default_config =
+  {
+    election_timeout_min = Simtime.of_ms 150;
+    election_timeout_max = Simtime.of_ms 300;
+    heartbeat_every = Simtime.of_ms 50;
+  }
+
+type role =
+  | Follower
+  | Candidate
+  | Leader
+
+type t = {
+  engine : Engine.t;
+  node_id : int;
+  peers : int list;
+  cfg : config;
+  send : dst:int -> rpc -> unit;
+  apply_fn : entry -> unit;
+  rng : Rng.t;
+  (* persistent state (survives crash/restart) *)
+  mutable term : int;
+  mutable voted_for : int option;
+  mutable log : entry array;  (* log.(i) has e_index = i + 1 *)
+  mutable log_len : int;
+  (* volatile *)
+  mutable node_role : role;
+  mutable commit : int;
+  mutable applied : int;
+  mutable up : bool;
+  mutable votes : int list;  (* voters granted this candidacy *)
+  mutable leader : int option;
+  (* leader volatile *)
+  next_index : (int, int) Hashtbl.t;
+  match_index : (int, int) Hashtbl.t;
+  (* timers *)
+  mutable election_timer : Engine.handle option;
+  mutable heartbeat_timer : Engine.handle option;
+}
+
+let create engine ~id ~peers ?(config = default_config) ~send ~apply () =
+  {
+    engine;
+    node_id = id;
+    peers;
+    cfg = config;
+    send;
+    apply_fn = apply;
+    rng = Rng.split (Engine.rng engine);
+    term = 0;
+    voted_for = None;
+    log = Array.make 64 { e_term = 0; e_index = 0; e_command = "" };
+    log_len = 0;
+    node_role = Follower;
+    commit = 0;
+    applied = 0;
+    up = false;
+    votes = [];
+    leader = None;
+    next_index = Hashtbl.create 8;
+    match_index = Hashtbl.create 8;
+    election_timer = None;
+    heartbeat_timer = None;
+  }
+
+let id t = t.node_id
+let role t = t.node_role
+let current_term t = t.term
+let commit_index t = t.commit
+let last_applied t = t.applied
+let last_log_index t = t.log_len
+let leader_hint t = t.leader
+let is_up t = t.up
+
+let log_entries t = Array.to_list (Array.sub t.log 0 t.log_len)
+
+let entry_at t i = if i >= 1 && i <= t.log_len then Some t.log.(i - 1) else None
+let term_at t i = match entry_at t i with Some e -> e.e_term | None -> 0
+
+let append_log t e =
+  if t.log_len = Array.length t.log then begin
+    let bigger = Array.make (2 * t.log_len) t.log.(0) in
+    Array.blit t.log 0 bigger 0 t.log_len;
+    t.log <- bigger
+  end;
+  t.log.(t.log_len) <- e;
+  t.log_len <- t.log_len + 1
+
+let truncate_log t len = t.log_len <- len
+
+let majority t = ((List.length t.peers + 1) / 2) + 1
+
+let cancel_timer t timer =
+  (match timer with Some h -> ignore (Engine.cancel t.engine h) | None -> ());
+  ()
+
+let apply_up_to t target =
+  while t.applied < target do
+    t.applied <- t.applied + 1;
+    match entry_at t t.applied with
+    | Some e -> t.apply_fn e
+    | None -> failwith "raft: applying past end of log"
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Role transitions                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let rec reset_election_timer t =
+  cancel_timer t t.election_timer;
+  let lo = Simtime.to_us t.cfg.election_timeout_min in
+  let hi = Simtime.to_us t.cfg.election_timeout_max in
+  let timeout = Simtime.of_us (lo + Rng.int t.rng (max 1 (hi - lo))) in
+  t.election_timer <-
+    Some (Engine.schedule_after t.engine timeout (fun () -> if t.up then start_election t))
+
+and become_follower t ~term =
+  if term > t.term then begin
+    t.term <- term;
+    t.voted_for <- None
+  end;
+  if t.node_role = Leader then begin
+    cancel_timer t t.heartbeat_timer;
+    t.heartbeat_timer <- None
+  end;
+  t.node_role <- Follower;
+  t.votes <- [];
+  reset_election_timer t
+
+and start_election t =
+  t.term <- t.term + 1;
+  t.node_role <- Candidate;
+  t.voted_for <- Some t.node_id;
+  t.votes <- [ t.node_id ];
+  t.leader <- None;
+  reset_election_timer t;
+  let last = t.log_len in
+  List.iter
+    (fun peer ->
+      t.send ~dst:peer
+        (Request_vote
+           {
+             rv_term = t.term;
+             rv_candidate = t.node_id;
+             rv_last_log_index = last;
+             rv_last_log_term = term_at t last;
+           }))
+    t.peers;
+  (* single-node cluster wins immediately *)
+  if List.length t.votes >= majority t then become_leader t
+
+and become_leader t =
+  t.node_role <- Leader;
+  t.leader <- Some t.node_id;
+  cancel_timer t t.election_timer;
+  t.election_timer <- None;
+  Hashtbl.reset t.next_index;
+  Hashtbl.reset t.match_index;
+  List.iter
+    (fun peer ->
+      Hashtbl.replace t.next_index peer (t.log_len + 1);
+      Hashtbl.replace t.match_index peer 0)
+    t.peers;
+  send_heartbeats t;
+  cancel_timer t t.heartbeat_timer;
+  t.heartbeat_timer <-
+    Some
+      (Engine.every t.engine t.cfg.heartbeat_every (fun () ->
+           if t.up && t.node_role = Leader then send_heartbeats t))
+
+and send_heartbeats t = List.iter (fun peer -> send_append t peer) t.peers
+
+and send_append t peer =
+  let next = Option.value ~default:(t.log_len + 1) (Hashtbl.find_opt t.next_index peer) in
+  let prev = next - 1 in
+  let entries = ref [] in
+  for i = t.log_len downto next do
+    entries := t.log.(i - 1) :: !entries
+  done;
+  t.send ~dst:peer
+    (Append_entries
+       {
+         ae_term = t.term;
+         ae_leader = t.node_id;
+         ae_prev_index = prev;
+         ae_prev_term = term_at t prev;
+         ae_entries = !entries;
+         ae_commit = t.commit;
+       })
+
+(* Leader: advance commit to the highest current-term index replicated on
+   a majority (Raft's commit restriction, figure 8 of the Raft paper). *)
+and advance_commit t =
+  if t.node_role = Leader then begin
+    let candidate = ref t.commit in
+    for n = t.commit + 1 to t.log_len do
+      if term_at t n = t.term then begin
+        let count =
+          1
+          + List.length
+              (List.filter
+                 (fun peer ->
+                   Option.value ~default:0 (Hashtbl.find_opt t.match_index peer) >= n)
+                 t.peers)
+        in
+        if count >= majority t then candidate := n
+      end
+    done;
+    if !candidate > t.commit then begin
+      t.commit <- !candidate;
+      apply_up_to t t.commit
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* RPC handling                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let handle_request_vote t ~rv_term ~rv_candidate ~rv_last_log_index ~rv_last_log_term =
+  if rv_term > t.term then become_follower t ~term:rv_term;
+  let up_to_date =
+    let my_last_term = term_at t t.log_len in
+    rv_last_log_term > my_last_term
+    || (rv_last_log_term = my_last_term && rv_last_log_index >= t.log_len)
+  in
+  let grant =
+    rv_term = t.term
+    && up_to_date
+    && (match t.voted_for with None -> true | Some c -> c = rv_candidate)
+  in
+  if grant then begin
+    t.voted_for <- Some rv_candidate;
+    reset_election_timer t
+  end;
+  t.send ~dst:rv_candidate (Vote { v_term = t.term; v_voter = t.node_id; v_granted = grant })
+
+let handle_vote t ~v_term ~v_voter ~v_granted =
+  if v_term > t.term then become_follower t ~term:v_term
+  else if t.node_role = Candidate && v_term = t.term && v_granted then begin
+    if not (List.mem v_voter t.votes) then t.votes <- v_voter :: t.votes;
+    if List.length t.votes >= majority t then become_leader t
+  end
+
+let handle_append_entries t ~ae_term ~ae_leader ~ae_prev_index ~ae_prev_term ~ae_entries
+    ~ae_commit =
+  if ae_term > t.term || (ae_term = t.term && t.node_role = Candidate) then
+    become_follower t ~term:ae_term;
+  if ae_term < t.term then
+    t.send ~dst:ae_leader
+      (Append_reply
+         { ar_term = t.term; ar_follower = t.node_id; ar_success = false; ar_match = 0 })
+  else begin
+    t.leader <- Some ae_leader;
+    reset_election_timer t;
+    let consistent =
+      ae_prev_index = 0
+      || (ae_prev_index <= t.log_len && term_at t ae_prev_index = ae_prev_term)
+    in
+    if not consistent then
+      t.send ~dst:ae_leader
+        (Append_reply
+           { ar_term = t.term; ar_follower = t.node_id; ar_success = false; ar_match = 0 })
+    else begin
+      (* Append, truncating on conflict. *)
+      List.iter
+        (fun (e : entry) ->
+          match entry_at t e.e_index with
+          | Some existing when existing.e_term = e.e_term -> ()
+          | Some _ ->
+            truncate_log t (e.e_index - 1);
+            append_log t e
+          | None ->
+            if e.e_index = t.log_len + 1 then append_log t e
+            else failwith "raft: gap in append")
+        ae_entries;
+      let match_idx =
+        match ae_entries with
+        | [] -> ae_prev_index
+        | _ -> (List.nth ae_entries (List.length ae_entries - 1)).e_index
+      in
+      if ae_commit > t.commit then begin
+        t.commit <- min ae_commit t.log_len;
+        apply_up_to t t.commit
+      end;
+      t.send ~dst:ae_leader
+        (Append_reply
+           { ar_term = t.term; ar_follower = t.node_id; ar_success = true; ar_match = match_idx })
+    end
+  end
+
+let handle_append_reply t ~ar_term ~ar_follower ~ar_success ~ar_match =
+  if ar_term > t.term then become_follower t ~term:ar_term
+  else if t.node_role = Leader && ar_term = t.term then
+    if ar_success then begin
+      Hashtbl.replace t.match_index ar_follower
+        (max ar_match (Option.value ~default:0 (Hashtbl.find_opt t.match_index ar_follower)));
+      Hashtbl.replace t.next_index ar_follower (ar_match + 1);
+      advance_commit t
+    end
+    else begin
+      (* Back off and retry immediately. *)
+      let next = Option.value ~default:2 (Hashtbl.find_opt t.next_index ar_follower) in
+      Hashtbl.replace t.next_index ar_follower (max 1 (next - 1));
+      send_append t ar_follower
+    end
+
+let receive t rpc =
+  if t.up then
+    match rpc with
+    | Request_vote { rv_term; rv_candidate; rv_last_log_index; rv_last_log_term } ->
+      handle_request_vote t ~rv_term ~rv_candidate ~rv_last_log_index ~rv_last_log_term
+    | Vote { v_term; v_voter; v_granted } -> handle_vote t ~v_term ~v_voter ~v_granted
+    | Append_entries { ae_term; ae_leader; ae_prev_index; ae_prev_term; ae_entries; ae_commit }
+      ->
+      handle_append_entries t ~ae_term ~ae_leader ~ae_prev_index ~ae_prev_term ~ae_entries
+        ~ae_commit
+    | Append_reply { ar_term; ar_follower; ar_success; ar_match } ->
+      handle_append_reply t ~ar_term ~ar_follower ~ar_success ~ar_match
+
+let start t =
+  if not t.up then begin
+    t.up <- true;
+    t.node_role <- Follower;
+    reset_election_timer t
+  end
+
+let propose t command =
+  if t.node_role <> Leader || not t.up then `Not_leader t.leader
+  else begin
+    let e = { e_term = t.term; e_index = t.log_len + 1; e_command = command } in
+    append_log t e;
+    send_heartbeats t;
+    (* A single-node cluster commits immediately. *)
+    advance_commit t;
+    (match t.peers with [] -> () | _ -> ());
+    `Proposed e.e_index
+  end
+
+let crash t =
+  if t.up then begin
+    t.up <- false;
+    cancel_timer t t.election_timer;
+    cancel_timer t t.heartbeat_timer;
+    t.election_timer <- None;
+    t.heartbeat_timer <- None;
+    t.node_role <- Follower;
+    t.votes <- [];
+    t.leader <- None;
+    (* Volatile state resets; term/vote/log persist. *)
+    t.commit <- 0;
+    t.applied <- 0
+  end
+
+let restart t =
+  if not t.up then begin
+    t.up <- true;
+    t.node_role <- Follower;
+    t.leader <- None;
+    reset_election_timer t
+  end

@@ -1,0 +1,110 @@
+(** Raft consensus over the discrete-event simulator.
+
+    The paper closes with "we are enforcing the foundations of our
+    framework specially for fault-tolerance"; the production Beehive
+    prototype replicates hive state through Raft. This is a complete,
+    deterministic Raft node — leader election with randomized timeouts,
+    log replication, commit-index advancement restricted to current-term
+    entries, and an at-most-once in-order apply channel — written against
+    an abstract transport so tests can drop, delay, and partition
+    messages freely.
+
+    One {!t} is one node. The caller owns the transport: {!create} takes
+    a [send] function, and delivers inbound RPCs with {!receive}. See
+    {!Cluster} for a ready-made in-simulator wiring. *)
+
+type command = string
+(** State-machine commands are opaque strings (callers encode). *)
+
+type entry = {
+  e_term : int;
+  e_index : int;  (** 1-based *)
+  e_command : command;
+}
+
+type rpc =
+  | Request_vote of {
+      rv_term : int;
+      rv_candidate : int;
+      rv_last_log_index : int;
+      rv_last_log_term : int;
+    }
+  | Vote of { v_term : int; v_voter : int; v_granted : bool }
+  | Append_entries of {
+      ae_term : int;
+      ae_leader : int;
+      ae_prev_index : int;
+      ae_prev_term : int;
+      ae_entries : entry list;
+      ae_commit : int;
+    }
+  | Append_reply of {
+      ar_term : int;
+      ar_follower : int;
+      ar_success : bool;
+      ar_match : int;  (** highest replicated index on success *)
+    }
+
+val rpc_size : rpc -> int
+(** Wire-size estimate in bytes (for control-channel accounting). *)
+
+type config = {
+  election_timeout_min : Beehive_sim.Simtime.t;  (** default 150 ms *)
+  election_timeout_max : Beehive_sim.Simtime.t;  (** default 300 ms *)
+  heartbeat_every : Beehive_sim.Simtime.t;  (** default 50 ms *)
+}
+
+val default_config : config
+
+type role =
+  | Follower
+  | Candidate
+  | Leader
+
+type t
+
+val create :
+  Beehive_sim.Engine.t ->
+  id:int ->
+  peers:int list ->
+  ?config:config ->
+  send:(dst:int -> rpc -> unit) ->
+  apply:(entry -> unit) ->
+  unit ->
+  t
+(** [peers] excludes [id]. [apply] is called exactly once per committed
+    entry, in index order, while the node is up. *)
+
+val start : t -> unit
+(** Arms the election timer (all nodes start as followers). *)
+
+val receive : t -> rpc -> unit
+(** Delivers an inbound RPC. Ignored while crashed. *)
+
+val propose : t -> command -> [ `Proposed of int | `Not_leader of int option ]
+(** Submit a command. On the leader, returns the entry's log index;
+    otherwise returns a hint of the current leader if known. *)
+
+(** {2 Introspection} *)
+
+val id : t -> int
+val role : t -> role
+val current_term : t -> int
+val commit_index : t -> int
+val last_applied : t -> int
+val last_log_index : t -> int
+val leader_hint : t -> int option
+val is_up : t -> bool
+val log_entries : t -> entry list
+(** The full log (tests only). *)
+
+(** {2 Failures} *)
+
+val crash : t -> unit
+(** Stops the node: timers cancelled, inbound RPCs dropped. Persistent
+    state (term, vote, log) survives, as on stable storage. *)
+
+val restart : t -> unit
+(** Recovers a crashed node as a follower; committed entries are
+    re-applied to the state machine from index 1 (simulating state-machine
+    reconstruction from the persisted log). *)

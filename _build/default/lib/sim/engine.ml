@@ -1,0 +1,74 @@
+type handle =
+  | Once of Event_queue.handle
+  | Periodic of periodic
+
+and periodic = {
+  mutable current : Event_queue.handle option;
+  mutable stopped : bool;
+}
+
+type t = {
+  queue : (unit -> unit) Event_queue.t;
+  mutable clock : Simtime.t;
+  root_rng : Rng.t;
+}
+
+let create ?(seed = 42) () =
+  { queue = Event_queue.create (); clock = Simtime.zero; root_rng = Rng.create seed }
+
+let now t = t.clock
+let rng t = t.root_rng
+
+let schedule_at t at f =
+  if Simtime.(at < t.clock) then invalid_arg "Engine.schedule_at: in the past";
+  Once (Event_queue.push t.queue at f)
+
+let schedule_after t d f = schedule_at t (Simtime.add t.clock d) f
+
+let cancel t = function
+  | Once h -> Event_queue.cancel t.queue h
+  | Periodic p ->
+    if p.stopped then false
+    else begin
+      p.stopped <- true;
+      (match p.current with
+       | Some h -> ignore (Event_queue.cancel t.queue h)
+       | None -> ());
+      true
+    end
+
+let every t ?start period f =
+  if Simtime.(period <= Simtime.zero) then invalid_arg "Engine.every: period must be positive";
+  let start = match start with Some s -> s | None -> Simtime.add t.clock period in
+  let p = { current = None; stopped = false } in
+  let rec fire at () =
+    p.current <- None;
+    if not p.stopped then begin
+      f ();
+      if not p.stopped then
+        let next = Simtime.add at period in
+        p.current <- Some (Event_queue.push t.queue next (fire next))
+    end
+  in
+  p.current <- Some (Event_queue.push t.queue start (fire start));
+  Periodic p
+
+let step t =
+  match Event_queue.pop t.queue with
+  | None -> false
+  | Some (at, f) ->
+    t.clock <- at;
+    f ();
+    true
+
+let run_until t horizon =
+  let continue = ref true in
+  while !continue do
+    match Event_queue.peek_time t.queue with
+    | Some at when Simtime.(at <= horizon) -> ignore (step t)
+    | Some _ | None -> continue := false
+  done;
+  t.clock <- Simtime.max t.clock horizon
+
+let run t = while step t do () done
+let pending t = Event_queue.length t.queue

@@ -1,0 +1,44 @@
+(** Discrete-event simulation engine.
+
+    The engine owns the virtual clock and an event queue of thunks. All
+    platform concurrency (bee mailbox processing, channel delivery, lock
+    RPCs, timers) is expressed as events scheduled here, so a run is a
+    single deterministic sequence of callbacks. *)
+
+type t
+
+type handle
+(** A scheduled event, for cancellation. *)
+
+val create : ?seed:int -> unit -> t
+(** Fresh engine with clock at {!Simtime.zero}. [seed] (default 42) seeds
+    the root RNG from which components {!Rng.split} their own streams. *)
+
+val now : t -> Simtime.t
+val rng : t -> Rng.t
+
+val schedule_at : t -> Simtime.t -> (unit -> unit) -> handle
+(** [schedule_at t at f] runs [f] when the clock reaches [at]. Scheduling
+    in the past raises [Invalid_argument]. *)
+
+val schedule_after : t -> Simtime.t -> (unit -> unit) -> handle
+(** [schedule_after t d f] = [schedule_at t (now t + d)]. *)
+
+val cancel : t -> handle -> bool
+
+val every : t -> ?start:Simtime.t -> Simtime.t -> (unit -> unit) -> handle
+(** [every t ~start period f] runs [f] at [start], [start+period], ... until
+    cancelled. [start] defaults to [now t + period]. The returned handle
+    cancels the whole series. *)
+
+val run_until : t -> Simtime.t -> unit
+(** Executes events in order until the queue is exhausted or the next event
+    is strictly after the horizon; leaves the clock at the horizon. *)
+
+val run : t -> unit
+(** Executes all events until the queue is empty. *)
+
+val step : t -> bool
+(** Executes the single earliest event. Returns [false] if none is left. *)
+
+val pending : t -> int

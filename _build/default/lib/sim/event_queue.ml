@@ -1,0 +1,105 @@
+type 'a entry = {
+  at : Simtime.t;
+  seq : int;
+  value : 'a;
+  mutable cancelled : bool;
+}
+
+type handle = H : 'a entry -> handle
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+  mutable live : int;
+}
+
+let create () = { heap = [||]; size = 0; next_seq = 0; live = 0 }
+let is_empty t = t.live = 0
+let length t = t.live
+
+let entry_lt a b =
+  match Simtime.compare a.at b.at with
+  | 0 -> a.seq < b.seq
+  | c -> c < 0
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if entry_lt t.heap.(i) t.heap.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && entry_lt t.heap.(l) t.heap.(!smallest) then smallest := l;
+  if r < t.size && entry_lt t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let grow t e =
+  let cap = Array.length t.heap in
+  if t.size = cap then begin
+    let ncap = if cap = 0 then 16 else 2 * cap in
+    let nheap = Array.make ncap e in
+    Array.blit t.heap 0 nheap 0 t.size;
+    t.heap <- nheap
+  end
+
+let push t at value =
+  let e = { at; seq = t.next_seq; value; cancelled = false } in
+  t.next_seq <- t.next_seq + 1;
+  grow t e;
+  t.heap.(t.size) <- e;
+  t.size <- t.size + 1;
+  t.live <- t.live + 1;
+  sift_up t (t.size - 1);
+  H e
+
+let cancel t (H e) =
+  if e.cancelled then false
+  else begin
+    e.cancelled <- true;
+    t.live <- t.live - 1;
+    true
+  end
+
+let pop_min t =
+  if t.size = 0 then None
+  else begin
+    let e = t.heap.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.heap.(0) <- t.heap.(t.size);
+      sift_down t 0
+    end;
+    Some e
+  end
+
+let rec drop_cancelled t =
+  if t.size > 0 && t.heap.(0).cancelled then begin
+    ignore (pop_min t);
+    drop_cancelled t
+  end
+
+let peek_time t =
+  drop_cancelled t;
+  if t.size = 0 then None else Some t.heap.(0).at
+
+let rec pop t =
+  match pop_min t with
+  | None -> None
+  | Some e when e.cancelled -> pop t
+  | Some e ->
+    t.live <- t.live - 1;
+    Some (e.at, e.value)

@@ -1,0 +1,29 @@
+(** Priority queue of timed events.
+
+    A binary min-heap keyed by [(time, sequence)]. The sequence number
+    breaks ties so that events scheduled for the same instant fire in
+    insertion order, keeping the simulation deterministic. *)
+
+type 'a t
+
+type handle
+(** Identifies a scheduled event so it can be cancelled. *)
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+
+val length : 'a t -> int
+(** Number of live (non-cancelled) events. *)
+
+val push : 'a t -> Simtime.t -> 'a -> handle
+(** [push q at x] schedules [x] at time [at]. *)
+
+val cancel : 'a t -> handle -> bool
+(** [cancel q h] removes the event, returning [false] if it already fired
+    or was already cancelled. Cancellation is O(1) (lazy deletion). *)
+
+val peek_time : 'a t -> Simtime.t option
+(** Time of the earliest live event, if any. *)
+
+val pop : 'a t -> (Simtime.t * 'a) option
+(** Removes and returns the earliest live event. *)

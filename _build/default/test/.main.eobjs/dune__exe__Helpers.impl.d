@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Beehive_core Beehive_net Beehive_sim List Printf String

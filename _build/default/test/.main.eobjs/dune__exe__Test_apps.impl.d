@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Beehive_apps Beehive_core Beehive_net Beehive_openflow Beehive_sim Int List

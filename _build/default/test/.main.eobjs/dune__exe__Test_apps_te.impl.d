@@ -1,0 +1,1 @@
+test/test_apps_te.ml: Alcotest Beehive_apps Beehive_core Beehive_harness Beehive_openflow Beehive_sim Fun Hashtbl Int List Option Printf String

@@ -1,0 +1,1 @@
+test/test_cell_registry.ml: Alcotest Beehive_core Gen List QCheck QCheck_alcotest

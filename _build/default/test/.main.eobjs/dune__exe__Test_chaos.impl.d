@@ -1,0 +1,1 @@
+test/test_chaos.ml: App Beehive_core Beehive_net Cell Channels Engine Gen Hashtbl Helpers List Option Platform Printf QCheck QCheck_alcotest Simtime

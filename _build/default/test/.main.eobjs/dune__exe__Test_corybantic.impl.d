@@ -1,0 +1,1 @@
+test/test_corybantic.ml: Alcotest Beehive_apps Beehive_core Beehive_net Beehive_sim List Printf String

@@ -1,0 +1,1 @@
+test/test_ensemble.ml: Alcotest Array Beehive_apps Beehive_core Beehive_net Beehive_openflow Beehive_sim Int List Option Printf String

@@ -1,0 +1,1 @@
+test/test_feedback.ml: Alcotest App Beehive_core Channels Context Helpers List Mapping Platform Printf

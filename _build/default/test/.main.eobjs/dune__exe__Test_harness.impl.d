@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Array Beehive_core Beehive_harness Beehive_net Beehive_openflow Beehive_sim Buffer Format List

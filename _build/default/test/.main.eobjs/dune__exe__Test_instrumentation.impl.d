@@ -1,0 +1,1 @@
+test/test_instrumentation.ml: Alcotest Beehive_core Engine Helpers List Option Platform Printf Simtime

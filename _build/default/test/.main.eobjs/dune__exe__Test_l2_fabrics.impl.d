@@ -1,0 +1,1 @@
+test/test_l2_fabrics.ml: Alcotest Beehive_apps Beehive_core Beehive_net Beehive_sim Int Int64 List Option Printf

@@ -1,0 +1,1 @@
+test/test_link_failure.ml: Alcotest Beehive_apps Beehive_core Beehive_net Beehive_openflow Beehive_sim List Option

@@ -1,0 +1,1 @@
+test/test_locksvc.ml: Alcotest Array Beehive_locksvc Beehive_sim Hashtbl List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Beehive_core Beehive_net Beehive_sim Format List String

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Array Beehive_net Beehive_sim Int List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_openflow.ml: Alcotest Array Beehive_core Beehive_net Beehive_openflow Beehive_sim List Option Printf

@@ -1,0 +1,1 @@
+test/test_platform.ml: Alcotest App Array Beehive_core Beehive_net Cell Channels Context Engine Fun Gen Helpers Int List Mapping Message Option Platform Printf QCheck QCheck_alcotest String Value

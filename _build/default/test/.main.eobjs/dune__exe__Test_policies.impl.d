@@ -1,0 +1,1 @@
+test/test_policies.ml: Alcotest Beehive_apps Beehive_core Beehive_harness Beehive_net Channels Engine Helpers Int List Option Platform Printf Simtime String Value

@@ -1,0 +1,1 @@
+test/test_raft.ml: Alcotest Array Beehive_raft Beehive_sim Fun Gen Hashtbl List Option Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_raft_replication.ml: Alcotest App Beehive_core Beehive_net Channels Engine Helpers List Option Platform Simtime Value

@@ -1,0 +1,1 @@
+test/test_routing.ml: Alcotest Beehive_apps Beehive_core Beehive_net Beehive_sim Int Int32 List QCheck QCheck_alcotest String

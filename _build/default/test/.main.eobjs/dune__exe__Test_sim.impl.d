@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Beehive_sim Fun List Option QCheck QCheck_alcotest

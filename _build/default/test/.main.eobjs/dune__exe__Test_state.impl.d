@@ -1,0 +1,1 @@
+test/test_state.ml: Alcotest Beehive_core Hashtbl List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest App Beehive_core Buffer Channels Context Engine Format Helpers List Mapping Platform String

@@ -1,0 +1,77 @@
+(* Shared test utilities: mini-platform builders and payloads. *)
+
+module Engine = Beehive_sim.Engine
+module Simtime = Beehive_sim.Simtime
+module Channels = Beehive_net.Channels
+module Platform = Beehive_core.Platform
+module App = Beehive_core.App
+module Mapping = Beehive_core.Mapping
+module Context = Beehive_core.Context
+module Message = Beehive_core.Message
+module Value = Beehive_core.Value
+module Cell = Beehive_core.Cell
+
+type Message.payload +=
+  | Put of { p_key : string; p_value : int }
+  | Get_all
+  | Noop of int
+
+let k_put = "test.put"
+let k_get_all = "test.get_all"
+let k_noop = "test.noop"
+
+(* A key-sharded counter app: each [Put] maps to the cell of its key; a
+   [Get_all] handler optionally maps the whole dictionary (the
+   centralizing pattern). *)
+let kv_app ?(name = "test.kv") ?(with_whole_dict_reader = false) () =
+  let on_put =
+    App.handler ~kind:k_put
+      ~map:(fun msg ->
+        match msg.Message.payload with
+        | Put { p_key; _ } -> Mapping.with_key "store" p_key
+        | _ -> Mapping.Drop)
+      (fun ctx msg ->
+        match msg.Message.payload with
+        | Put { p_key; p_value } ->
+          Context.update ctx ~dict:"store" ~key:p_key (function
+            | Some (Value.V_int n) -> Some (Value.V_int (n + p_value))
+            | _ -> Some (Value.V_int p_value))
+        | _ -> ())
+  in
+  let on_get_all =
+    App.handler ~kind:k_get_all
+      ~map:(fun _ -> Mapping.whole_dict "store")
+      (fun ctx _ ->
+        let n = ref 0 in
+        Context.iter_dict ctx ~dict:"store" (fun _ _ -> incr n);
+        Context.set ctx ~dict:"store" ~key:"__total" (Value.V_int !n))
+  in
+  App.create ~name ~dicts:[ "store" ]
+    (if with_whole_dict_reader then [ on_put; on_get_all ] else [ on_put ])
+
+let make_platform ?(n_hives = 4) ?(replication = false) ?(apps = []) () =
+  let engine = Engine.create () in
+  let cfg = { (Platform.default_config ~n_hives) with Platform.replication } in
+  let platform = Platform.create engine cfg in
+  List.iter (Platform.register_app platform) apps;
+  Platform.start platform;
+  (engine, platform)
+
+let drain engine = Engine.run_until engine (Simtime.add (Engine.now engine) (Simtime.of_sec 1.0))
+
+let put platform ~from ~key ~value =
+  Platform.inject platform ~from:(Channels.Hive from) ~kind:k_put
+    (Put { p_key = key; p_value = value })
+
+let owner_exn platform ~app key =
+  match Platform.find_owner platform ~app (Cell.cell "store" key) with
+  | Some b -> b
+  | None -> Alcotest.fail (Printf.sprintf "no owner for key %s" key)
+
+let store_value platform ~bee ~key =
+  List.find_map
+    (fun (dict, k, v) ->
+      if String.equal dict "store" && String.equal k key then
+        match v with Value.V_int n -> Some n | _ -> None
+      else None)
+    (Platform.bee_state_entries platform bee)

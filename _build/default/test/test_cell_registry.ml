@@ -1,0 +1,146 @@
+(* Cells (wildcard intersection) and the ownership registry. *)
+
+module Cell = Beehive_core.Cell
+module Registry = Beehive_core.Registry
+
+let c = Cell.cell
+let w = Cell.whole
+
+let test_cell_intersects () =
+  Alcotest.(check bool) "equal cells" true (Cell.intersects (c "d" "k") (c "d" "k"));
+  Alcotest.(check bool) "different keys" false (Cell.intersects (c "d" "k1") (c "d" "k2"));
+  Alcotest.(check bool) "different dicts" false (Cell.intersects (c "d1" "k") (c "d2" "k"));
+  Alcotest.(check bool) "wildcard hits any key" true (Cell.intersects (w "d") (c "d" "k"));
+  Alcotest.(check bool) "wildcard other dict" false (Cell.intersects (w "d1") (c "d2" "k"));
+  Alcotest.(check bool) "two wildcards same dict" true (Cell.intersects (w "d") (w "d"))
+
+let test_cell_set_intersects () =
+  let s1 = Cell.Set.of_list [ c "d" "a"; c "d" "b" ] in
+  let s2 = Cell.Set.of_list [ c "d" "b"; c "d" "c" ] in
+  let s3 = Cell.Set.of_list [ c "d" "x" ] in
+  let sw = Cell.Set.of_list [ w "d" ] in
+  Alcotest.(check bool) "share b" true (Cell.Set.intersects s1 s2);
+  Alcotest.(check bool) "disjoint" false (Cell.Set.intersects s1 s3);
+  Alcotest.(check bool) "wildcard left" true (Cell.Set.intersects sw s3);
+  Alcotest.(check bool) "wildcard right" true (Cell.Set.intersects s3 sw);
+  Alcotest.(check bool) "empty" false (Cell.Set.intersects Cell.Set.empty s1)
+
+let prop_wildcard_absorbs =
+  QCheck.Test.make ~name:"wildcard set intersects any non-empty same-dict set" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 8) (string_of_size Gen.(1 -- 4)))
+    (fun keys ->
+      let s = Cell.Set.of_keys "d" keys in
+      Cell.Set.intersects (Cell.Set.singleton (w "d")) s)
+
+let test_register_and_owners () =
+  let r = Registry.create () in
+  let _b0 = Registry.register_bee r ~bee_id:0 ~app:"a" ~hive:0 in
+  let _b1 = Registry.register_bee r ~bee_id:1 ~app:"a" ~hive:1 in
+  Registry.assign r ~bee:0 (Cell.Set.of_list [ c "d" "x" ]);
+  Registry.assign r ~bee:1 (Cell.Set.of_list [ c "d" "y" ]);
+  Alcotest.(check (list int)) "exact owner" [ 0 ]
+    (Registry.owners r ~app:"a" (Cell.Set.singleton (c "d" "x")));
+  Alcotest.(check (list int)) "wildcard finds all" [ 0; 1 ]
+    (Registry.owners r ~app:"a" (Cell.Set.singleton (w "d")));
+  Alcotest.(check (list int)) "unknown key" []
+    (Registry.owners r ~app:"a" (Cell.Set.singleton (c "d" "z")));
+  Alcotest.(check (list int)) "other app blind" []
+    (Registry.owners r ~app:"b" (Cell.Set.singleton (c "d" "x")))
+
+let test_wildcard_owner_catches_new_keys () =
+  let r = Registry.create () in
+  ignore (Registry.register_bee r ~bee_id:0 ~app:"a" ~hive:0);
+  Registry.assign r ~bee:0 (Cell.Set.singleton (w "d"));
+  Alcotest.(check (list int)) "any key maps to wildcard owner" [ 0 ]
+    (Registry.owners r ~app:"a" (Cell.Set.singleton (c "d" "brand-new")))
+
+let test_assign_conflict_rejected () =
+  let r = Registry.create () in
+  ignore (Registry.register_bee r ~bee_id:0 ~app:"a" ~hive:0);
+  ignore (Registry.register_bee r ~bee_id:1 ~app:"a" ~hive:1);
+  Registry.assign r ~bee:0 (Cell.Set.singleton (c "d" "x"));
+  (try
+     Registry.assign r ~bee:1 (Cell.Set.singleton (c "d" "x"));
+     Alcotest.fail "conflicting assign must raise"
+   with Invalid_argument _ -> ());
+  (try
+     Registry.assign r ~bee:1 (Cell.Set.singleton (w "d"));
+     Alcotest.fail "wildcard conflicting assign must raise"
+   with Invalid_argument _ -> ());
+  Registry.check_invariant r
+
+let test_reassign_merge () =
+  let r = Registry.create () in
+  ignore (Registry.register_bee r ~bee_id:0 ~app:"a" ~hive:0);
+  ignore (Registry.register_bee r ~bee_id:1 ~app:"a" ~hive:1);
+  Registry.assign r ~bee:0 (Cell.Set.of_list [ c "d" "x"; c "d" "y" ]);
+  Registry.assign r ~bee:1 (Cell.Set.of_list [ c "d" "z" ]);
+  Registry.reassign_all r ~from_bee:1 ~to_bee:0;
+  Alcotest.(check (list int)) "winner owns moved key" [ 0 ]
+    (Registry.owners r ~app:"a" (Cell.Set.singleton (c "d" "z")));
+  Alcotest.(check bool) "loser gone" true (Registry.find_bee r 1 = None);
+  Alcotest.(check int) "winner cell count" 3
+    (Cell.Set.cardinal (Registry.bee r 0).Registry.bee_cells);
+  Registry.check_invariant r
+
+let test_unassign () =
+  let r = Registry.create () in
+  ignore (Registry.register_bee r ~bee_id:0 ~app:"a" ~hive:0);
+  Registry.assign r ~bee:0 (Cell.Set.of_list [ c "d" "x"; w "e" ]);
+  Registry.unassign_bee r ~bee:0;
+  Alcotest.(check (list int)) "cells released" []
+    (Registry.owners r ~app:"a" (Cell.Set.of_list [ c "d" "x"; c "e" "anything" ]));
+  Alcotest.(check int) "no bees" 0 (Registry.n_bees r)
+
+let test_hive_accounting () =
+  let r = Registry.create () in
+  ignore (Registry.register_bee r ~bee_id:0 ~app:"a" ~hive:0);
+  ignore (Registry.register_bee r ~bee_id:1 ~app:"b" ~hive:0);
+  Registry.assign r ~bee:0 (Cell.Set.of_list [ c "d" "x"; c "d" "y" ]);
+  Registry.assign r ~bee:1 (Cell.Set.of_list [ c "e" "z" ]);
+  Alcotest.(check int) "cells on hive 0" 3 (Registry.cells_on_hive r ~hive:0);
+  Registry.set_hive r ~bee:1 ~hive:2;
+  Alcotest.(check int) "after move" 2 (Registry.cells_on_hive r ~hive:0);
+  Alcotest.(check int) "bees on hive 2" 1 (List.length (Registry.bees_on_hive r ~hive:2))
+
+(* Random assignment workloads never produce two owners for one cell. *)
+let prop_single_ownership =
+  QCheck.Test.make ~name:"registry never double-assigns a cell" ~count:200
+    QCheck.(list (pair (int_bound 3) (int_bound 9)))
+    (fun ops ->
+      let r = Registry.create () in
+      for i = 0 to 3 do
+        ignore (Registry.register_bee r ~bee_id:i ~app:"a" ~hive:i)
+      done;
+      List.iter
+        (fun (bee, key) ->
+          let cells = Cell.Set.singleton (c "d" (string_of_int key)) in
+          match Registry.owners r ~app:"a" cells with
+          | [] -> Registry.assign r ~bee cells
+          | [ owner ] -> if owner = bee then Registry.assign r ~bee cells
+          | _ -> ())
+        ops;
+      Registry.check_invariant r;
+      (* every key has at most one owner *)
+      List.for_all
+        (fun (_, key) ->
+          List.length (Registry.owners r ~app:"a" (Cell.Set.singleton (c "d" (string_of_int key))))
+          <= 1)
+        ops)
+
+let suite =
+  [
+    ( "cell+registry",
+      [
+        Alcotest.test_case "cell intersects" `Quick test_cell_intersects;
+        Alcotest.test_case "cell set intersects" `Quick test_cell_set_intersects;
+        QCheck_alcotest.to_alcotest prop_wildcard_absorbs;
+        Alcotest.test_case "register and owners" `Quick test_register_and_owners;
+        Alcotest.test_case "wildcard catches new keys" `Quick test_wildcard_owner_catches_new_keys;
+        Alcotest.test_case "conflicting assign rejected" `Quick test_assign_conflict_rejected;
+        Alcotest.test_case "reassign (merge)" `Quick test_reassign_merge;
+        Alcotest.test_case "unassign releases cells" `Quick test_unassign;
+        Alcotest.test_case "hive accounting" `Quick test_hive_accounting;
+        QCheck_alcotest.to_alcotest prop_single_ownership;
+      ] );
+  ]

@@ -1,0 +1,141 @@
+(* Chaos testing: random migrations, merges and failures driven by
+   QCheck, with conservation invariants. *)
+
+open Helpers
+module Registry = Beehive_core.Registry
+module Traffic_matrix = Beehive_net.Traffic_matrix
+
+(* Under any interleaving of puts and migrations, every put is applied
+   exactly once: the per-key counter equals the number of puts. *)
+let prop_migration_conserves_messages =
+  QCheck.Test.make ~name:"no message lost or duplicated under random migrations" ~count:40
+    QCheck.(list_of_size Gen.(5 -- 40) (pair (int_bound 3) (int_bound 4)))
+    (fun ops ->
+      let engine, platform = make_platform ~n_hives:4 ~apps:[ kv_app () ] () in
+      let puts = Hashtbl.create 8 in
+      List.iteri
+        (fun step (key_i, hive_or_move) ->
+          let key = Printf.sprintf "k%d" key_i in
+          if hive_or_move < 4 then begin
+            (* A put from some hive. *)
+            put platform ~from:hive_or_move ~key ~value:1;
+            Hashtbl.replace puts key (1 + Option.value ~default:0 (Hashtbl.find_opt puts key))
+          end
+          else begin
+            (* Migrate the key's bee (if it exists) to a rotating hive. *)
+            match Platform.find_owner platform ~app:"test.kv" (Cell.cell "store" key) with
+            | Some bee ->
+              ignore (Platform.migrate_bee platform ~bee ~to_hive:(step mod 4) ~reason:"chaos")
+            | None -> ()
+          end;
+          (* Occasionally let some time pass mid-stream. *)
+          if step mod 7 = 0 then
+            Engine.run_until engine
+              (Simtime.add (Engine.now engine) (Simtime.of_ms 3)))
+        ops;
+      drain engine;
+      Registry.check_invariant (Platform.registry platform);
+      Hashtbl.fold
+        (fun key expected acc ->
+          acc
+          &&
+          match Platform.find_owner platform ~app:"test.kv" (Cell.cell "store" key) with
+          | Some bee -> store_value platform ~bee ~key = Some expected
+          | None -> false)
+        puts true)
+
+(* Merges triggered at random points between writes never lose state. *)
+let prop_merge_conserves_state =
+  QCheck.Test.make ~name:"whole-dict merges at random points lose nothing" ~count:40
+    QCheck.(list_of_size Gen.(5 -- 30) (option (int_bound 5)))
+    (fun ops ->
+      let engine, platform =
+        make_platform ~n_hives:4 ~apps:[ kv_app ~with_whole_dict_reader:true () ] ()
+      in
+      let puts = Hashtbl.create 8 in
+      List.iteri
+        (fun step op ->
+          (match op with
+          | Some key_i ->
+            let key = Printf.sprintf "k%d" key_i in
+            put platform ~from:(step mod 4) ~key ~value:1;
+            Hashtbl.replace puts key (1 + Option.value ~default:0 (Hashtbl.find_opt puts key))
+          | None ->
+            (* Trigger the centralizing whole-dict reader. *)
+            Platform.inject platform ~from:(Channels.Hive (step mod 4)) ~kind:k_get_all Get_all);
+          if step mod 5 = 0 then
+            Engine.run_until engine (Simtime.add (Engine.now engine) (Simtime.of_ms 2)))
+        ops;
+      drain engine;
+      Registry.check_invariant (Platform.registry platform);
+      Hashtbl.fold
+        (fun key expected acc ->
+          acc
+          &&
+          match Platform.find_owner platform ~app:"test.kv" (Cell.cell "store" key) with
+          | Some bee -> store_value platform ~bee ~key = Some expected
+          | None -> false)
+        puts true)
+
+(* Replicated apps survive killing any single hive at any point. *)
+let prop_failover_preserves_replicated_state =
+  QCheck.Test.make ~name:"replicated state survives one random hive failure" ~count:25
+    QCheck.(pair (int_bound 3) (list_of_size Gen.(5 -- 25) (pair (int_bound 3) (int_bound 3))))
+    (fun (victim, ops) ->
+      let app = { (kv_app ()) with App.replicated = true } in
+      let engine, platform = make_platform ~n_hives:4 ~replication:true ~apps:[ app ] () in
+      let puts = Hashtbl.create 8 in
+      List.iter
+        (fun (key_i, hive) ->
+          let key = Printf.sprintf "k%d" key_i in
+          put platform ~from:hive ~key ~value:1;
+          Hashtbl.replace puts key (1 + Option.value ~default:0 (Hashtbl.find_opt puts key)))
+        ops;
+      (* Quiesce so every commit replicated, then kill a hive. *)
+      drain engine;
+      Platform.fail_hive platform victim;
+      drain engine;
+      Hashtbl.fold
+        (fun key expected acc ->
+          acc
+          &&
+          match Platform.find_owner platform ~app:"test.kv" (Cell.cell "store" key) with
+          | Some bee ->
+            let v = Option.get (Platform.bee_view platform bee) in
+            v.Platform.view_alive
+            && v.Platform.view_hive <> victim
+            && store_value platform ~bee ~key = Some expected
+          | None -> false)
+        puts true)
+
+(* Accounting sanity across arbitrary workloads: matrix totals are the
+   sum of their parts and never negative. *)
+let prop_accounting_consistent =
+  QCheck.Test.make ~name:"traffic accounting stays consistent" ~count:40
+    QCheck.(list_of_size Gen.(1 -- 30) (pair (int_bound 3) (int_bound 5)))
+    (fun ops ->
+      let engine, platform = make_platform ~n_hives:4 ~apps:[ kv_app () ] () in
+      List.iter
+        (fun (hive, key_i) ->
+          put platform ~from:hive ~key:(Printf.sprintf "k%d" key_i) ~value:1)
+        ops;
+      drain engine;
+      let m = Channels.matrix (Platform.channels platform) in
+      let rows = List.init 4 (fun i -> Traffic_matrix.row_bytes m i) in
+      let cols = List.init 4 (fun j -> Traffic_matrix.col_bytes m j) in
+      let total = Traffic_matrix.total_bytes m in
+      abs_float (List.fold_left ( +. ) 0.0 rows -. total) < 1e-6
+      && abs_float (List.fold_left ( +. ) 0.0 cols -. total) < 1e-6
+      && Traffic_matrix.locality_fraction m >= 0.0
+      && Traffic_matrix.locality_fraction m <= 1.0)
+
+let suite =
+  [
+    ( "chaos",
+      [
+        QCheck_alcotest.to_alcotest prop_migration_conserves_messages;
+        QCheck_alcotest.to_alcotest prop_merge_conserves_state;
+        QCheck_alcotest.to_alcotest prop_failover_preserves_replicated_state;
+        QCheck_alcotest.to_alcotest prop_accounting_consistent;
+      ] );
+  ]

@@ -1,0 +1,133 @@
+(* Instrumentation app and the greedy placement optimizer. *)
+
+open Helpers
+module Instrumentation = Beehive_core.Instrumentation
+
+(* Build a platform with the kv app plus instrumentation, then push a
+   steady stream of puts from one hive toward keys created elsewhere. *)
+let setup ~optimize () =
+  let engine = Engine.create () in
+  let platform = Platform.create engine (Platform.default_config ~n_hives:4) in
+  Platform.register_app platform (kv_app ());
+  let handle =
+    Instrumentation.install platform
+      { Instrumentation.default_config with optimize; min_messages = 3 }
+  in
+  Platform.start platform;
+  (engine, platform, handle)
+
+let run_for engine secs =
+  Engine.run_until engine (Simtime.add (Engine.now engine) (Simtime.of_sec secs))
+
+let stream engine platform ~from ~key ~seconds =
+  (* One put per 100 ms from [from]. *)
+  let h =
+    Engine.every engine (Simtime.of_ms 100) (fun () ->
+        put platform ~from ~key ~value:1)
+  in
+  run_for engine seconds;
+  ignore (Engine.cancel engine h)
+
+let test_loads_aggregated () =
+  let engine, platform, handle = setup ~optimize:false () in
+  put platform ~from:2 ~key:"k" ~value:1;
+  drain engine;
+  stream engine platform ~from:2 ~key:"k" ~seconds:3.0;
+  let loads = Instrumentation.loads handle in
+  let kv_loads =
+    List.filter (fun l -> l.Instrumentation.bl_app = "test.kv") loads
+  in
+  Alcotest.(check bool) "kv bee observed" true (kv_loads <> []);
+  let l = List.hd kv_loads in
+  Alcotest.(check bool) "traffic from hive 2 recorded" true
+    (List.mem_assoc 2 l.Instrumentation.bl_in_by_hive)
+
+let test_optimizer_migrates_toward_majority () =
+  let engine, platform, handle = setup ~optimize:true () in
+  (* Create the bee on hive 0 but feed it from hive 3. *)
+  put platform ~from:0 ~key:"k" ~value:1;
+  drain engine;
+  let bee = owner_exn platform ~app:"test.kv" "k" in
+  Alcotest.(check int) "starts on hive 0" 0
+    (Option.get (Platform.bee_view platform bee)).Platform.view_hive;
+  stream engine platform ~from:3 ~key:"k" ~seconds:12.0;
+  Alcotest.(check bool) "optimizer suggested" true
+    (Instrumentation.suggested_migrations handle > 0);
+  Alcotest.(check int) "migrated to the traffic source" 3
+    (Option.get (Platform.bee_view platform bee)).Platform.view_hive;
+  (* After the move, no further migration: it's already local. *)
+  let n = List.length (Platform.migrations platform) in
+  stream engine platform ~from:3 ~key:"k" ~seconds:12.0;
+  Alcotest.(check int) "stable placement" n (List.length (Platform.migrations platform))
+
+let test_optimizer_disabled_never_migrates () =
+  let engine, platform, handle = setup ~optimize:false () in
+  put platform ~from:0 ~key:"k" ~value:1;
+  drain engine;
+  stream engine platform ~from:3 ~key:"k" ~seconds:12.0;
+  Alcotest.(check int) "no suggestions" 0 (Instrumentation.suggested_migrations handle);
+  Alcotest.(check int) "no migrations" 0 (List.length (Platform.migrations platform))
+
+let test_optimizer_ignores_balanced_traffic () =
+  let engine, platform, _ = setup ~optimize:true () in
+  put platform ~from:0 ~key:"k" ~value:1;
+  drain engine;
+  (* Feed evenly from two foreign hives: no majority, no migration away
+     from... well, hive 2 and 3 alternate so neither passes 50%+ against
+     each other plus the current hive. *)
+  let flip = ref false in
+  let h =
+    Engine.every engine (Simtime.of_ms 100) (fun () ->
+        flip := not !flip;
+        put platform ~from:(if !flip then 2 else 3) ~key:"k" ~value:1)
+  in
+  run_for engine 12.0;
+  ignore (Engine.cancel engine h);
+  let v = Option.get (Platform.bee_view platform (owner_exn platform ~app:"test.kv" "k")) in
+  Alcotest.(check int) "no clear majority -> stays" 0 v.Platform.view_hive
+
+let test_max_migrations_per_round () =
+  let engine = Engine.create () in
+  let platform = Platform.create engine (Platform.default_config ~n_hives:4) in
+  Platform.register_app platform (kv_app ());
+  let handle =
+    Instrumentation.install platform
+      {
+        Instrumentation.default_config with
+        optimize = true;
+        min_messages = 3;
+        max_migrations_per_round = 2;
+      }
+  in
+  Platform.start platform;
+  (* Six bees on hive 0, all fed from hive 1. *)
+  for i = 0 to 5 do
+    put platform ~from:0 ~key:(Printf.sprintf "k%d" i) ~value:1
+  done;
+  drain engine;
+  let h =
+    Engine.every engine (Simtime.of_ms 200) (fun () ->
+        for i = 0 to 5 do
+          put platform ~from:1 ~key:(Printf.sprintf "k%d" i) ~value:1
+        done)
+  in
+  (* One optimization round fires at t=5s. *)
+  Engine.run_until engine (Simtime.of_sec 6.0);
+  ignore (Engine.cancel engine h);
+  Alcotest.(check bool) "per-round budget respected" true
+    (Instrumentation.performed_migrations handle <= 2);
+  ignore handle
+
+let suite =
+  [
+    ( "instrumentation",
+      [
+        Alcotest.test_case "loads aggregated" `Quick test_loads_aggregated;
+        Alcotest.test_case "optimizer migrates toward majority" `Quick
+          test_optimizer_migrates_toward_majority;
+        Alcotest.test_case "optimizer disabled" `Quick test_optimizer_disabled_never_migrates;
+        Alcotest.test_case "balanced traffic stays put" `Quick
+          test_optimizer_ignores_balanced_traffic;
+        Alcotest.test_case "max migrations per round" `Quick test_max_migrations_per_round;
+      ] );
+  ]

@@ -1,0 +1,185 @@
+(* SEATTLE and PortLand, the Section 4 "can be easily implemented in a
+   distributed fashion" claims. *)
+
+module Engine = Beehive_sim.Engine
+module Simtime = Beehive_sim.Simtime
+module Channels = Beehive_net.Channels
+module Platform = Beehive_core.Platform
+module Cell = Beehive_core.Cell
+module Seattle = Beehive_apps.Seattle
+module Portland = Beehive_apps.Portland
+
+let make_platform apps =
+  let engine = Engine.create () in
+  let platform = Platform.create engine (Platform.default_config ~n_hives:4) in
+  List.iter (Platform.register_app platform) apps;
+  Platform.start platform;
+  (engine, platform)
+
+let drain engine = Engine.run_until engine (Simtime.add (Engine.now engine) (Simtime.of_sec 1.0))
+
+(* --- SEATTLE ---------------------------------------------------------- *)
+
+let test_seattle_publish_resolve () =
+  let locations = ref [] in
+  let listener =
+    Beehive_core.App.create ~name:"test.loc" ~dicts:[ "x" ]
+      [
+        Beehive_core.App.handler ~kind:Seattle.k_location
+          ~map:(fun _ -> Beehive_core.Mapping.Local)
+          (fun _ msg ->
+            match msg.Beehive_core.Message.payload with
+            | Seattle.Location { lc_token; lc_found; lc_switch; lc_port; _ } ->
+              locations := (lc_token, lc_found, lc_switch, lc_port) :: !locations
+            | _ -> ());
+      ]
+  in
+  let engine, platform = make_platform [ Seattle.app (); listener ] in
+  let inj hive kind p = Platform.inject platform ~from:(Channels.Hive hive) ~kind p in
+  inj 1 Seattle.k_publish (Seattle.Publish { pb_mac = 0xAAL; pb_switch = 7; pb_port = 3 });
+  drain engine;
+  Alcotest.(check (option (pair int int))) "binding stored" (Some (7, 3))
+    (Seattle.lookup platform ~mac:0xAAL);
+  inj 2 Seattle.k_resolve (Seattle.Resolve { rq_mac = 0xAAL; rq_token = 1; rq_switch = 9 });
+  inj 3 Seattle.k_resolve (Seattle.Resolve { rq_mac = 0xBBL; rq_token = 2; rq_switch = 9 });
+  drain engine;
+  let sorted = List.sort compare !locations in
+  (match sorted with
+  | [ (1, true, 7, 3); (2, false, -1, -1) ] -> ()
+  | _ -> Alcotest.failf "unexpected resolutions (%d)" (List.length sorted));
+  (* Host moves: republish overrides; unpublish removes. *)
+  inj 1 Seattle.k_publish (Seattle.Publish { pb_mac = 0xAAL; pb_switch = 8; pb_port = 1 });
+  drain engine;
+  Alcotest.(check (option (pair int int))) "binding moved" (Some (8, 1))
+    (Seattle.lookup platform ~mac:0xAAL);
+  inj 1 Seattle.k_unpublish (Seattle.Unpublish { up_mac = 0xAAL });
+  drain engine;
+  Alcotest.(check (option (pair int int))) "binding removed" None
+    (Seattle.lookup platform ~mac:0xAAL)
+
+let test_seattle_buckets_shard () =
+  let engine, platform = make_platform [ Seattle.app () ] in
+  (* 64 hosts spread over the bucket space, published from all hives. *)
+  for i = 0 to 63 do
+    Platform.inject platform
+      ~from:(Channels.Hive (i mod 4))
+      ~kind:Seattle.k_publish
+      (Seattle.Publish { pb_mac = Int64.of_int (1000 + i); pb_switch = i; pb_port = 1 })
+  done;
+  drain engine;
+  let sizes = Seattle.bucket_sizes platform in
+  Alcotest.(check bool) "many buckets materialized" true (List.length sizes > 16);
+  let total = List.fold_left (fun a (_, n) -> a + n) 0 sizes in
+  Alcotest.(check int) "all bindings present" 64 total;
+  (* Resolver bees are spread across hives, not centralized. *)
+  let hives =
+    List.filter_map
+      (fun (v : Platform.bee_view) ->
+        if v.Platform.view_app = Seattle.app_name then Some v.Platform.view_hive else None)
+      (Platform.live_bees platform)
+    |> List.sort_uniq Int.compare
+  in
+  Alcotest.(check bool) "resolvers on several hives" true (List.length hives >= 3)
+
+let test_seattle_bucket_of_mac_stable () =
+  (* The resolver of a MAC is a pure function of the MAC. *)
+  for i = 0 to 200 do
+    let mac = Int64.of_int (i * 7919) in
+    Alcotest.(check string)
+      (Printf.sprintf "mac %Ld" mac)
+      (Seattle.bucket_of_mac mac)
+      (Seattle.bucket_of_mac mac)
+  done
+
+(* --- PortLand ----------------------------------------------------------- *)
+
+let test_pmac_encoding () =
+  let pmac = Portland.make_pmac ~pod:3 ~position:12 ~port:5 ~vmid:42 in
+  Alcotest.(check int) "pod" 3 (Portland.pmac_pod pmac);
+  Alcotest.(check int) "position" 12 (Portland.pmac_position pmac);
+  Alcotest.(check int) "port" 5 (Portland.pmac_port pmac);
+  Alcotest.(check int) "vmid" 42 (Portland.pmac_vmid pmac)
+
+let test_portland_assign_and_arp () =
+  let replies = ref [] in
+  let listener =
+    Beehive_core.App.create ~name:"test.arp" ~dicts:[ "x" ]
+      [
+        Beehive_core.App.handler ~kind:Portland.k_arp_reply
+          ~map:(fun _ -> Beehive_core.Mapping.Local)
+          (fun _ msg ->
+            match msg.Beehive_core.Message.payload with
+            | Portland.Arp_reply { ap_token; ap_pmac; _ } -> replies := (ap_token, ap_pmac) :: !replies
+            | _ -> ());
+      ]
+  in
+  let engine, platform =
+    make_platform [ Portland.fabric_app (); Portland.arp_app (); listener ]
+  in
+  let inj hive kind p = Platform.inject platform ~from:(Channels.Hive hive) ~kind p in
+  inj 1 Portland.k_host_seen
+    (Portland.Host_seen { hs_pod = 2; hs_position = 4; hs_port = 1; hs_amac = 0xDEADL });
+  inj 1 Portland.k_host_seen
+    (Portland.Host_seen { hs_pod = 2; hs_position = 4; hs_port = 2; hs_amac = 0xBEEFL });
+  drain engine;
+  (* The fabric shard for pod 2 holds both assignments. *)
+  let assigns = Portland.pod_assignments platform ~pod:2 in
+  Alcotest.(check int) "two assignments in pod 2" 2 (List.length assigns);
+  (* The ARP shards learned the mappings. *)
+  let pmac = Option.get (Portland.pmac_of platform ~amac:0xDEADL) in
+  Alcotest.(check int) "pmac pod" 2 (Portland.pmac_pod pmac);
+  Alcotest.(check int) "pmac position" 4 (Portland.pmac_position pmac);
+  (* ARP proxying answers from the MAC's shard; unknown MACs answer None. *)
+  inj 3 Portland.k_arp_request
+    (Portland.Arp_request { ar_amac = 0xDEADL; ar_token = 1; ar_switch = 9 });
+  inj 3 Portland.k_arp_request
+    (Portland.Arp_request { ar_amac = 0xF00DL; ar_token = 2; ar_switch = 9 });
+  drain engine;
+  (match List.sort compare !replies with
+  | [ (1, Some p); (2, None) ] -> Alcotest.(check bool) "same pmac" true (p = pmac)
+  | _ -> Alcotest.fail "arp replies wrong")
+
+let test_portland_vmids_unique_per_pod () =
+  let engine, platform = make_platform [ Portland.fabric_app (); Portland.arp_app () ] in
+  for i = 0 to 9 do
+    Platform.inject platform ~from:(Channels.Hive 0) ~kind:Portland.k_host_seen
+      (Portland.Host_seen
+         { hs_pod = 1; hs_position = 0; hs_port = 0; hs_amac = Int64.of_int (0x100 + i) })
+  done;
+  drain engine;
+  let vmids =
+    List.map (fun (_, pmac) -> Portland.pmac_vmid pmac) (Portland.pod_assignments platform ~pod:1)
+  in
+  Alcotest.(check int) "10 unique vmids" 10 (List.length (List.sort_uniq compare vmids))
+
+let test_portland_pods_shard () =
+  let engine, platform = make_platform [ Portland.fabric_app (); Portland.arp_app () ] in
+  for pod = 0 to 3 do
+    Platform.inject platform ~from:(Channels.Hive pod) ~kind:Portland.k_host_seen
+      (Portland.Host_seen
+         { hs_pod = pod; hs_position = 0; hs_port = 0; hs_amac = Int64.of_int (0x200 + pod) })
+  done;
+  drain engine;
+  let owners =
+    List.filter_map
+      (fun pod ->
+        Platform.find_owner platform ~app:Portland.fabric_app_name
+          (Cell.cell Portland.dict_pods (string_of_int pod)))
+      [ 0; 1; 2; 3 ]
+  in
+  Alcotest.(check int) "one fabric bee per pod" 4
+    (List.length (List.sort_uniq Int.compare owners))
+
+let suite =
+  [
+    ( "l2_fabrics",
+      [
+        Alcotest.test_case "seattle publish/resolve" `Quick test_seattle_publish_resolve;
+        Alcotest.test_case "seattle buckets shard" `Quick test_seattle_buckets_shard;
+        Alcotest.test_case "seattle resolver stable" `Quick test_seattle_bucket_of_mac_stable;
+        Alcotest.test_case "pmac encoding" `Quick test_pmac_encoding;
+        Alcotest.test_case "portland assign + arp" `Quick test_portland_assign_and_arp;
+        Alcotest.test_case "portland vmids unique" `Quick test_portland_vmids_unique_per_pod;
+        Alcotest.test_case "portland pods shard" `Quick test_portland_pods_shard;
+      ] );
+  ]

@@ -1,0 +1,135 @@
+(* Small-module coverage: Message, Value, Mapping, Cell printing,
+   Series rendering, Stats windows and latency percentiles. *)
+
+module Message = Beehive_core.Message
+module Value = Beehive_core.Value
+module Mapping = Beehive_core.Mapping
+module Cell = Beehive_core.Cell
+module Stats = Beehive_core.Stats
+module Series = Beehive_net.Series
+module Simtime = Beehive_sim.Simtime
+module Channels = Beehive_net.Channels
+
+type Message.payload += Misc_probe
+
+let test_message_ids_increase () =
+  let mk () =
+    Message.make ~kind:"k" ~src:Message.From_system ~sent_at:Simtime.zero Misc_probe
+  in
+  let a = mk () and b = mk () in
+  Alcotest.(check bool) "ids strictly increase" true (b.Message.msg_id > a.Message.msg_id);
+  Alcotest.(check int) "default size" Message.default_size a.Message.size
+
+let test_message_src_hive () =
+  let mk src = Message.make ~kind:"k" ~src ~sent_at:Simtime.zero Misc_probe in
+  Alcotest.(check (option int)) "bee source" (Some 3)
+    (Message.src_hive (mk (Message.From_bee { bee = 1; hive = 3; app = "a" })));
+  Alcotest.(check (option int)) "hive endpoint" (Some 2)
+    (Message.src_hive (mk (Message.From_endpoint (Channels.Hive 2))));
+  Alcotest.(check (option int)) "switch endpoint unresolved here" None
+    (Message.src_hive (mk (Message.From_endpoint (Channels.Switch 9))));
+  Alcotest.(check (option int)) "system" None (Message.src_hive (mk Message.From_system))
+
+let test_value_sizes () =
+  Alcotest.(check int) "int" 8 (Value.size (Value.V_int 1));
+  Alcotest.(check int) "string" 9 (Value.size (Value.V_string "hello"));
+  Alcotest.(check int) "pair" 16 (Value.size (Value.V_pair (Value.V_int 1, Value.V_float 2.0)));
+  Alcotest.(check int) "list" (4 + 16) (Value.size (Value.V_list [ Value.V_int 1; Value.V_int 2 ]));
+  Alcotest.(check int) "bool" 1 (Value.size (Value.V_bool true))
+
+let test_value_pp () =
+  let s v = Format.asprintf "%a" Value.pp v in
+  Alcotest.(check string) "int" "42" (s (Value.V_int 42));
+  Alcotest.(check string) "string" "\"x\"" (s (Value.V_string "x"));
+  Alcotest.(check string) "list" "[1; 2]" (s (Value.V_list [ Value.V_int 1; Value.V_int 2 ]))
+
+let test_mapping_builders () =
+  (match Mapping.with_key "d" "k" with
+  | Mapping.Cells cs ->
+    Alcotest.(check int) "one cell" 1 (Cell.Set.cardinal cs);
+    Alcotest.(check bool) "the right one" true (Cell.Set.mem (Cell.cell "d" "k") cs)
+  | _ -> Alcotest.fail "with_key");
+  (match Mapping.whole_dicts [ "a"; "b" ] with
+  | Mapping.Cells cs ->
+    Alcotest.(check bool) "wildcards" true
+      (Cell.Set.mem (Cell.whole "a") cs && Cell.Set.mem (Cell.whole "b") cs)
+  | _ -> Alcotest.fail "whole_dicts");
+  Alcotest.(check string) "pp foreach" "foreach S"
+    (Format.asprintf "%a" Mapping.pp (Mapping.Foreach "S"))
+
+let test_cell_pp_and_order () =
+  Alcotest.(check string) "concrete" "(S, sw1)" (Format.asprintf "%a" Cell.pp (Cell.cell "S" "sw1"));
+  Alcotest.(check string) "wildcard" "(S, *)" (Format.asprintf "%a" Cell.pp (Cell.whole "S"));
+  (* Wildcards sort before keys within a dict. *)
+  let sorted = List.sort Cell.compare [ Cell.cell "S" "a"; Cell.whole "S" ] in
+  Alcotest.(check bool) "wildcard first" true (List.hd sorted = Cell.whole "S")
+
+let test_series_sparkline () =
+  let s = Series.create ~bucket:(Simtime.of_sec 1.0) in
+  for i = 0 to 9 do
+    Series.add s ~at:(Simtime.of_sec (float_of_int i)) (float_of_int (i * 100))
+  done;
+  let line = Format.asprintf "%a" (Series.render_sparkline ~width:10) s in
+  Alcotest.(check int) "width respected" 10 (String.length line);
+  Alcotest.(check bool) "peak is the densest glyph" true (String.get line 9 = '@');
+  let empty = Series.create ~bucket:(Simtime.of_sec 1.0) in
+  Alcotest.(check string) "empty" "(empty)"
+    (Format.asprintf "%a" (Series.render_sparkline ~width:10) empty)
+
+let test_stats_windows () =
+  let s = Stats.create () in
+  Stats.record_in s ~src_hive:(Some 1) ~src_bee:(Some 7) ~kind:"k";
+  Stats.record_in s ~src_hive:(Some 1) ~src_bee:(Some 7) ~kind:"k";
+  Stats.record_in s ~src_hive:(Some 2) ~src_bee:None ~kind:"j";
+  Stats.record_out s ~in_kind:(Some "k") ~out_kind:"o";
+  let w = Stats.take_window s in
+  Alcotest.(check int) "window processed" 3 w.Stats.w_processed;
+  Alcotest.(check (list (pair int int))) "by hive" [ (1, 2); (2, 1) ] w.Stats.w_in_by_hive;
+  (match Stats.window_majority_hive w with
+  | Some (h, share) ->
+    Alcotest.(check int) "majority hive" 1 h;
+    Alcotest.(check (float 0.01)) "share" (2.0 /. 3.0) share
+  | None -> Alcotest.fail "majority expected");
+  (* Window resets; cumulative survives. *)
+  let w2 = Stats.take_window s in
+  Alcotest.(check int) "fresh window empty" 0 w2.Stats.w_processed;
+  Alcotest.(check int) "cumulative" 3 (Stats.processed s);
+  Alcotest.(check (list (triple string string int))) "provenance" [ ("k", "o", 1) ]
+    (Stats.provenance s)
+
+let test_latency_percentiles () =
+  let s = Stats.create () in
+  (* 9 samples at ~100us, one at ~10000us. *)
+  for _ = 1 to 9 do
+    Stats.record_latency s (Simtime.of_us 100)
+  done;
+  Stats.record_latency s (Simtime.of_us 10_000);
+  (match Stats.latency_percentile s 0.5 with
+  | Some p50 -> Alcotest.(check bool) "p50 near 100us" true (p50 >= 64 && p50 <= 256)
+  | None -> Alcotest.fail "p50");
+  (match Stats.latency_percentile s 0.99 with
+  | Some p99 -> Alcotest.(check bool) "p99 catches the outlier" true (p99 >= 8192)
+  | None -> Alcotest.fail "p99");
+  Alcotest.(check bool) "no samples -> None" true
+    (Stats.latency_percentile (Stats.create ()) 0.5 = None);
+  (* Merge combines histograms. *)
+  let m = Stats.create () in
+  Stats.merge_latency ~into:m s;
+  Alcotest.(check (option int)) "merged p99 equal" (Stats.latency_percentile s 0.99)
+    (Stats.latency_percentile m 0.99)
+
+let suite =
+  [
+    ( "misc",
+      [
+        Alcotest.test_case "message ids increase" `Quick test_message_ids_increase;
+        Alcotest.test_case "message src hive" `Quick test_message_src_hive;
+        Alcotest.test_case "value sizes" `Quick test_value_sizes;
+        Alcotest.test_case "value printing" `Quick test_value_pp;
+        Alcotest.test_case "mapping builders" `Quick test_mapping_builders;
+        Alcotest.test_case "cell printing and order" `Quick test_cell_pp_and_order;
+        Alcotest.test_case "series sparkline" `Quick test_series_sparkline;
+        Alcotest.test_case "stats windows" `Quick test_stats_windows;
+        Alcotest.test_case "latency percentiles" `Quick test_latency_percentiles;
+      ] );
+  ]

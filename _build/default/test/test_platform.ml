@@ -1,0 +1,370 @@
+(* The control platform: life of a message, collocation, merge,
+   migration, local apps, failures. *)
+
+open Helpers
+module Registry = Beehive_core.Registry
+module Stats = Beehive_core.Stats
+
+let test_put_creates_bee_and_state () =
+  let engine, platform = make_platform ~apps:[ kv_app () ] () in
+  put platform ~from:1 ~key:"k1" ~value:5;
+  drain engine;
+  let bee = owner_exn platform ~app:"test.kv" "k1" in
+  Alcotest.(check (option int)) "state" (Some 5) (store_value platform ~bee ~key:"k1");
+  let view = Option.get (Platform.bee_view platform bee) in
+  Alcotest.(check int) "created on origin hive" 1 view.Platform.view_hive;
+  put platform ~from:1 ~key:"k1" ~value:3;
+  drain engine;
+  Alcotest.(check (option int)) "accumulates" (Some 8) (store_value platform ~bee ~key:"k1")
+
+let test_same_key_same_bee_any_origin () =
+  let engine, platform = make_platform ~apps:[ kv_app () ] () in
+  put platform ~from:1 ~key:"k" ~value:1;
+  drain engine;
+  let bee1 = owner_exn platform ~app:"test.kv" "k" in
+  (* Inject the same key from a different hive: must reach the same bee. *)
+  put platform ~from:3 ~key:"k" ~value:1;
+  drain engine;
+  let bee2 = owner_exn platform ~app:"test.kv" "k" in
+  Alcotest.(check int) "same bee" bee1 bee2;
+  Alcotest.(check (option int)) "both applied" (Some 2) (store_value platform ~bee:bee1 ~key:"k")
+
+let test_different_keys_shard () =
+  let engine, platform = make_platform ~apps:[ kv_app () ] () in
+  for i = 0 to 7 do
+    put platform ~from:(i mod 4) ~key:(Printf.sprintf "k%d" i) ~value:1
+  done;
+  drain engine;
+  let bees =
+    List.init 8 (fun i -> owner_exn platform ~app:"test.kv" (Printf.sprintf "k%d" i))
+    |> List.sort_uniq Int.compare
+  in
+  Alcotest.(check int) "8 distinct bees" 8 (List.length bees);
+  (* Bees live on the hive their first message originated from. *)
+  List.iteri
+    (fun i bee ->
+      let v = Option.get (Platform.bee_view platform bee) in
+      Alcotest.(check int) (Printf.sprintf "bee %d placement" i) (i mod 4) v.Platform.view_hive)
+    (List.init 8 (fun i -> owner_exn platform ~app:"test.kv" (Printf.sprintf "k%d" i)))
+
+let test_whole_dict_merges_bees () =
+  let engine, platform =
+    make_platform ~apps:[ kv_app ~with_whole_dict_reader:true () ] ()
+  in
+  for i = 0 to 5 do
+    put platform ~from:(i mod 4) ~key:(Printf.sprintf "k%d" i) ~value:1
+  done;
+  drain engine;
+  Alcotest.(check int) "6 bees before" 6
+    (List.length
+       (List.filter
+          (fun v -> v.Platform.view_app = "test.kv" && not v.Platform.view_is_local)
+          (Platform.live_bees platform)));
+  (* The whole-dict reader forces collocation of every cell. *)
+  Platform.inject platform ~from:(Channels.Hive 2) ~kind:k_get_all Get_all;
+  drain engine;
+  let bees =
+    List.filter
+      (fun v -> v.Platform.view_app = "test.kv" && not v.Platform.view_is_local)
+      (Platform.live_bees platform)
+  in
+  Alcotest.(check int) "merged into one" 1 (List.length bees);
+  let mega = (List.hd bees).Platform.view_id in
+  Alcotest.(check int) "merge counter" 5 (Platform.total_bee_merges platform);
+  (* No state was lost in the merge. *)
+  for i = 0 to 5 do
+    Alcotest.(check (option int))
+      (Printf.sprintf "k%d survived" i)
+      (Some 1)
+      (store_value platform ~bee:mega ~key:(Printf.sprintf "k%d" i))
+  done;
+  Alcotest.(check (option int)) "reader ran" (Some 6) (store_value platform ~bee:mega ~key:"__total");
+  (* New keys keep landing on the merged bee. *)
+  put platform ~from:3 ~key:"k-late" ~value:7;
+  drain engine;
+  Alcotest.(check int) "late key joins mega bee" mega (owner_exn platform ~app:"test.kv" "k-late");
+  Registry.check_invariant (Platform.registry platform)
+
+let test_access_violation_aborts () =
+  let app =
+    App.create ~name:"test.bad" ~dicts:[ "store" ]
+      [
+        App.handler ~kind:k_put
+          ~map:(fun msg ->
+            match msg.Message.payload with
+            | Put { p_key; _ } -> Mapping.with_key "store" p_key
+            | _ -> Mapping.Drop)
+          (fun ctx msg ->
+            match msg.Message.payload with
+            | Put { p_key; p_value } ->
+              Context.set ctx ~dict:"store" ~key:p_key (Value.V_int p_value);
+              (* Out-of-cell write: must raise and roll everything back. *)
+              Context.set ctx ~dict:"store" ~key:"other-key" (Value.V_int 1)
+            | _ -> ());
+      ]
+  in
+  let engine, platform = make_platform ~apps:[ app ] () in
+  Platform.inject platform ~from:(Channels.Hive 0) ~kind:k_put (Put { p_key = "a"; p_value = 1 });
+  drain engine;
+  let bee = owner_exn platform ~app:"test.bad" "a" in
+  Alcotest.(check (option int)) "first write rolled back too" None
+    (store_value platform ~bee ~key:"a");
+  let stats = Option.get (Platform.bee_stats platform bee) in
+  Alcotest.(check int) "error recorded" 1 (Stats.errors stats)
+
+let test_foreach_fanout () =
+  let hits = ref [] in
+  let app =
+    App.create ~name:"test.fan" ~dicts:[ "store" ]
+      [
+        App.handler ~kind:k_put
+          ~map:(fun msg ->
+            match msg.Message.payload with
+            | Put { p_key; _ } -> Mapping.with_key "store" p_key
+            | _ -> Mapping.Drop)
+          (fun ctx msg ->
+            match msg.Message.payload with
+            | Put { p_key; p_value } -> Context.set ctx ~dict:"store" ~key:p_key (Value.V_int p_value)
+            | _ -> ());
+        App.handler ~kind:k_get_all
+          ~map:(fun _ -> Mapping.Foreach "store")
+          (fun ctx _ ->
+            Context.iter_dict ctx ~dict:"store" (fun k _ ->
+                hits := (Context.bee_id ctx, k) :: !hits));
+      ]
+  in
+  let engine, platform = make_platform ~apps:[ app ] () in
+  for i = 0 to 3 do
+    put platform ~from:i ~key:(Printf.sprintf "k%d" i) ~value:i
+  done;
+  drain engine;
+  Platform.inject platform ~from:(Channels.Hive 0) ~kind:k_get_all Get_all;
+  drain engine;
+  Alcotest.(check int) "one invocation per owning bee" 4 (List.length !hits);
+  let keys = List.map snd !hits |> List.sort String.compare in
+  Alcotest.(check (list string)) "each bee saw exactly its key" [ "k0"; "k1"; "k2"; "k3" ] keys;
+  let bees = List.map fst !hits |> List.sort_uniq Int.compare in
+  Alcotest.(check int) "4 distinct bees" 4 (List.length bees)
+
+let test_local_app_per_hive () =
+  let seen = ref [] in
+  let app =
+    App.create ~name:"test.local" ~dicts:[ "scratch" ]
+      [
+        App.handler ~kind:k_noop
+          ~map:(fun _ -> Mapping.Local)
+          (fun ctx _ -> seen := Context.hive_id ctx :: !seen);
+      ]
+  in
+  let engine, platform = make_platform ~n_hives:3 ~apps:[ app ] () in
+  (* An ordinary message runs the local handler on its origin hive only. *)
+  Platform.inject platform ~from:(Channels.Hive 2) ~kind:k_noop (Noop 0);
+  drain engine;
+  Alcotest.(check (list int)) "origin hive only" [ 2 ] !seen;
+  seen := [];
+  (* A system (timer) message runs it on every hive. *)
+  Platform.emit_system platform ~kind:k_noop (Noop 1);
+  drain engine;
+  Alcotest.(check (list int)) "all hives" [ 0; 1; 2 ] (List.sort Int.compare !seen);
+  (* Local bees are per-hive and pinned. *)
+  let b0 = Option.get (Platform.local_bee platform ~app:"test.local" ~hive:0) in
+  let b1 = Option.get (Platform.local_bee platform ~app:"test.local" ~hive:1) in
+  Alcotest.(check bool) "distinct" true (b0 <> b1);
+  Alcotest.(check bool) "pinned" true (Platform.bee_pinned platform ~bee:b0);
+  Alcotest.(check bool) "not migratable" false
+    (Platform.migrate_bee platform ~bee:b0 ~to_hive:1 ~reason:"test")
+
+let test_migration_preserves_state_and_order () =
+  let engine, platform = make_platform ~apps:[ kv_app () ] () in
+  put platform ~from:1 ~key:"k" ~value:1;
+  drain engine;
+  let bee = owner_exn platform ~app:"test.kv" "k" in
+  (* Queue more work, then migrate mid-stream. *)
+  put platform ~from:1 ~key:"k" ~value:10;
+  Alcotest.(check bool) "migration accepted" true
+    (Platform.migrate_bee platform ~bee ~to_hive:3 ~reason:"test");
+  put platform ~from:1 ~key:"k" ~value:100;
+  put platform ~from:2 ~key:"k" ~value:1000;
+  drain engine;
+  let view = Option.get (Platform.bee_view platform bee) in
+  Alcotest.(check int) "moved" 3 view.Platform.view_hive;
+  Alcotest.(check (option int)) "no message lost" (Some 1111) (store_value platform ~bee ~key:"k");
+  (match Platform.migrations platform with
+  | [ m ] ->
+    Alcotest.(check int) "log src" 1 m.Platform.mig_src;
+    Alcotest.(check int) "log dst" 3 m.Platform.mig_dst;
+    Alcotest.(check string) "log reason" "test" m.Platform.mig_reason;
+    Alcotest.(check bool) "bytes accounted" true (m.Platform.mig_bytes > 0)
+  | l -> Alcotest.failf "expected 1 migration, got %d" (List.length l));
+  (* Ownership survives: further puts keep hitting the same bee. *)
+  put platform ~from:0 ~key:"k" ~value:1;
+  drain engine;
+  Alcotest.(check int) "still owner" bee (owner_exn platform ~app:"test.kv" "k")
+
+let test_migration_traffic_accounted () =
+  let engine, platform = make_platform ~apps:[ kv_app () ] () in
+  put platform ~from:1 ~key:"big" ~value:42;
+  drain engine;
+  let bee = owner_exn platform ~app:"test.kv" "big" in
+  let matrix = Channels.matrix (Platform.channels platform) in
+  let before = Beehive_net.Traffic_matrix.bytes matrix ~src:1 ~dst:2 in
+  ignore (Platform.migrate_bee platform ~bee ~to_hive:2 ~reason:"move");
+  drain engine;
+  let after = Beehive_net.Traffic_matrix.bytes matrix ~src:1 ~dst:2 in
+  Alcotest.(check bool) "state bytes crossed 1->2" true (after > before)
+
+let test_migration_rejections () =
+  let engine, platform = make_platform ~apps:[ kv_app () ] () in
+  put platform ~from:1 ~key:"k" ~value:1;
+  drain engine;
+  let bee = owner_exn platform ~app:"test.kv" "k" in
+  Alcotest.(check bool) "unknown bee" false
+    (Platform.migrate_bee platform ~bee:9999 ~to_hive:2 ~reason:"x");
+  Alcotest.(check bool) "same hive" false
+    (Platform.migrate_bee platform ~bee ~to_hive:1 ~reason:"x");
+  Alcotest.(check bool) "bad hive" false
+    (Platform.migrate_bee platform ~bee ~to_hive:17 ~reason:"x");
+  Platform.pin_bee platform ~bee;
+  Alcotest.(check bool) "pinned" false (Platform.migrate_bee platform ~bee ~to_hive:2 ~reason:"x")
+
+let test_capacity_limit () =
+  let engine = Engine.create () in
+  let cfg = { (Platform.default_config ~n_hives:2) with Platform.hive_capacity = 2 } in
+  let platform = Platform.create engine cfg in
+  Platform.register_app platform (kv_app ());
+  Platform.start platform;
+  put platform ~from:0 ~key:"a" ~value:1;
+  put platform ~from:0 ~key:"b" ~value:1;
+  put platform ~from:1 ~key:"c" ~value:1;
+  drain engine;
+  let bee_c = owner_exn platform ~app:"test.kv" "c" in
+  (* Hive 0 already hosts 2 cells: the move must be refused. *)
+  Alcotest.(check bool) "over capacity" false
+    (Platform.migrate_bee platform ~bee:bee_c ~to_hive:0 ~reason:"x")
+
+let test_replication_failover () =
+  let app =
+    let base = kv_app () in
+    { base with App.replicated = true }
+  in
+  let engine, platform = make_platform ~n_hives:3 ~replication:true ~apps:[ app ] () in
+  put platform ~from:1 ~key:"k" ~value:21;
+  put platform ~from:1 ~key:"k" ~value:21;
+  drain engine;
+  let bee = owner_exn platform ~app:"test.kv" "k" in
+  Platform.fail_hive platform 1;
+  Alcotest.(check bool) "hive dead" false (Platform.hive_alive platform 1);
+  let view = Option.get (Platform.bee_view platform bee) in
+  Alcotest.(check bool) "failed over" true (view.Platform.view_hive <> 1);
+  Alcotest.(check bool) "alive" true view.Platform.view_alive;
+  Alcotest.(check (option int)) "state recovered from replica" (Some 42)
+    (store_value platform ~bee ~key:"k");
+  (* The bee keeps working on its new hive. *)
+  put platform ~from:0 ~key:"k" ~value:8;
+  drain engine;
+  Alcotest.(check (option int)) "still serving" (Some 50) (store_value platform ~bee ~key:"k")
+
+let test_no_replication_loses_bee () =
+  let engine, platform = make_platform ~n_hives:3 ~apps:[ kv_app () ] () in
+  put platform ~from:1 ~key:"k" ~value:1;
+  drain engine;
+  let bee = owner_exn platform ~app:"test.kv" "k" in
+  Platform.fail_hive platform 1;
+  let dead = Option.get (Platform.bee_view platform bee) in
+  Alcotest.(check bool) "bee dead" false dead.Platform.view_alive;
+  Alcotest.(check bool) "cells released" true
+    (Platform.find_owner platform ~app:"test.kv" (Cell.cell "store" "k") = None);
+  (* A new message re-creates ownership elsewhere. *)
+  put platform ~from:2 ~key:"k" ~value:9;
+  drain engine;
+  let bee2 = owner_exn platform ~app:"test.kv" "k" in
+  Alcotest.(check bool) "new bee" true (bee2 <> bee);
+  Alcotest.(check (option int)) "fresh state (old lost)" (Some 9)
+    (store_value platform ~bee:bee2 ~key:"k")
+
+(* The paper's core guarantee: random multi-key messages with
+   transitively intersecting mapped cells are all handled by one bee. *)
+let prop_intersecting_messages_same_bee =
+  QCheck.Test.make ~name:"transitively intersecting cell groups end on one bee" ~count:50
+    QCheck.(list_of_size Gen.(1 -- 12) (pair (int_bound 5) (int_bound 5)))
+    (fun pairs ->
+      let app =
+        App.create ~name:"test.multi" ~dicts:[ "store" ]
+          [
+            App.handler ~kind:"test.multi_put"
+              ~map:(fun msg ->
+                match msg.Message.payload with
+                | Put { p_key; _ } ->
+                  Mapping.Cells (Cell.Set.of_keys "store" (String.split_on_char ',' p_key))
+                | _ -> Mapping.Drop)
+              (fun ctx msg ->
+                match msg.Message.payload with
+                | Put { p_key; _ } ->
+                  List.iter
+                    (fun k -> Context.set ctx ~dict:"store" ~key:k (Value.V_int 1))
+                    (String.split_on_char ',' p_key)
+                | _ -> ());
+          ]
+      in
+      let engine, platform = make_platform ~apps:[ app ] () in
+      List.iteri
+        (fun i (a, b) ->
+          Platform.inject platform
+            ~from:(Channels.Hive (i mod 4))
+            ~kind:"test.multi_put"
+            (Put { p_key = Printf.sprintf "%d,%d" a b; p_value = 1 }))
+        pairs;
+      drain engine;
+      Registry.check_invariant (Platform.registry platform);
+      (* Union-find over the pairs: keys in one component must share an
+         owner bee. *)
+      let parent = Array.init 6 Fun.id in
+      let rec find x = if parent.(x) = x then x else find parent.(x) in
+      let union a b = parent.(find a) <- find b in
+      List.iter (fun (a, b) -> union a b) pairs;
+      let owner k =
+        Platform.find_owner platform ~app:"test.multi" (Cell.cell "store" (string_of_int k))
+      in
+      let touched =
+        List.concat_map (fun (a, b) -> [ a; b ]) pairs |> List.sort_uniq Int.compare
+      in
+      (* Same union-find component -> same owning bee. *)
+      List.for_all
+        (fun x ->
+          List.for_all
+            (fun y -> (not (find x = find y)) || owner x = owner y)
+            touched)
+        touched)
+
+let test_counters_and_quiescence () =
+  let engine, platform = make_platform ~apps:[ kv_app () ] () in
+  Alcotest.(check bool) "quiescent at start" true (Platform.quiescent platform);
+  put platform ~from:0 ~key:"a" ~value:1;
+  put platform ~from:1 ~key:"b" ~value:1;
+  drain engine;
+  Alcotest.(check bool) "quiescent after drain" true (Platform.quiescent platform);
+  Alcotest.(check int) "processed" 2 (Platform.total_processed platform);
+  Alcotest.(check bool) "lock rpcs charged" true (Platform.total_lock_rpcs platform >= 2)
+
+let suite =
+  [
+    ( "platform",
+      [
+        Alcotest.test_case "put creates bee and state" `Quick test_put_creates_bee_and_state;
+        Alcotest.test_case "same key -> same bee" `Quick test_same_key_same_bee_any_origin;
+        Alcotest.test_case "different keys shard" `Quick test_different_keys_shard;
+        Alcotest.test_case "whole-dict access merges bees" `Quick test_whole_dict_merges_bees;
+        Alcotest.test_case "access violation aborts tx" `Quick test_access_violation_aborts;
+        Alcotest.test_case "foreach fan-out" `Quick test_foreach_fanout;
+        Alcotest.test_case "local apps per hive" `Quick test_local_app_per_hive;
+        Alcotest.test_case "migration preserves state+order" `Quick
+          test_migration_preserves_state_and_order;
+        Alcotest.test_case "migration traffic accounted" `Quick test_migration_traffic_accounted;
+        Alcotest.test_case "migration rejections" `Quick test_migration_rejections;
+        Alcotest.test_case "capacity limit" `Quick test_capacity_limit;
+        Alcotest.test_case "replication failover" `Quick test_replication_failover;
+        Alcotest.test_case "hive failure without replication" `Quick test_no_replication_loses_bee;
+        QCheck_alcotest.to_alcotest prop_intersecting_messages_same_bee;
+        Alcotest.test_case "counters and quiescence" `Quick test_counters_and_quiescence;
+      ] );
+  ]

@@ -1,0 +1,229 @@
+(* LPM trie properties and the distributed routing application. *)
+
+module Engine = Beehive_sim.Engine
+module Simtime = Beehive_sim.Simtime
+module Channels = Beehive_net.Channels
+module Platform = Beehive_core.Platform
+module Lpm = Beehive_apps.Lpm_trie
+module Routing = Beehive_apps.Routing
+
+(* --- trie ------------------------------------------------------------- *)
+
+let test_prefix_parsing () =
+  let p = Lpm.prefix_of_string "10.0.0.0/8" in
+  Alcotest.(check string) "roundtrip" "10.0.0.0/8" (Lpm.string_of_prefix p);
+  let p = Lpm.prefix_of_string "192.168.13.37/24" in
+  Alcotest.(check string) "normalized host bits" "192.168.13.0/24" (Lpm.string_of_prefix p);
+  Alcotest.(check string) "addr roundtrip" "1.2.3.4"
+    (Lpm.string_of_addr (Lpm.addr_of_string "1.2.3.4"));
+  Alcotest.check_raises "bad octet" (Invalid_argument "Lpm_trie.addr_of_string: bad octet")
+    (fun () -> ignore (Lpm.addr_of_string "1.2.3.300"))
+
+let test_longest_match () =
+  let t =
+    Lpm.empty
+    |> fun t -> Lpm.insert t (Lpm.prefix_of_string "10.0.0.0/8") "eight"
+    |> fun t -> Lpm.insert t (Lpm.prefix_of_string "10.1.0.0/16") "sixteen"
+    |> fun t -> Lpm.insert t (Lpm.prefix_of_string "10.1.2.0/24") "twentyfour"
+    |> fun t -> Lpm.insert t (Lpm.prefix_of_string "0.0.0.0/0") "default"
+  in
+  let look a =
+    match Lpm.lookup t (Lpm.addr_of_string a) with
+    | Some (_, v) -> v
+    | None -> "none"
+  in
+  Alcotest.(check string) "most specific" "twentyfour" (look "10.1.2.3");
+  Alcotest.(check string) "mid" "sixteen" (look "10.1.9.1");
+  Alcotest.(check string) "coarse" "eight" (look "10.200.0.1");
+  Alcotest.(check string) "default" "default" (look "99.99.99.99")
+
+let test_remove () =
+  let p24 = Lpm.prefix_of_string "10.1.2.0/24" in
+  let t = Lpm.insert (Lpm.insert Lpm.empty (Lpm.prefix_of_string "10.0.0.0/8") 8) p24 24 in
+  Alcotest.(check int) "cardinal" 2 (Lpm.cardinal t);
+  let t = Lpm.remove t p24 in
+  Alcotest.(check (option int)) "exact gone" None (Lpm.find_exact t p24);
+  (match Lpm.lookup t (Lpm.addr_of_string "10.1.2.3") with
+  | Some (_, 8) -> ()
+  | _ -> Alcotest.fail "falls back to /8");
+  let t = Lpm.remove t (Lpm.prefix_of_string "10.0.0.0/8") in
+  Alcotest.(check bool) "empty" true (Lpm.is_empty t)
+
+let prefix_gen =
+  QCheck.Gen.(
+    map2
+      (fun addr len -> Lpm.normalize (Int32.of_int addr) len)
+      (int_bound 0xFFFFFF) (int_range 4 28))
+
+let arb_prefixes =
+  QCheck.make
+    ~print:(fun ps -> String.concat ";" (List.map Lpm.string_of_prefix ps))
+    QCheck.Gen.(list_size (1 -- 30) prefix_gen)
+
+let prop_lookup_matches_reference =
+  QCheck.Test.make ~name:"trie lookup equals brute-force longest match" ~count:200 arb_prefixes
+    (fun prefixes ->
+      let t = List.fold_left (fun t p -> Lpm.insert t p (Lpm.string_of_prefix p)) Lpm.empty prefixes in
+      let addrs = List.map (fun (p : Lpm.prefix) -> p.Lpm.p_addr) prefixes in
+      List.for_all
+        (fun addr ->
+          let reference =
+            List.filter (fun p -> Lpm.prefix_matches p addr) prefixes
+            |> List.sort (fun (a : Lpm.prefix) b -> compare b.Lpm.p_len a.Lpm.p_len)
+            |> function
+            | [] -> None
+            | best :: _ -> Some best.Lpm.p_len
+          in
+          match (Lpm.lookup t addr, reference) with
+          | None, None -> true
+          | Some (p, _), Some len -> p.Lpm.p_len = len
+          | _ -> false)
+        addrs)
+
+let prop_insert_remove_roundtrip =
+  QCheck.Test.make ~name:"insert then remove restores lookups" ~count:200
+    (QCheck.pair arb_prefixes (QCheck.make prefix_gen))
+    (fun (prefixes, extra) ->
+      QCheck.assume (not (List.mem extra prefixes));
+      let t = List.fold_left (fun t p -> Lpm.insert t p 0) Lpm.empty prefixes in
+      let t2 = Lpm.remove (Lpm.insert t extra 1) extra in
+      List.for_all
+        (fun (p : Lpm.prefix) -> Lpm.lookup t p.Lpm.p_addr = Lpm.lookup t2 p.Lpm.p_addr)
+        prefixes
+      && Lpm.cardinal t = Lpm.cardinal t2)
+
+let prop_fold_ordered =
+  QCheck.Test.make ~name:"fold visits every inserted prefix exactly once" ~count:200 arb_prefixes
+    (fun prefixes ->
+      let uniq = List.sort_uniq compare prefixes in
+      let t = List.fold_left (fun t p -> Lpm.insert t p 0) Lpm.empty uniq in
+      let visited = List.map fst (Lpm.to_list t) in
+      List.sort compare visited = List.sort compare uniq)
+
+(* --- routing app ------------------------------------------------------ *)
+
+let setup () =
+  let engine = Engine.create () in
+  let platform = Platform.create engine (Platform.default_config ~n_hives:4) in
+  Platform.register_app platform (Routing.app ());
+  Platform.start platform;
+  (engine, platform)
+
+let drain engine = Engine.run_until engine (Simtime.add (Engine.now engine) (Simtime.of_sec 1.0))
+
+let announce platform ~from ~prefix ~nh ~metric =
+  Platform.inject platform ~from:(Channels.Hive from) ~kind:Routing.k_announce
+    (Routing.Announce { an_prefix = prefix; an_route = { Routing.nh_switch = nh; metric } })
+
+let test_announce_lookup () =
+  let engine, platform = setup () in
+  announce platform ~from:0 ~prefix:"10.0.0.0/8" ~nh:1 ~metric:10;
+  announce platform ~from:1 ~prefix:"10.1.0.0/16" ~nh:2 ~metric:10;
+  announce platform ~from:2 ~prefix:"0.0.0.0/0" ~nh:9 ~metric:100;
+  drain engine;
+  (match Routing.best_route platform ~addr:"10.1.2.3" with
+  | Some (p, r) ->
+    Alcotest.(check string) "longest" "10.1.0.0/16" p;
+    Alcotest.(check int) "nh" 2 r.Routing.nh_switch
+  | None -> Alcotest.fail "no route");
+  (match Routing.best_route platform ~addr:"8.8.8.8" with
+  | Some (p, r) ->
+    Alcotest.(check string) "default shard answers" "0.0.0.0/0" p;
+    Alcotest.(check int) "default nh" 9 r.Routing.nh_switch
+  | None -> Alcotest.fail "default route missing")
+
+let test_best_metric_and_withdraw () =
+  let engine, platform = setup () in
+  announce platform ~from:0 ~prefix:"10.0.0.0/8" ~nh:1 ~metric:10;
+  announce platform ~from:0 ~prefix:"10.0.0.0/8" ~nh:2 ~metric:5;
+  drain engine;
+  (match Routing.best_route platform ~addr:"10.9.9.9" with
+  | Some (_, r) -> Alcotest.(check int) "lowest metric wins" 2 r.Routing.nh_switch
+  | None -> Alcotest.fail "no route");
+  Platform.inject platform ~from:(Channels.Hive 0) ~kind:Routing.k_withdraw
+    (Routing.Withdraw { wd_prefix = "10.0.0.0/8"; wd_switch = 2 });
+  drain engine;
+  (match Routing.best_route platform ~addr:"10.9.9.9" with
+  | Some (_, r) -> Alcotest.(check int) "fallback candidate" 1 r.Routing.nh_switch
+  | None -> Alcotest.fail "route fully lost");
+  Platform.inject platform ~from:(Channels.Hive 0) ~kind:Routing.k_withdraw
+    (Routing.Withdraw { wd_prefix = "10.0.0.0/8"; wd_switch = 1 });
+  drain engine;
+  Alcotest.(check bool) "withdrawn entirely" true
+    (Routing.best_route platform ~addr:"10.9.9.9" = None)
+
+let test_async_lookup_with_fallback () =
+  let resolved = ref [] in
+  let engine = Engine.create () in
+  let platform = Platform.create engine (Platform.default_config ~n_hives:4) in
+  Platform.register_app platform (Routing.app ());
+  Platform.register_app platform
+    (Beehive_core.App.create ~name:"test.resolve" ~dicts:[ "x" ]
+       [
+         Beehive_core.App.handler ~kind:Routing.k_resolved
+           ~map:(fun _ -> Beehive_core.Mapping.Local)
+           (fun _ msg ->
+             match msg.Beehive_core.Message.payload with
+             | Routing.Resolved { rs_token; rs_prefix; _ } -> resolved := (rs_token, rs_prefix) :: !resolved
+             | _ -> ());
+       ]);
+  Platform.start platform;
+  announce platform ~from:0 ~prefix:"10.1.0.0/16" ~nh:1 ~metric:1;
+  announce platform ~from:0 ~prefix:"0.0.0.0/0" ~nh:2 ~metric:1;
+  drain engine;
+  let lookup addr token =
+    Platform.inject platform ~from:(Channels.Hive 3) ~kind:Routing.k_lookup
+      (Routing.Lookup { lk_addr = addr; lk_token = token; lk_fallback = false })
+  in
+  lookup "10.1.2.3" 1;  (* block shard hit *)
+  lookup "77.1.1.1" 2;  (* block miss -> default shard hit *)
+  drain engine;
+  let sorted = List.sort compare !resolved in
+  Alcotest.(check int) "two resolutions" 2 (List.length sorted);
+  (match sorted with
+  | [ (1, Some "10.1.0.0/16"); (2, Some "0.0.0.0/0") ] -> ()
+  | _ -> Alcotest.fail "resolution contents");
+  (* A total miss resolves to None after the fallback hop. *)
+  Platform.inject platform ~from:(Channels.Hive 0) ~kind:Routing.k_withdraw
+    (Routing.Withdraw { wd_prefix = "0.0.0.0/0"; wd_switch = 2 });
+  drain engine;
+  resolved := [];
+  lookup "77.1.1.1" 3;
+  drain engine;
+  (match !resolved with
+  | [ (3, None) ] -> ()
+  | _ -> Alcotest.fail "miss should resolve to None")
+
+let test_shards_distribute () =
+  let engine, platform = setup () in
+  List.iteri
+    (fun i p -> announce platform ~from:(i mod 4) ~prefix:p ~nh:i ~metric:1)
+    [ "10.0.0.0/8"; "20.0.0.0/8"; "30.0.0.0/8"; "40.0.0.0/8" ];
+  drain engine;
+  let sizes = Routing.shard_sizes platform in
+  Alcotest.(check int) "four shards" 4 (List.length sizes);
+  let owners =
+    List.filter_map
+      (fun (shard, _) ->
+        Platform.find_owner platform ~app:Routing.app_name
+          (Beehive_core.Cell.cell Routing.dict_rib shard))
+      sizes
+  in
+  Alcotest.(check int) "distinct bees" 4 (List.length (List.sort_uniq Int.compare owners))
+
+let suite =
+  [
+    ( "routing",
+      [
+        Alcotest.test_case "prefix parsing" `Quick test_prefix_parsing;
+        Alcotest.test_case "longest match" `Quick test_longest_match;
+        Alcotest.test_case "remove" `Quick test_remove;
+        QCheck_alcotest.to_alcotest prop_lookup_matches_reference;
+        QCheck_alcotest.to_alcotest prop_insert_remove_roundtrip;
+        QCheck_alcotest.to_alcotest prop_fold_ordered;
+        Alcotest.test_case "announce/lookup" `Quick test_announce_lookup;
+        Alcotest.test_case "metric + withdraw" `Quick test_best_metric_and_withdraw;
+        Alcotest.test_case "async lookup with fallback" `Quick test_async_lookup_with_fallback;
+        Alcotest.test_case "shards distribute" `Quick test_shards_distribute;
+      ] );
+  ]

@@ -1,0 +1,147 @@
+(* Simulation kernel: time arithmetic, RNG, event queue, engine. *)
+
+module Simtime = Beehive_sim.Simtime
+module Rng = Beehive_sim.Rng
+module Event_queue = Beehive_sim.Event_queue
+module Engine = Beehive_sim.Engine
+
+let test_simtime_arith () =
+  Alcotest.(check int) "of_ms" 2_000 (Simtime.to_us (Simtime.of_ms 2));
+  Alcotest.(check int) "of_sec" 1_500_000 (Simtime.to_us (Simtime.of_sec 1.5));
+  Alcotest.(check int) "add" 30 (Simtime.to_us (Simtime.add (Simtime.of_us 10) (Simtime.of_us 20)));
+  Alcotest.(check int) "diff" 10 (Simtime.to_us (Simtime.diff (Simtime.of_us 30) (Simtime.of_us 20)));
+  Alcotest.check_raises "negative" (Invalid_argument "Simtime.of_us: negative") (fun () ->
+      ignore (Simtime.of_us (-1)));
+  Alcotest.check_raises "diff negative" (Invalid_argument "Simtime.diff: negative result")
+    (fun () -> ignore (Simtime.diff (Simtime.of_us 1) (Simtime.of_us 2)))
+
+let test_rng_deterministic () =
+  let a = Rng.create 123 and b = Rng.create 123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.int a 1_000_000) (Rng.int b 1_000_000)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 1 in
+  let c = Rng.split a in
+  (* Draws from the split stream must not equal the parent's next draws
+     systematically. *)
+  let xs = List.init 50 (fun _ -> Rng.int a 1000) in
+  let ys = List.init 50 (fun _ -> Rng.int c 1000) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let test_rng_bounds () =
+  let r = Rng.create 9 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int r 7 in
+    if v < 0 || v >= 7 then Alcotest.failf "out of bounds: %d" v
+  done;
+  for _ = 1 to 10_000 do
+    let f = Rng.float r 2.5 in
+    if f < 0.0 || f >= 2.5 then Alcotest.failf "float out of bounds: %f" f
+  done
+
+let test_event_queue_order () =
+  let q = Event_queue.create () in
+  ignore (Event_queue.push q (Simtime.of_us 30) "c");
+  ignore (Event_queue.push q (Simtime.of_us 10) "a");
+  ignore (Event_queue.push q (Simtime.of_us 20) "b");
+  let pop () = match Event_queue.pop q with Some (_, v) -> v | None -> "!" in
+  let first = pop () in
+  let second = pop () in
+  let third = pop () in
+  Alcotest.(check (list string)) "sorted" [ "a"; "b"; "c" ] [ first; second; third ]
+
+let test_event_queue_fifo_ties () =
+  let q = Event_queue.create () in
+  for i = 0 to 9 do
+    ignore (Event_queue.push q (Simtime.of_us 5) i)
+  done;
+  let order = List.init 10 (fun _ -> match Event_queue.pop q with Some (_, v) -> v | None -> -1) in
+  Alcotest.(check (list int)) "insertion order at equal time" (List.init 10 Fun.id) order
+
+let test_event_queue_cancel () =
+  let q = Event_queue.create () in
+  let h1 = Event_queue.push q (Simtime.of_us 1) "a" in
+  let _h2 = Event_queue.push q (Simtime.of_us 2) "b" in
+  Alcotest.(check bool) "cancel ok" true (Event_queue.cancel q h1);
+  Alcotest.(check bool) "double cancel" false (Event_queue.cancel q h1);
+  Alcotest.(check int) "one live" 1 (Event_queue.length q);
+  (match Event_queue.pop q with
+  | Some (_, v) -> Alcotest.(check string) "skips cancelled" "b" v
+  | None -> Alcotest.fail "empty");
+  Alcotest.(check bool) "empty" true (Event_queue.is_empty q)
+
+let prop_heap_sorted =
+  QCheck.Test.make ~name:"event_queue pops in nondecreasing time order" ~count:200
+    QCheck.(list (int_bound 10_000))
+    (fun times ->
+      let q = Event_queue.create () in
+      List.iter (fun t -> ignore (Event_queue.push q (Simtime.of_us t) t)) times;
+      let rec drain last =
+        match Event_queue.pop q with
+        | None -> true
+        | Some (at, _) ->
+          let t = Simtime.to_us at in
+          t >= last && drain t
+      in
+      drain 0)
+
+let test_engine_run_until () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore (Engine.schedule_at e (Simtime.of_us 10) (fun () -> log := 10 :: !log));
+  ignore (Engine.schedule_at e (Simtime.of_us 30) (fun () -> log := 30 :: !log));
+  Engine.run_until e (Simtime.of_us 20);
+  Alcotest.(check (list int)) "only first fired" [ 10 ] !log;
+  Alcotest.(check int) "clock at horizon" 20 (Simtime.to_us (Engine.now e));
+  Engine.run_until e (Simtime.of_us 40);
+  Alcotest.(check (list int)) "second fired" [ 30; 10 ] !log
+
+let test_engine_periodic () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let h = Engine.every e (Simtime.of_us 10) (fun () -> incr count) in
+  Engine.run_until e (Simtime.of_us 55);
+  Alcotest.(check int) "5 ticks" 5 !count;
+  ignore (Engine.cancel e h);
+  Engine.run_until e (Simtime.of_us 200);
+  Alcotest.(check int) "no ticks after cancel" 5 !count
+
+let test_engine_cancel_inside_tick () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let h = ref None in
+  h :=
+    Some
+      (Engine.every e (Simtime.of_us 10) (fun () ->
+           incr count;
+           if !count = 3 then ignore (Engine.cancel e (Option.get !h))));
+  Engine.run_until e (Simtime.of_us 1000);
+  Alcotest.(check int) "self-cancel stops series" 3 !count
+
+let test_engine_past_raises () =
+  let e = Engine.create () in
+  ignore (Engine.schedule_at e (Simtime.of_us 50) (fun () -> ()));
+  Engine.run_until e (Simtime.of_us 100);
+  Alcotest.check_raises "past" (Invalid_argument "Engine.schedule_at: in the past")
+    (fun () -> ignore (Engine.schedule_at e (Simtime.of_us 10) (fun () -> ())))
+
+let suite =
+  [
+    ( "sim",
+      [
+        Alcotest.test_case "simtime arithmetic" `Quick test_simtime_arith;
+        Alcotest.test_case "rng determinism" `Quick test_rng_deterministic;
+        Alcotest.test_case "rng split independence" `Quick test_rng_split_independent;
+        Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
+        Alcotest.test_case "event queue order" `Quick test_event_queue_order;
+        Alcotest.test_case "event queue FIFO ties" `Quick test_event_queue_fifo_ties;
+        Alcotest.test_case "event queue cancel" `Quick test_event_queue_cancel;
+        QCheck_alcotest.to_alcotest prop_heap_sorted;
+        Alcotest.test_case "engine run_until" `Quick test_engine_run_until;
+        Alcotest.test_case "engine periodic timers" `Quick test_engine_periodic;
+        Alcotest.test_case "engine cancel inside tick" `Quick test_engine_cancel_inside_tick;
+        Alcotest.test_case "engine rejects past events" `Quick test_engine_past_raises;
+      ] );
+  ]

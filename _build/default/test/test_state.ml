@@ -1,0 +1,168 @@
+(* State dictionaries and transactions. *)
+
+module State = Beehive_core.State
+module Value = Beehive_core.Value
+module Cell = Beehive_core.Cell
+
+let vi n = Value.V_int n
+
+let get_int st ~dict ~key =
+  match State.get st ~dict ~key with Some (Value.V_int n) -> Some n | _ -> None
+
+let test_commit () =
+  let st = State.create () in
+  let tx = State.begin_tx st in
+  State.tx_set tx ~dict:"d" ~key:"a" (vi 1);
+  State.tx_set tx ~dict:"d" ~key:"b" (vi 2);
+  Alcotest.(check (option int)) "invisible before commit" None (get_int st ~dict:"d" ~key:"a");
+  State.commit tx;
+  Alcotest.(check (option int)) "visible after commit" (Some 1) (get_int st ~dict:"d" ~key:"a");
+  Alcotest.(check int) "entry count" 2 (State.entry_count st)
+
+let test_abort () =
+  let st = State.create () in
+  let tx = State.begin_tx st in
+  State.tx_set tx ~dict:"d" ~key:"a" (vi 1);
+  State.abort tx;
+  Alcotest.(check (option int)) "abort discards" None (get_int st ~dict:"d" ~key:"a");
+  Alcotest.check_raises "reuse after abort" (Invalid_argument "State: transaction already finished")
+    (fun () -> State.tx_set tx ~dict:"d" ~key:"a" (vi 2))
+
+let test_read_your_writes () =
+  let st = State.create () in
+  let tx0 = State.begin_tx st in
+  State.tx_set tx0 ~dict:"d" ~key:"a" (vi 1);
+  State.commit tx0;
+  let tx = State.begin_tx st in
+  Alcotest.(check bool) "sees base" true (State.tx_mem tx ~dict:"d" ~key:"a");
+  State.tx_set tx ~dict:"d" ~key:"a" (vi 5);
+  (match State.tx_get tx ~dict:"d" ~key:"a" with
+  | Some (Value.V_int 5) -> ()
+  | _ -> Alcotest.fail "read-your-writes");
+  State.tx_del tx ~dict:"d" ~key:"a";
+  Alcotest.(check bool) "delete visible in tx" false (State.tx_mem tx ~dict:"d" ~key:"a");
+  State.commit tx;
+  Alcotest.(check (option int)) "deleted after commit" None (get_int st ~dict:"d" ~key:"a")
+
+let test_tx_iter_overlay () =
+  let st = State.create () in
+  let tx0 = State.begin_tx st in
+  State.tx_set tx0 ~dict:"d" ~key:"a" (vi 1);
+  State.tx_set tx0 ~dict:"d" ~key:"b" (vi 2);
+  State.commit tx0;
+  let tx = State.begin_tx st in
+  State.tx_set tx ~dict:"d" ~key:"c" (vi 3);
+  State.tx_del tx ~dict:"d" ~key:"a";
+  let seen = ref [] in
+  State.tx_iter tx ~dict:"d" (fun k _ -> seen := k :: !seen);
+  Alcotest.(check (list string)) "overlayed view" [ "c"; "b" ] !seen;
+  State.abort tx
+
+let test_keys_sorted () =
+  let st = State.create () in
+  let tx = State.begin_tx st in
+  List.iter (fun k -> State.tx_set tx ~dict:"d" ~key:k (vi 0)) [ "z"; "a"; "m" ];
+  State.commit tx;
+  Alcotest.(check (list string)) "sorted" [ "a"; "m"; "z" ] (State.keys st ~dict:"d")
+
+let test_extract_insert () =
+  let st = State.create () in
+  let tx = State.begin_tx st in
+  State.tx_set tx ~dict:"d1" ~key:"a" (vi 1);
+  State.tx_set tx ~dict:"d1" ~key:"b" (vi 2);
+  State.tx_set tx ~dict:"d2" ~key:"a" (vi 3);
+  State.commit tx;
+  let moved = State.extract st (Cell.Set.singleton (Cell.cell "d1" "a")) in
+  Alcotest.(check int) "one entry moved" 1 (List.length moved);
+  Alcotest.(check (option int)) "removed from source" None (get_int st ~dict:"d1" ~key:"a");
+  Alcotest.(check (option int)) "others intact" (Some 2) (get_int st ~dict:"d1" ~key:"b");
+  let st2 = State.create () in
+  State.insert st2 moved;
+  Alcotest.(check (option int)) "inserted" (Some 1) (get_int st2 ~dict:"d1" ~key:"a")
+
+let test_extract_wildcard () =
+  let st = State.create () in
+  let tx = State.begin_tx st in
+  State.tx_set tx ~dict:"d1" ~key:"a" (vi 1);
+  State.tx_set tx ~dict:"d1" ~key:"b" (vi 2);
+  State.tx_set tx ~dict:"d2" ~key:"c" (vi 3);
+  State.commit tx;
+  let moved = State.extract st (Cell.Set.singleton (Cell.whole "d1")) in
+  Alcotest.(check int) "whole dict" 2 (List.length moved);
+  Alcotest.(check int) "d2 intact" 1 (State.entry_count st)
+
+let test_snapshot_restore () =
+  let st = State.create () in
+  let tx = State.begin_tx st in
+  State.tx_set tx ~dict:"d" ~key:"a" (vi 1);
+  State.tx_set tx ~dict:"e" ~key:"b" (vi 2);
+  State.commit tx;
+  let st2 = State.restore (State.snapshot st) in
+  Alcotest.(check (option int)) "a" (Some 1) (get_int st2 ~dict:"d" ~key:"a");
+  Alcotest.(check (option int)) "b" (Some 2) (get_int st2 ~dict:"e" ~key:"b");
+  Alcotest.(check int) "size matches" (State.size_bytes st) (State.size_bytes st2)
+
+let test_tx_pending () =
+  let st = State.create () in
+  let tx = State.begin_tx st in
+  State.tx_set tx ~dict:"d" ~key:"b" (vi 2);
+  State.tx_set tx ~dict:"d" ~key:"a" (vi 1);
+  State.tx_del tx ~dict:"d" ~key:"c";
+  let pending = State.tx_pending tx in
+  Alcotest.(check int) "3 pending" 3 (List.length pending);
+  (match pending with
+  | [ ("d", "a", Some _); ("d", "b", Some _); ("d", "c", None) ] -> ()
+  | _ -> Alcotest.fail "deterministic order and deletion marker");
+  State.abort tx
+
+let prop_commit_equals_model =
+  (* Random sequences of set/del in a transaction match an assoc-list
+     model after commit. *)
+  QCheck.Test.make ~name:"transaction semantics match a sequential model" ~count:200
+    QCheck.(list (pair (int_bound 7) (option (int_bound 100))))
+    (fun ops ->
+      let st = State.create () in
+      let tx = State.begin_tx st in
+      let model = Hashtbl.create 8 in
+      List.iter
+        (fun (k, v) ->
+          let key = string_of_int k in
+          match v with
+          | Some n ->
+            State.tx_set tx ~dict:"d" ~key (vi n);
+            Hashtbl.replace model key n
+          | None ->
+            State.tx_del tx ~dict:"d" ~key;
+            Hashtbl.remove model key)
+        ops;
+      State.commit tx;
+      Hashtbl.fold (fun k n acc -> acc && get_int st ~dict:"d" ~key:k = Some n) model true
+      && State.entry_count st = Hashtbl.length model)
+
+let test_cells_of_state () =
+  let st = State.create () in
+  let tx = State.begin_tx st in
+  State.tx_set tx ~dict:"d" ~key:"a" (vi 1);
+  State.tx_set tx ~dict:"e" ~key:"b" (vi 1);
+  State.commit tx;
+  let cells = State.cells st in
+  Alcotest.(check bool) "has (d,a)" true (Cell.Set.mem (Cell.cell "d" "a") cells);
+  Alcotest.(check int) "two cells" 2 (Cell.Set.cardinal cells)
+
+let suite =
+  [
+    ( "state",
+      [
+        Alcotest.test_case "commit" `Quick test_commit;
+        Alcotest.test_case "abort" `Quick test_abort;
+        Alcotest.test_case "read-your-writes" `Quick test_read_your_writes;
+        Alcotest.test_case "tx_iter overlay" `Quick test_tx_iter_overlay;
+        Alcotest.test_case "keys sorted" `Quick test_keys_sorted;
+        Alcotest.test_case "extract/insert" `Quick test_extract_insert;
+        Alcotest.test_case "extract wildcard" `Quick test_extract_wildcard;
+        Alcotest.test_case "snapshot/restore" `Quick test_snapshot_restore;
+        Alcotest.test_case "tx_pending" `Quick test_tx_pending;
+        QCheck_alcotest.to_alcotest prop_commit_equals_model;
+        Alcotest.test_case "cells of state" `Quick test_cells_of_state;
+      ] );
+  ]

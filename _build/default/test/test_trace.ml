@@ -1,0 +1,111 @@
+(* Message provenance/causation traces. *)
+
+open Helpers
+module Trace = Beehive_core.Trace
+
+(* ping -> pong -> pang: a three-stage causal chain. *)
+let chain_app =
+  App.create ~name:"test.chain" ~dicts:[ "store" ]
+    [
+      App.handler ~kind:"test.ping"
+        ~map:(fun _ -> Mapping.with_key "store" "x")
+        (fun ctx _ -> Context.emit ctx ~kind:"test.pong" (Noop 1));
+      App.handler ~kind:"test.pong"
+        ~map:(fun _ -> Mapping.with_key "store" "x")
+        (fun ctx _ ->
+          Context.emit ctx ~kind:"test.pang" (Noop 2);
+          Context.emit ctx ~kind:"test.pang" (Noop 3));
+      App.handler ~kind:"test.pang"
+        ~map:(fun _ -> Mapping.with_key "store" "x")
+        (fun _ _ -> ());
+    ]
+
+let setup () =
+  let engine = Engine.create () in
+  let platform = Platform.create engine (Platform.default_config ~n_hives:2) in
+  Platform.register_app platform chain_app;
+  let trace = Trace.attach platform () in
+  Platform.start platform;
+  (engine, platform, trace)
+
+let find_by_kind trace kind =
+  List.filter (fun ev -> ev.Trace.ev_kind = kind) (Trace.events trace)
+
+let test_chain_recorded () =
+  let engine, platform, trace = setup () in
+  Platform.inject platform ~from:(Channels.Hive 0) ~kind:"test.ping" (Noop 0);
+  drain engine;
+  let pangs = find_by_kind trace "test.pang" in
+  Alcotest.(check int) "two pangs" 2 (List.length pangs);
+  let chain = Trace.chain trace (List.hd pangs).Trace.ev_msg in
+  Alcotest.(check (list string)) "root-first causal chain"
+    [ "test.ping"; "test.pong"; "test.pang" ]
+    (List.map (fun e -> e.Trace.ev_kind) chain);
+  (* The root is the injected message (no emitter). *)
+  (match chain with
+  | root :: _ ->
+    Alcotest.(check bool) "root injected" true (root.Trace.ev_emitter = None);
+    Alcotest.(check bool) "root has no parent" true (root.Trace.ev_parent = None)
+  | [] -> Alcotest.fail "empty chain");
+  (* children of the pong are the two pangs. *)
+  let pong = List.hd (find_by_kind trace "test.pong") in
+  Alcotest.(check int) "pong caused two" 2 (List.length (Trace.children trace pong.Trace.ev_msg))
+
+let test_causation_ratio () =
+  let engine, platform, trace = setup () in
+  for _ = 1 to 5 do
+    Platform.inject platform ~from:(Channels.Hive 0) ~kind:"test.ping" (Noop 0)
+  done;
+  drain engine;
+  Alcotest.(check (option (float 0.001))) "1 pong per ping" (Some 1.0)
+    (Trace.causation_ratio trace ~in_kind:"test.ping" ~out_kind:"test.pong");
+  Alcotest.(check (option (float 0.001))) "2 pangs per pong" (Some 2.0)
+    (Trace.causation_ratio trace ~in_kind:"test.pong" ~out_kind:"test.pang");
+  Alcotest.(check (option (float 0.001))) "no pang from ping directly" (Some 0.0)
+    (Trace.causation_ratio trace ~in_kind:"test.ping" ~out_kind:"test.pang");
+  Alcotest.(check bool) "unknown kind" true
+    (Trace.causation_ratio trace ~in_kind:"nope" ~out_kind:"test.pong" = None)
+
+let test_ring_eviction () =
+  let engine = Engine.create () in
+  let platform = Platform.create engine (Platform.default_config ~n_hives:2) in
+  Platform.register_app platform chain_app;
+  let trace = Trace.attach platform ~capacity:10 () in
+  Platform.start platform;
+  for _ = 1 to 20 do
+    Platform.inject platform ~from:(Channels.Hive 0) ~kind:"test.ping" (Noop 0)
+  done;
+  drain engine;
+  Alcotest.(check bool) "bounded" true (Trace.recorded trace <= 10);
+  (* Old roots evicted: a late pang's chain is truncated but intact. *)
+  let pangs = find_by_kind trace "test.pang" in
+  Alcotest.(check bool) "recent events survive" true (pangs <> [])
+
+let test_render_tree () =
+  let engine, platform, trace = setup () in
+  Platform.inject platform ~from:(Channels.Hive 0) ~kind:"test.ping" (Noop 0);
+  drain engine;
+  let root = List.hd (find_by_kind trace "test.ping") in
+  let buf = Buffer.create 256 in
+  let fmt = Format.formatter_of_buffer buf in
+  Trace.render_tree trace fmt root.Trace.ev_msg;
+  Format.pp_print_flush fmt ();
+  let s = Buffer.contents buf in
+  let contains needle =
+    let n = String.length needle and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "mentions all kinds" true
+    (List.for_all contains [ "test.ping"; "test.pong"; "test.pang" ])
+
+let suite =
+  [
+    ( "trace",
+      [
+        Alcotest.test_case "causal chain recorded" `Quick test_chain_recorded;
+        Alcotest.test_case "causation ratios" `Quick test_causation_ratio;
+        Alcotest.test_case "ring eviction" `Quick test_ring_eviction;
+        Alcotest.test_case "render tree" `Quick test_render_tree;
+      ] );
+  ]
