@@ -3,6 +3,7 @@ module Simtime = Beehive_sim.Simtime
 module Rng = Beehive_sim.Rng
 module Channels = Beehive_net.Channels
 module Lock_service = Beehive_locksvc.Lock_service
+module Store = Beehive_store.Store
 
 let src = Logs.Src.create "beehive.platform" ~doc:"Beehive control platform"
 
@@ -15,6 +16,7 @@ type config = {
   lock_rpc_size : int;
   hive_capacity : int;
   replication : bool;
+  durability : Store.config option;
 }
 
 let default_config ~n_hives =
@@ -25,6 +27,7 @@ let default_config ~n_hives =
     lock_rpc_size = 48;
     hive_capacity = max_int;
     replication = false;
+    durability = None;
   }
 
 type allowed_spec =
@@ -50,9 +53,15 @@ type bee = {
   is_local : bool;
   rng : Rng.t;
   mutable busy : bool;
-  mutable status : [ `Active | `Paused | `Dead ];
+  mutable status : [ `Active | `Paused | `Crashed | `Dead ];
       (* [`Paused] while migrating or while a merge it participates in is
-         in flight: incoming messages buffer in the mailbox. *)
+         in flight: incoming messages buffer in the mailbox. [`Crashed]
+         when the bee's hive failed but its dictionaries are durable: the
+         registry keeps its cells and {!restart_hive} revives it from the
+         storage engine. *)
+  mutable incarnation : int;
+      (* bumped on crash so events scheduled against a previous life
+         (handler completions, migration landings) are discarded *)
   mutable pending_migration : (int * string) option;
   mutable on_idle : (unit -> unit) list;
       (* continuations run when the current handler (if any) completes;
@@ -107,8 +116,11 @@ type t = {
   pinned_bees : (int, unit) Hashtbl.t;
   endpoints : (Channels.endpoint, Message.t -> unit) Hashtbl.t;
   backups : (int, State.t) Hashtbl.t;
+  mutable store : Value.t Store.t option;
+      (* durability engine shadowing every non-local bee's dictionaries *)
   mutable migration_log : migration list;  (* newest first *)
   mutable mig_hooks : (migration -> unit) list;
+  mutable restart_hooks : (int -> unit) list;
   mutable commit_hooks : (commit_info -> unit) list;
   mutable recovery_providers : (bee:int -> (string * string * Value.t) list option) list;
       (* newest first; first Some wins *)
@@ -136,6 +148,7 @@ let create engine cfg =
     (Engine.every engine (Simtime.of_sec 4.0) (fun () ->
          if Lock_service.session_alive lock_session then
            Lock_service.keep_alive lock_session));
+  let t =
   {
     engine;
     cfg;
@@ -154,8 +167,10 @@ let create engine cfg =
     pinned_bees = Hashtbl.create 64;
     endpoints = Hashtbl.create 64;
     backups = Hashtbl.create 64;
+    store = None;
     migration_log = [];
     mig_hooks = [];
+    restart_hooks = [];
     commit_hooks = [];
     recovery_providers = [];
     failure_hooks = [];
@@ -166,6 +181,34 @@ let create engine cfg =
     n_merges = 0;
     n_dropped = 0;
   }
+  in
+  (match cfg.durability with
+  | None -> ()
+  | Some store_cfg ->
+    (* Write sizes mirror the replication accounting: dict + key + value
+       (a tombstone carries a 4-byte marker). Each group-commit fsync is
+       charged to the owning hive's row of the traffic matrix. *)
+    let size_of (dict, key, w) =
+      String.length dict + String.length key
+      + match w with Some v -> Value.size v | None -> 4
+    in
+    let on_fsync ~hive ~bytes ~records:_ =
+      ignore
+        (Channels.transfer t.chans ~src:(Channels.Hive hive) ~dst:(Channels.Hive hive)
+           ~bytes ~now:(Engine.now engine))
+    in
+    let on_compaction ~bee ~dropped_records:_ ~dropped_bytes:_ ~snapshot_bytes:_ =
+      match Hashtbl.find_opt t.bees bee with
+      | None -> ()
+      | Some b ->
+        (match t.store with
+        | Some s ->
+          Stats.set_gauge b.stats "wal_bytes" (Store.wal_bytes s ~bee);
+          Stats.set_gauge b.stats "snapshots" (Store.snapshot_count s ~bee)
+        | None -> ())
+    in
+    t.store <- Some (Store.create engine ~config:store_cfg ~size_of ~on_fsync ~on_compaction ()));
+  t
 
 let engine t = t.engine
 let channels t = t.chans
@@ -261,6 +304,7 @@ let new_bee t ~(app : App.t) ~hive ~is_local =
       rng = Rng.split (Engine.rng t.engine);
       busy = false;
       status = `Active;
+      incarnation = 0;
       pending_migration = None;
       on_idle = [];
       forwarded_to = None;
@@ -277,7 +321,8 @@ let kill_bee t b =
   release_cell_locks t ~app:b.app.App.name (Registry.bee t.reg b.id).Registry.bee_cells;
   Registry.unassign_bee t.reg ~bee:b.id;
   Hashtbl.remove t.pinned_bees b.id;
-  Hashtbl.remove t.backups b.id
+  Hashtbl.remove t.backups b.id;
+  match t.store with Some s -> Store.forget s ~bee:b.id | None -> ()
 
 let local_bee_of t ~(app : App.t) ~hive =
   match Hashtbl.find_opt t.local_bees (app.App.name, hive) with
@@ -335,9 +380,12 @@ let rec maybe_process t (b : bee) =
     b.busy <- true;
     let d = Queue.pop b.mailbox in
     let cost = d.d_handler.App.cost d.d_msg in
+    let inc = b.incarnation in
     ignore
       (Engine.schedule_after t.engine cost (fun () ->
-           if b.status <> `Dead then begin
+           (* A crash between dispatch and completion voids the handler:
+              its effects died with the hive. *)
+           if b.incarnation = inc && (b.status = `Active || b.status = `Paused) then begin
              process t b d cost;
              b.busy <- false;
              run_idle_hooks t b;
@@ -402,6 +450,13 @@ and process t (b : bee) d cost =
     let pending = State.tx_pending tx in
     State.commit tx;
     replicate_commit t b pending;
+    (match t.store with
+    | Some s when (not b.is_local) && pending <> [] ->
+      (* WAL the write set; it becomes durable at the next group commit. *)
+      Store.append s ~bee:b.id ~hive:b.hive pending;
+      Stats.set_gauge b.stats "wal_bytes" (Store.wal_bytes s ~bee:b.id);
+      Stats.set_gauge b.stats "snapshots" (Store.snapshot_count s ~bee:b.id)
+    | Some _ | None -> ());
     if b.app.App.replicated && (not b.is_local) && pending <> [] && t.commit_hooks <> []
     then begin
       let bytes =
@@ -434,16 +489,31 @@ and start_transfer t (b : bee) dst reason =
   if b.status = `Active && hive_alive t dst && dst <> b.hive then begin
     b.status <- `Paused;
     let src_hive = b.hive in
-    let bytes = 64 + State.size_bytes b.state in
+    let bytes =
+      (* With the storage engine, migration ships a compacted snapshot
+         plus the WAL tail (forcing a group commit first) rather than an
+         eager copy of the cell set. *)
+      match t.store with
+      | Some s when not b.is_local -> (Store.package s ~bee:b.id).Store.pkg_bytes
+      | Some _ | None -> 64 + State.size_bytes b.state
+    in
     let lat =
       Channels.transfer t.chans ~src:(Channels.Hive src_hive) ~dst:(Channels.Hive dst)
         ~bytes ~now:(now t)
     in
     (* Registry update: one lock-service round trip from each side. *)
     let l_rpc = charge_lock_rpc t ~hive:src_hive in
+    let inc = b.incarnation in
     ignore
       (Engine.schedule_after t.engine (Simtime.add lat l_rpc) (fun () ->
-           if b.status = `Paused then begin
+           if b.status = `Paused && b.incarnation = inc && not (hive_alive t dst) then begin
+             (* Destination died mid-transfer: the source still owns the
+                bee; resume in place (the registry never changed, so there
+                is exactly one owner throughout). *)
+             b.status <- `Active;
+             maybe_process t b
+           end
+           else if b.status = `Paused && b.incarnation = inc then begin
              b.hive <- dst;
              Registry.set_hive t.reg ~bee:b.id ~hive:dst;
              t.version <- t.version + 1;
@@ -494,6 +564,14 @@ and merge_bees t ~(winner : bee) ~(losers : bee list) =
     let cells = info.Registry.bee_cells in
     let all_entries = State.snapshot l.state in
     State.insert winner.state all_entries;
+    (match t.store with
+    | Some s when not winner.is_local ->
+      (* The winner's log absorbs the loser's cell set as one write set;
+         the loser's log is gone (its cells now live under the winner). *)
+      Store.append s ~bee:winner.id ~hive:winner.hive
+        (List.map (fun (d, k, v) -> (d, k, Some v)) all_entries);
+      Store.forget s ~bee:l.id
+    | Some _ | None -> ());
     let bytes =
       64 + List.fold_left (fun acc (_, _, v) -> acc + Value.size v) 0 all_entries
     in
@@ -544,11 +622,11 @@ and deliver t (b : bee) d ~latency =
   ignore
     (Engine.schedule_after t.engine latency (fun () ->
          let b = resolve b in
-         if b.status <> `Dead then begin
+         match b.status with
+         | `Dead | `Crashed -> t.n_dropped <- t.n_dropped + 1
+         | `Active | `Paused ->
            Queue.push d b.mailbox;
-           maybe_process t b
-         end
-         else t.n_dropped <- t.n_dropped + 1))
+           maybe_process t b))
 
 and route_cells t ~(app : App.t) ~(handler : App.handler) ~src_ep ~origin cs msg =
   let src_hive, src_bee = resolve_src t msg in
@@ -765,7 +843,9 @@ let view_of t (b : bee) =
     view_cells = cells;
     view_queue = Queue.length b.mailbox;
     view_is_local = b.is_local;
-    view_alive = b.status <> `Dead;
+    view_alive = (match b.status with
+      | `Active | `Paused -> true
+      | `Crashed | `Dead -> false);
   }
 
 let bee_view t id = Option.map (view_of t) (get_bee t id)
@@ -776,11 +856,38 @@ let live_bees t =
   |> List.map (view_of t)
 
 let bee_stats t id = Option.map (fun b -> b.stats) (get_bee t id)
+
+(* Size and entry metrics read through the storage engine when durability
+   is on, so replicated-size and WAL-size reporting share one source of
+   truth (the store's materialized view tracks every committed write). *)
 let bee_state_size t id =
-  match get_bee t id with Some b -> State.size_bytes b.state | None -> 0
+  match (t.store, get_bee t id) with
+  | Some s, Some b when not b.is_local -> Store.size_bytes s ~bee:id
+  | _, Some b -> State.size_bytes b.state
+  | _, None -> 0
 
 let bee_state_entries t id =
-  match get_bee t id with Some b -> State.snapshot b.state | None -> []
+  match (t.store, get_bee t id) with
+  | Some s, Some b when not b.is_local -> Store.entries s ~bee:id
+  | _, Some b -> State.snapshot b.state
+  | _, None -> []
+
+let store t = t.store
+
+let bee_wal_bytes t id =
+  match t.store with Some s -> Store.wal_bytes s ~bee:id | None -> 0
+
+let bee_snapshot_count t id =
+  match t.store with Some s -> Store.snapshot_count s ~bee:id | None -> 0
+
+let durable_bee_entries t id =
+  match t.store with Some s -> Store.recover s ~bee:id | None -> []
+
+let flush_durability t =
+  match t.store with Some s -> Store.flush s | None -> ()
+
+let total_fsyncs t =
+  match t.store with Some s -> Store.total_fsyncs s | None -> 0
 
 let local_bee t ~app ~hive = Hashtbl.find_opt t.local_bees (app, hive)
 
@@ -834,6 +941,7 @@ let migrate_bee t ~bee ~to_hive ~reason =
 
 let migrations t = List.rev t.migration_log
 let on_migration t f = t.mig_hooks <- f :: t.mig_hooks
+let on_hive_restart t f = t.restart_hooks <- f :: t.restart_hooks
 let on_commit t f = t.commit_hooks <- f :: t.commit_hooks
 let set_recovery_provider t f = t.recovery_providers <- f :: t.recovery_providers
 let on_hive_failure t f = t.failure_hooks <- f :: t.failure_hooks
@@ -851,6 +959,8 @@ let fail_hive t h =
     t.hive_up.(h) <- false;
     t.version <- t.version + 1;
     List.iter (fun f -> f h) t.failure_hooks;
+    (* Batches not yet group-committed die with the hive. *)
+    (match t.store with Some s -> Store.drop_pending s ~hive:h | None -> ());
     let victims =
       Hashtbl.fold
         (fun _ (b : bee) acc -> if b.status <> `Dead && b.hive = h then b :: acc else acc)
@@ -883,12 +993,60 @@ let fail_hive t h =
             b.state <- State.restore entries;
             Queue.clear b.mailbox;
             b.busy <- false;
+            b.incarnation <- b.incarnation + 1;
+            b.pending_migration <- None;
             b.status <- `Active;
             Registry.set_hive t.reg ~bee:b.id ~hive:bh;
+            (match t.store with
+            | Some s ->
+              (* Re-seed the durable log under the new owner so a later
+                 crash of the backup hive also recovers. *)
+              Store.forget s ~bee:b.id;
+              Store.append s ~bee:b.id ~hive:bh
+                (List.map (fun (d, k, v) -> (d, k, Some v)) entries)
+            | None -> ());
             Log.info (fun m -> m "bee %d failed over from hive %d to %d" b.id h bh)
-          | None -> kill_bee t b
+          | None -> (
+            match t.store with
+            | Some _ when not b.is_local ->
+              (* Durable crash: the dictionaries live on in snapshot+WAL;
+                 the registry keeps the cells so ownership stays unique
+                 and restart_hive revives the bee in place. *)
+              b.status <- `Crashed;
+              b.incarnation <- b.incarnation + 1;
+              b.busy <- false;
+              b.pending_migration <- None;
+              Queue.clear b.mailbox
+            | Some _ | None -> kill_bee t b)
         end)
       victims
+  end
+
+let restart_hive t h =
+  if h < 0 || h >= t.cfg.n_hives then invalid_arg "Platform.restart_hive: bad hive";
+  if not t.hive_up.(h) then begin
+    t.hive_up.(h) <- true;
+    t.version <- t.version + 1;
+    List.iter (fun f -> f h) t.restart_hooks;
+    match t.store with
+    | None -> ()
+    | Some s ->
+      let crashed =
+        Hashtbl.fold
+          (fun _ (b : bee) acc ->
+            if b.status = `Crashed && b.hive = h then b :: acc else acc)
+          t.bees []
+        |> List.sort (fun (a : bee) b -> Int.compare a.id b.id)
+      in
+      List.iter
+        (fun (b : bee) ->
+          (* Snapshot + WAL-tail replay, byte-identical to the last
+             group-committed state. *)
+          b.state <- State.restore (Store.recover s ~bee:b.id);
+          b.status <- `Active;
+          Log.info (fun m -> m "bee %d recovered on restarted hive %d" b.id h);
+          maybe_process t b)
+        crashed
   end
 
 (* ------------------------------------------------------------------ *)

@@ -21,6 +21,12 @@ type config = {
   lock_rpc_size : int;  (** bytes per lock-service request/response *)
   hive_capacity : int;  (** max cells hosted per hive *)
   replication : bool;  (** enable primary-backup replication *)
+  durability : Beehive_store.Store.config option;
+      (** when set, every non-local bee's dictionaries are shadowed by the
+          {!Beehive_store.Store} engine: commits are write-ahead-logged
+          with group commit, WALs compact into snapshots, crashed hives
+          can {!restart_hive} with byte-identical state, and migration
+          ships snapshot+WAL-tail packages *)
 }
 
 val default_config : n_hives:int -> config
@@ -81,7 +87,42 @@ val bee_stats : t -> int -> Stats.t option
 val bee_state_size : t -> int -> int
 
 val bee_state_entries : t -> int -> (string * string * Value.t) list
-(** Read-only snapshot of a bee's committed state (analytics/debug). *)
+(** Read-only snapshot of a bee's committed state (analytics/debug). Both
+    this and {!bee_state_size} read through the storage engine when
+    durability is on, so state-size metrics and WAL metrics cannot
+    disagree. *)
+
+(** {2 Durability}
+
+    Present only when {!config.durability} is set. *)
+
+val store : t -> Value.t Beehive_store.Store.t option
+(** The storage engine instance. *)
+
+val bee_wal_bytes : t -> int -> int
+(** Durable WAL-tail bytes of a bee (0 without durability). *)
+
+val bee_snapshot_count : t -> int -> int
+(** Compactions taken for a bee's log. *)
+
+val durable_bee_entries : t -> int -> (string * string * Value.t) list
+(** What a crash right now would recover for this bee: snapshot plus WAL
+    tail, excluding batches not yet group-committed. *)
+
+val flush_durability : t -> unit
+(** Forces a group commit (tests and controlled shutdowns). *)
+
+val total_fsyncs : t -> int
+
+val restart_hive : t -> int -> unit
+(** Brings a failed hive back. With durability on, every bee that crashed
+    on it is revived in place from snapshot+WAL replay (byte-identical to
+    its last group-committed state); without durability only new local
+    bees can form there again. *)
+
+val on_hive_restart : t -> (int -> unit) -> unit
+(** Called at the start of {!restart_hive} (e.g. to restart co-located
+    consensus nodes). *)
 
 val local_bee : t -> app:string -> hive:int -> int option
 val find_owner : t -> app:string -> Cell.t -> int option

@@ -15,12 +15,18 @@ type group = {
 type t = {
   platform : Platform.t;
   size : int;
+  compact_every : int;
   mutable groups : group array;
   pending : (string, Platform.commit_info) Hashtbl.t;  (* command id -> write set *)
   anchors : (int, int) Hashtbl.t;  (* bee -> anchor hive of its group *)
   counted : (string, unit) Hashtbl.t;  (* command ids seen applied at least once *)
+  snapshots : (string, (int * (string * string * Value.t) list) list) Hashtbl.t;
+      (* snapshot handle -> per-bee state image; Raft ships the handle,
+         the real size is charged via [is_data_size] *)
   mutable seq : int;
+  mutable snap_seq : int;
   mutable committed : int;
+  mutable installs : int;
 }
 
 let command_id t =
@@ -115,9 +121,49 @@ let make_group t engine ~anchor ~members =
                  | Some _ | None -> ()))
         end
       in
+      let node_ref = ref None in
+      (* Snapshot the member's full replica table and compact its Raft
+         log once it has applied [compact_every] entries past the last
+         snapshot. Handles are never GC'd: an in-flight Install_snapshot
+         may still reference an old one, and simulation runs are finite. *)
+      let maybe_compact () =
+        match !node_ref with
+        | Some node
+          when Raft.last_applied node - Raft.snapshot_index node >= t.compact_every ->
+          let tbl = replica_table g ~member in
+          let per_bee =
+            Hashtbl.fold (fun bee st acc -> (bee, State.snapshot st) :: acc) tbl []
+            |> List.sort (fun (a, _) (b, _) -> compare a b)
+          in
+          t.snap_seq <- t.snap_seq + 1;
+          let data = Printf.sprintf "s%d" t.snap_seq in
+          Hashtbl.replace t.snapshots data per_bee;
+          let size =
+            List.fold_left
+              (fun a (_, entries) ->
+                List.fold_left
+                  (fun a (d, k, v) ->
+                    a + String.length d + String.length k + Value.size v)
+                  a entries)
+              64 per_bee
+          in
+          Raft.compact node ~upto:(Raft.last_applied node) ~data_size:size ~data ()
+        | _ -> ()
+      in
+      let install ~last_index:_ ~last_term:_ ~data =
+        match Hashtbl.find_opt t.snapshots data with
+        | Some per_bee ->
+          t.installs <- t.installs + 1;
+          let tbl = replica_table g ~member in
+          Hashtbl.reset tbl;
+          List.iter
+            (fun (bee, entries) -> Hashtbl.replace tbl bee (State.restore entries))
+            per_bee
+        | None -> ()
+      in
       let apply (e : Raft.entry) =
         let id = decode_command e.Raft.e_command in
-        match Hashtbl.find_opt t.pending id with
+        (match Hashtbl.find_opt t.pending id with
         | Some ci ->
           apply_write_set g ~member ci;
           (* Count each write set once, on its first apply anywhere. *)
@@ -125,9 +171,11 @@ let make_group t engine ~anchor ~members =
             Hashtbl.add t.counted id ();
             t.committed <- t.committed + 1
           end
-        | None -> ()
+        | None -> ());
+        maybe_compact ()
       in
-      let node = Raft.create engine ~id:member ~peers ~send ~apply () in
+      let node = Raft.create engine ~id:member ~peers ~install ~send ~apply () in
+      node_ref := Some node;
       Hashtbl.add g.g_nodes member node;
       Raft.start node)
     members;
@@ -191,7 +239,15 @@ let on_hive_failure t h =
       | None -> ())
     t.groups
 
-let install platform ?(group_size = 3) () =
+let on_hive_restart t h =
+  Array.iter
+    (fun g ->
+      match Hashtbl.find_opt g.g_nodes h with
+      | Some node -> Raft.restart node
+      | None -> ())
+    t.groups
+
+let install platform ?(group_size = 3) ?(compact_every = 64) () =
   let engine = Platform.engine platform in
   let n = Platform.n_hives platform in
   let size = max 1 (min group_size n) in
@@ -199,12 +255,16 @@ let install platform ?(group_size = 3) () =
     {
       platform;
       size;
+      compact_every = max 1 compact_every;
       groups = [||];
       pending = Hashtbl.create 256;
       anchors = Hashtbl.create 64;
       counted = Hashtbl.create 256;
+      snapshots = Hashtbl.create 64;
       seq = 0;
+      snap_seq = 0;
       committed = 0;
+      installs = 0;
     }
   in
   t.groups <-
@@ -214,6 +274,7 @@ let install platform ?(group_size = 3) () =
   Platform.on_commit platform (fun ci -> on_commit t ci);
   Platform.set_recovery_provider platform (fun ~bee -> recovery_provider t ~bee);
   Platform.on_hive_failure platform (fun h -> on_hive_failure t h);
+  Platform.on_hive_restart platform (fun h -> on_hive_restart t h);
   (* Retry queued proposals until a leader exists. *)
   ignore
     (Engine.every engine (Simtime.of_ms 100) (fun () ->
@@ -227,6 +288,13 @@ let group_leader t ~hive =
   live_leader t t.groups.(hive mod Array.length t.groups)
 
 let replicated_commands t = t.committed
+let snapshot_installs t = t.installs
+
+let member_snapshot_index t ~hive ~member =
+  let g = t.groups.(hive mod Array.length t.groups) in
+  match Hashtbl.find_opt g.g_nodes member with
+  | Some node -> Raft.snapshot_index node
+  | None -> 0
 let pending_commands t = Array.fold_left (fun a g -> a + List.length g.g_queue) 0 t.groups
 
 let replica_entries t ~member ~bee =

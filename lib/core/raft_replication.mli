@@ -12,14 +12,23 @@
     bee's state. On hive failure the platform recovers a bee from the
     most caught-up live member. All Raft traffic (elections, heartbeats,
     entries) is charged on the inter-hive control channels, so the cost
-    of consensus is visible in the Figure-4 style measurements. *)
+    of consensus is visible in the Figure-4 style measurements.
+
+    Members compact their Raft logs every [compact_every] applied
+    entries, snapshotting their replica tables. A member that lags past a
+    leader's compaction point — or rejoins after {!Platform.restart_hive}
+    — catches up from the leader's snapshot (InstallSnapshot), paying the
+    snapshot's serialized size on the control channel instead of
+    replaying the full log. *)
 
 type t
 
-val install : Platform.t -> ?group_size:int -> unit -> t
+val install : Platform.t -> ?group_size:int -> ?compact_every:int -> unit -> t
 (** Creates the groups, subscribes to the platform's commit / failure /
-    recovery hooks, and starts all Raft nodes. [group_size] defaults to 3
-    and is clamped to the hive count. *)
+    recovery / restart hooks, and starts all Raft nodes. [group_size]
+    defaults to 3 and is clamped to the hive count; [compact_every]
+    (default 64) is the applied-entry interval between log
+    compactions. *)
 
 val group_size : t -> int
 
@@ -37,3 +46,11 @@ val pending_commands : t -> int
 
 val replica_entries : t -> member:int -> bee:int -> (string * string * Value.t) list
 (** A member hive's replica of a bee's state (tests/inspection). *)
+
+val snapshot_installs : t -> int
+(** Times any member reset its replicas from a snapshot image (leader
+    catch-up or post-restart recovery). *)
+
+val member_snapshot_index : t -> hive:int -> member:int -> int
+(** Raft snapshot index of [member]'s node in the group anchored at
+    [hive] (0 = that node has never compacted or installed). *)

@@ -153,6 +153,15 @@ let extract t cell_set =
 let insert t entries =
   List.iter (fun (dname, k, v) -> Hashtbl.replace (get_dict t dname) k v) entries
 
+let apply_writes t writes =
+  List.iter
+    (fun (dname, k, w) ->
+      match w with
+      | Some v -> Hashtbl.replace (get_dict t dname) k v
+      | None -> (
+        match find_dict t dname with Some d -> Hashtbl.remove d k | None -> ()))
+    writes
+
 let snapshot t =
   let acc = ref [] in
   Hashtbl.iter

@@ -61,5 +61,8 @@ val extract : t -> Cell.Set.t -> (string * string * Value.t) list
 
 val insert : t -> (string * string * Value.t) list -> unit
 
+val apply_writes : t -> (string * string * Value.t option) list -> unit
+(** Replays a committed write set ([None] deletes) — WAL recovery. *)
+
 val snapshot : t -> (string * string * Value.t) list
 val restore : (string * string * Value.t) list -> t

@@ -17,6 +17,7 @@ type t = {
      index 0 also holding sub-microsecond samples *)
   latency_buckets : int array;
   mutable latency_samples : int;
+  gauges : (string, int) Hashtbl.t;
 }
 
 type window = {
@@ -45,6 +46,7 @@ let create () =
     cur_in_by_bee = Hashtbl.create 8;
     latency_buckets = Array.make 40 0;
     latency_samples = 0;
+    gauges = Hashtbl.create 4;
   }
 
 let bump tbl k n =
@@ -114,6 +116,13 @@ let record_out t ~in_kind ~out_kind =
   match in_kind with
   | Some ik -> bump t.provenance (ik, out_kind) 1
   | None -> ()
+
+let set_gauge t name v = Hashtbl.replace t.gauges name v
+let gauge t name = Hashtbl.find_opt t.gauges name
+
+let gauges t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.gauges []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let processed t = t.processed
 let errors t = t.errors

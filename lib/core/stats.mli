@@ -32,6 +32,16 @@ val record_latency : t -> Beehive_sim.Simtime.t -> unit
     processing (queueing + channel + lock RPCs). Kept as a logarithmic
     histogram. *)
 
+(** {2 Gauges}
+
+    Named point-in-time values (e.g. per-bee WAL bytes and snapshot count
+    maintained by the durability engine), overwritten on each update. *)
+
+val set_gauge : t -> string -> int -> unit
+val gauge : t -> string -> int option
+val gauges : t -> (string * int) list
+(** All gauges, sorted by name. *)
+
 (** {2 Cumulative views} *)
 
 val processed : t -> int

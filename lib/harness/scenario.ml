@@ -32,6 +32,7 @@ type config = {
   optimize : bool;
   adversarial_pin : bool;
   replication : bool;
+  durability : bool;
 }
 
 let default_config =
@@ -52,6 +53,7 @@ let default_config =
     optimize = false;
     adversarial_pin = false;
     replication = false;
+    durability = false;
   }
 
 let quick_config =
@@ -85,7 +87,15 @@ let te_app_name cfg =
 
 let build cfg =
   let engine = Engine.create ~seed:cfg.seed () in
-  let platform = Platform.create engine (Platform.default_config ~n_hives:cfg.n_hives) in
+  let pcfg =
+    {
+      (Platform.default_config ~n_hives:cfg.n_hives) with
+      Platform.replication = cfg.replication;
+      durability =
+        (if cfg.durability then Some Beehive_store.Store.default_config else None);
+    }
+  in
+  let platform = Platform.create engine pcfg in
   let topo = Topology.tree ~arity:cfg.tree_arity ~n_switches:cfg.n_switches in
   (* Contiguous blocks of switches per master hive. *)
   let per_hive = max 1 ((cfg.n_switches + cfg.n_hives - 1) / cfg.n_hives) in

@@ -32,6 +32,14 @@ type rpc =
       ar_success : bool;
       ar_match : int;
     }
+  | Install_snapshot of {
+      is_term : int;
+      is_leader : int;
+      is_last_index : int;
+      is_last_term : int;
+      is_data : string;
+      is_data_size : int;
+    }
 
 let rpc_size = function
   | Request_vote _ -> 32
@@ -39,6 +47,7 @@ let rpc_size = function
   | Append_entries { ae_entries; _ } ->
     40 + List.fold_left (fun a e -> a + 16 + String.length e.e_command) 0 ae_entries
   | Append_reply _ -> 28
+  | Install_snapshot { is_data_size; _ } -> 48 + is_data_size
 
 type config = {
   election_timeout_min : Simtime.t;
@@ -66,11 +75,19 @@ type t = {
   send : dst:int -> rpc -> unit;
   apply_fn : entry -> unit;
   rng : Rng.t;
+  install_cb : (last_index:int -> last_term:int -> data:string -> unit) option;
   (* persistent state (survives crash/restart) *)
   mutable term : int;
   mutable voted_for : int option;
-  mutable log : entry array;  (* log.(i) has e_index = i + 1 *)
+  mutable log : entry array;  (* log.(i) has e_index = snap_index + i + 1 *)
   mutable log_len : int;
+  (* log-compaction state: entries up to snap_index live only in the
+     snapshot; snap_data is an opaque state-machine image owned by the
+     caller (persistent, like the log) *)
+  mutable snap_index : int;
+  mutable snap_term : int;
+  mutable snap_data : string;
+  mutable snap_data_size : int;
   (* volatile *)
   mutable node_role : role;
   mutable commit : int;
@@ -86,7 +103,7 @@ type t = {
   mutable heartbeat_timer : Engine.handle option;
 }
 
-let create engine ~id ~peers ?(config = default_config) ~send ~apply () =
+let create engine ~id ~peers ?(config = default_config) ?install ~send ~apply () =
   {
     engine;
     node_id = id;
@@ -95,10 +112,15 @@ let create engine ~id ~peers ?(config = default_config) ~send ~apply () =
     send;
     apply_fn = apply;
     rng = Rng.split (Engine.rng engine);
+    install_cb = install;
     term = 0;
     voted_for = None;
     log = Array.make 64 { e_term = 0; e_index = 0; e_command = "" };
     log_len = 0;
+    snap_index = 0;
+    snap_term = 0;
+    snap_data = "";
+    snap_data_size = 0;
     node_role = Follower;
     commit = 0;
     applied = 0;
@@ -116,14 +138,23 @@ let role t = t.node_role
 let current_term t = t.term
 let commit_index t = t.commit
 let last_applied t = t.applied
-let last_log_index t = t.log_len
+let last_log_index t = t.snap_index + t.log_len
 let leader_hint t = t.leader
 let is_up t = t.up
+let snapshot_index t = t.snap_index
+let snapshot_term t = t.snap_term
 
 let log_entries t = Array.to_list (Array.sub t.log 0 t.log_len)
 
-let entry_at t i = if i >= 1 && i <= t.log_len then Some t.log.(i - 1) else None
-let term_at t i = match entry_at t i with Some e -> e.e_term | None -> 0
+(* Log positions are absolute indices; the array only holds entries past
+   the snapshot, so slot [i - snap_index - 1] is index [i]. *)
+let entry_at t i =
+  let j = i - t.snap_index in
+  if j >= 1 && j <= t.log_len then Some t.log.(j - 1) else None
+
+let term_at t i =
+  if i = t.snap_index then t.snap_term
+  else match entry_at t i with Some e -> e.e_term | None -> 0
 
 let append_log t e =
   if t.log_len = Array.length t.log then begin
@@ -134,7 +165,22 @@ let append_log t e =
   t.log.(t.log_len) <- e;
   t.log_len <- t.log_len + 1
 
-let truncate_log t len = t.log_len <- len
+(* [len] is an absolute index: keep entries up to and including it. *)
+let truncate_log t len = t.log_len <- max 0 (len - t.snap_index)
+
+let compact t ~upto ?data_size ~data () =
+  let upto = min upto t.applied in
+  if upto > t.snap_index then begin
+    let term = term_at t upto in
+    let drop = upto - t.snap_index in
+    let keep = t.log_len - drop in
+    if keep > 0 then Array.blit t.log drop t.log 0 keep;
+    t.log_len <- keep;
+    t.snap_index <- upto;
+    t.snap_term <- term;
+    t.snap_data <- data;
+    t.snap_data_size <- (match data_size with Some s -> s | None -> String.length data)
+  end
 
 let majority t = ((List.length t.peers + 1) / 2) + 1
 
@@ -182,7 +228,7 @@ and start_election t =
   t.votes <- [ t.node_id ];
   t.leader <- None;
   reset_election_timer t;
-  let last = t.log_len in
+  let last = last_log_index t in
   List.iter
     (fun peer ->
       t.send ~dst:peer
@@ -206,7 +252,7 @@ and become_leader t =
   Hashtbl.reset t.match_index;
   List.iter
     (fun peer ->
-      Hashtbl.replace t.next_index peer (t.log_len + 1);
+      Hashtbl.replace t.next_index peer (last_log_index t + 1);
       Hashtbl.replace t.match_index peer 0)
     t.peers;
   send_heartbeats t;
@@ -219,29 +265,46 @@ and become_leader t =
 and send_heartbeats t = List.iter (fun peer -> send_append t peer) t.peers
 
 and send_append t peer =
-  let next = Option.value ~default:(t.log_len + 1) (Hashtbl.find_opt t.next_index peer) in
-  let prev = next - 1 in
-  let entries = ref [] in
-  for i = t.log_len downto next do
-    entries := t.log.(i - 1) :: !entries
-  done;
-  t.send ~dst:peer
-    (Append_entries
-       {
-         ae_term = t.term;
-         ae_leader = t.node_id;
-         ae_prev_index = prev;
-         ae_prev_term = term_at t prev;
-         ae_entries = !entries;
-         ae_commit = t.commit;
-       })
+  let next =
+    Option.value ~default:(last_log_index t + 1) (Hashtbl.find_opt t.next_index peer)
+  in
+  if next <= t.snap_index then
+    (* The follower needs entries we have compacted away: ship the
+       snapshot instead (InstallSnapshot, Raft paper section 7). *)
+    t.send ~dst:peer
+      (Install_snapshot
+         {
+           is_term = t.term;
+           is_leader = t.node_id;
+           is_last_index = t.snap_index;
+           is_last_term = t.snap_term;
+           is_data = t.snap_data;
+           is_data_size = t.snap_data_size;
+         })
+  else begin
+    let prev = next - 1 in
+    let entries = ref [] in
+    for i = last_log_index t downto next do
+      entries := t.log.(i - t.snap_index - 1) :: !entries
+    done;
+    t.send ~dst:peer
+      (Append_entries
+         {
+           ae_term = t.term;
+           ae_leader = t.node_id;
+           ae_prev_index = prev;
+           ae_prev_term = term_at t prev;
+           ae_entries = !entries;
+           ae_commit = t.commit;
+         })
+  end
 
 (* Leader: advance commit to the highest current-term index replicated on
    a majority (Raft's commit restriction, figure 8 of the Raft paper). *)
 and advance_commit t =
   if t.node_role = Leader then begin
     let candidate = ref t.commit in
-    for n = t.commit + 1 to t.log_len do
+    for n = t.commit + 1 to last_log_index t do
       if term_at t n = t.term then begin
         let count =
           1
@@ -267,9 +330,10 @@ and advance_commit t =
 let handle_request_vote t ~rv_term ~rv_candidate ~rv_last_log_index ~rv_last_log_term =
   if rv_term > t.term then become_follower t ~term:rv_term;
   let up_to_date =
-    let my_last_term = term_at t t.log_len in
+    let my_last = last_log_index t in
+    let my_last_term = term_at t my_last in
     rv_last_log_term > my_last_term
-    || (rv_last_log_term = my_last_term && rv_last_log_index >= t.log_len)
+    || (rv_last_log_term = my_last_term && rv_last_log_index >= my_last)
   in
   let grant =
     rv_term = t.term
@@ -302,24 +366,26 @@ let handle_append_entries t ~ae_term ~ae_leader ~ae_prev_index ~ae_prev_term ~ae
     reset_election_timer t;
     let consistent =
       ae_prev_index = 0
-      || (ae_prev_index <= t.log_len && term_at t ae_prev_index = ae_prev_term)
+      || (ae_prev_index <= last_log_index t && term_at t ae_prev_index = ae_prev_term)
     in
     if not consistent then
       t.send ~dst:ae_leader
         (Append_reply
            { ar_term = t.term; ar_follower = t.node_id; ar_success = false; ar_match = 0 })
     else begin
-      (* Append, truncating on conflict. *)
+      (* Append, truncating on conflict. Entries at or below the snapshot
+         index are already covered by the snapshot and are skipped. *)
       List.iter
         (fun (e : entry) ->
-          match entry_at t e.e_index with
-          | Some existing when existing.e_term = e.e_term -> ()
-          | Some _ ->
-            truncate_log t (e.e_index - 1);
-            append_log t e
-          | None ->
-            if e.e_index = t.log_len + 1 then append_log t e
-            else failwith "raft: gap in append")
+          if e.e_index > t.snap_index then
+            match entry_at t e.e_index with
+            | Some existing when existing.e_term = e.e_term -> ()
+            | Some _ ->
+              truncate_log t (e.e_index - 1);
+              append_log t e
+            | None ->
+              if e.e_index = last_log_index t + 1 then append_log t e
+              else failwith "raft: gap in append")
         ae_entries;
       let match_idx =
         match ae_entries with
@@ -327,7 +393,7 @@ let handle_append_entries t ~ae_term ~ae_leader ~ae_prev_index ~ae_prev_term ~ae
         | _ -> (List.nth ae_entries (List.length ae_entries - 1)).e_index
       in
       if ae_commit > t.commit then begin
-        t.commit <- min ae_commit t.log_len;
+        t.commit <- min ae_commit (last_log_index t);
         apply_up_to t t.commit
       end;
       t.send ~dst:ae_leader
@@ -352,6 +418,54 @@ let handle_append_reply t ~ar_term ~ar_follower ~ar_success ~ar_match =
       send_append t ar_follower
     end
 
+let handle_install_snapshot t ~is_term ~is_leader ~is_last_index ~is_last_term ~is_data
+    ~is_data_size =
+  if is_term > t.term || (is_term = t.term && t.node_role = Candidate) then
+    become_follower t ~term:is_term;
+  if is_term < t.term then
+    t.send ~dst:is_leader
+      (Append_reply
+         { ar_term = t.term; ar_follower = t.node_id; ar_success = false; ar_match = 0 })
+  else begin
+    t.leader <- Some is_leader;
+    reset_election_timer t;
+    if is_last_index > t.snap_index then begin
+      (* Retain any log suffix extending past the snapshot whose entry at
+         the snapshot index agrees with it; otherwise the snapshot
+         replaces the whole log. *)
+      (match entry_at t is_last_index with
+      | Some e when e.e_term = is_last_term ->
+        let drop = is_last_index - t.snap_index in
+        let keep = t.log_len - drop in
+        if keep > 0 then Array.blit t.log drop t.log 0 keep;
+        t.log_len <- keep
+      | _ -> t.log_len <- 0);
+      t.snap_index <- is_last_index;
+      t.snap_term <- is_last_term;
+      t.snap_data <- is_data;
+      t.snap_data_size <- is_data_size;
+      (* Jump the state machine to the snapshot only when it is ahead of
+         what we have already applied. *)
+      if is_last_index > t.applied then begin
+        (match t.install_cb with
+        | Some f -> f ~last_index:is_last_index ~last_term:is_last_term ~data:is_data
+        | None -> ());
+        t.applied <- is_last_index
+      end;
+      t.commit <- max t.commit is_last_index
+    end;
+    (* Reuse the append-reply path for the ack: the leader resumes log
+       replication from snap_index + 1. *)
+    t.send ~dst:is_leader
+      (Append_reply
+         {
+           ar_term = t.term;
+           ar_follower = t.node_id;
+           ar_success = true;
+           ar_match = t.snap_index;
+         })
+  end
+
 let receive t rpc =
   if t.up then
     match rpc with
@@ -364,6 +478,10 @@ let receive t rpc =
         ~ae_commit
     | Append_reply { ar_term; ar_follower; ar_success; ar_match } ->
       handle_append_reply t ~ar_term ~ar_follower ~ar_success ~ar_match
+    | Install_snapshot { is_term; is_leader; is_last_index; is_last_term; is_data; is_data_size }
+      ->
+      handle_install_snapshot t ~is_term ~is_leader ~is_last_index ~is_last_term ~is_data
+        ~is_data_size
 
 let start t =
   if not t.up then begin
@@ -375,7 +493,7 @@ let start t =
 let propose t command =
   if t.node_role <> Leader || not t.up then `Not_leader t.leader
   else begin
-    let e = { e_term = t.term; e_index = t.log_len + 1; e_command = command } in
+    let e = { e_term = t.term; e_index = last_log_index t + 1; e_command = command } in
     append_log t e;
     send_heartbeats t;
     (* A single-node cluster commits immediately. *)
@@ -394,9 +512,10 @@ let crash t =
     t.node_role <- Follower;
     t.votes <- [];
     t.leader <- None;
-    (* Volatile state resets; term/vote/log persist. *)
-    t.commit <- 0;
-    t.applied <- 0
+    (* Volatile state resets; term/vote/log/snapshot persist. Nothing
+       before the snapshot can be replayed, so the floor is snap_index. *)
+    t.commit <- t.snap_index;
+    t.applied <- t.snap_index
   end
 
 let restart t =
@@ -404,5 +523,14 @@ let restart t =
     t.up <- true;
     t.node_role <- Follower;
     t.leader <- None;
+    (* Restore the state machine from the persistent snapshot; committed
+       tail entries are re-applied as the leader re-advances our commit. *)
+    if t.snap_index > 0 then begin
+      (match t.install_cb with
+      | Some f -> f ~last_index:t.snap_index ~last_term:t.snap_term ~data:t.snap_data
+      | None -> ());
+      t.commit <- max t.commit t.snap_index;
+      t.applied <- max t.applied t.snap_index
+    end;
     reset_election_timer t
   end

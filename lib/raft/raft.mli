@@ -44,6 +44,16 @@ type rpc =
       ar_success : bool;
       ar_match : int;  (** highest replicated index on success *)
     }
+  | Install_snapshot of {
+      is_term : int;
+      is_leader : int;
+      is_last_index : int;  (** last log index covered by the snapshot *)
+      is_last_term : int;  (** term of that index *)
+      is_data : string;  (** opaque state-machine image (or a handle) *)
+      is_data_size : int;  (** serialized size, for channel accounting *)
+    }  (** Sent when a follower needs entries the leader has compacted
+           away; acknowledged with a successful {!Append_reply} whose
+           [ar_match] is [is_last_index]. *)
 
 val rpc_size : rpc -> int
 (** Wire-size estimate in bytes (for control-channel accounting). *)
@@ -68,12 +78,16 @@ val create :
   id:int ->
   peers:int list ->
   ?config:config ->
+  ?install:(last_index:int -> last_term:int -> data:string -> unit) ->
   send:(dst:int -> rpc -> unit) ->
   apply:(entry -> unit) ->
   unit ->
   t
 (** [peers] excludes [id]. [apply] is called exactly once per committed
-    entry, in index order, while the node is up. *)
+    entry, in index order, while the node is up. [install] resets the
+    state machine to a snapshot image: it fires when a leader ships one
+    (the node lagged past the leader's compaction point) and again on
+    {!restart} if the node holds a snapshot. *)
 
 val start : t -> unit
 (** Arms the election timer (all nodes start as followers). *)
@@ -96,15 +110,30 @@ val last_log_index : t -> int
 val leader_hint : t -> int option
 val is_up : t -> bool
 val log_entries : t -> entry list
-(** The full log (tests only). *)
+(** The un-compacted log tail (tests only). *)
+
+(** {2 Log compaction} *)
+
+val compact : t -> upto:int -> ?data_size:int -> data:string -> unit -> unit
+(** Discards log entries up to [min upto last_applied], recording [data]
+    as the snapshot image for that prefix. [data_size] (default
+    [String.length data]) is the wire size charged when the snapshot is
+    shipped to a lagging follower. No-op if [upto] is not past the
+    current snapshot. *)
+
+val snapshot_index : t -> int
+(** Last log index covered by the snapshot (0 = no snapshot). *)
+
+val snapshot_term : t -> int
 
 (** {2 Failures} *)
 
 val crash : t -> unit
 (** Stops the node: timers cancelled, inbound RPCs dropped. Persistent
-    state (term, vote, log) survives, as on stable storage. *)
+    state (term, vote, log, snapshot) survives, as on stable storage. *)
 
 val restart : t -> unit
-(** Recovers a crashed node as a follower; committed entries are
-    re-applied to the state machine from index 1 (simulating state-machine
-    reconstruction from the persisted log). *)
+(** Recovers a crashed node as a follower; the [install] callback is
+    re-invoked with the persisted snapshot (if any) and committed tail
+    entries are re-applied to the state machine (simulating state-machine
+    reconstruction from stable storage). *)

@@ -1,0 +1,349 @@
+module Engine = Beehive_sim.Engine
+module Simtime = Beehive_sim.Simtime
+
+type config = {
+  wal_group_commit_ticks : int;
+  fsync_latency : Simtime.t;
+  snapshot_threshold_bytes : int;
+}
+
+let default_config =
+  {
+    wal_group_commit_ticks = 1;
+    fsync_latency = Simtime.of_us 100;
+    snapshot_threshold_bytes = 64 * 1024;
+  }
+
+type 'v write = string * string * 'v option
+
+type 'v record = {
+  r_lsn : int;
+  r_at : Simtime.t;
+  r_writes : 'v write list;
+  r_bytes : int;
+}
+
+type 'v package = {
+  pkg_bee : int;
+  pkg_snapshot : (string * string * 'v) list;
+  pkg_snapshot_lsn : int;
+  pkg_tail : 'v record list;
+  pkg_bytes : int;
+}
+
+(* Serialized framing overheads (bytes). *)
+let record_overhead = 24
+let snapshot_overhead = 32
+let package_overhead = 64
+
+type 'v bee_log = {
+  bl_bee : int;
+  mutable bl_pending : (int * 'v write list * int) list;
+      (* (hive, write set, bytes) batches awaiting group commit, newest
+         first; lost on [drop_pending] of their hive *)
+  mutable bl_wal : 'v record list;  (* durable tail, newest first *)
+  mutable bl_wal_bytes : int;
+  mutable bl_wal_records : int;
+  mutable bl_snapshot : (string * string * 'v) list;
+  mutable bl_snapshot_lsn : int;
+  mutable bl_snapshot_bytes : int;
+  mutable bl_compactions : int;
+  mutable bl_next_lsn : int;  (* next lsn to assign *)
+  bl_live : (string * string, 'v * int) Hashtbl.t;
+      (* materialized view incl. pending, entry -> (value, size) *)
+  mutable bl_live_bytes : int;
+}
+
+type 'v t = {
+  engine : Engine.t;
+  cfg : config;
+  size_of : 'v write -> int;
+  on_fsync : (hive:int -> bytes:int -> records:int -> unit) option;
+  on_compaction :
+    (bee:int -> dropped_records:int -> dropped_bytes:int -> snapshot_bytes:int -> unit)
+    option;
+  logs : (int, 'v bee_log) Hashtbl.t;
+  mutable n_fsyncs : int;
+  mutable wal_bytes_written : int;
+  mutable n_compactions : int;
+}
+
+let config t = t.cfg
+
+let log_of t bee =
+  match Hashtbl.find_opt t.logs bee with
+  | Some bl -> bl
+  | None ->
+    let bl =
+      {
+        bl_bee = bee;
+        bl_pending = [];
+        bl_wal = [];
+        bl_wal_bytes = 0;
+        bl_wal_records = 0;
+        bl_snapshot = [];
+        bl_snapshot_lsn = 0;
+        bl_snapshot_bytes = 0;
+        bl_compactions = 0;
+        bl_next_lsn = 1;
+        bl_live = Hashtbl.create 16;
+        bl_live_bytes = 0;
+      }
+    in
+    Hashtbl.add t.logs bee bl;
+    bl
+
+let sorted_logs t =
+  Hashtbl.fold (fun _ bl acc -> bl :: acc) t.logs []
+  |> List.sort (fun a b -> Int.compare a.bl_bee b.bl_bee)
+
+let entry_order (d1, k1, _) (d2, k2, _) =
+  match String.compare d1 d2 with 0 -> String.compare k1 k2 | c -> c
+
+let apply_write t bl ((dict, key, w) as write) =
+  match w with
+  | Some v ->
+    let sz = t.size_of write in
+    (match Hashtbl.find_opt bl.bl_live (dict, key) with
+    | Some (_, old) -> bl.bl_live_bytes <- bl.bl_live_bytes - old
+    | None -> ());
+    Hashtbl.replace bl.bl_live (dict, key) (v, sz);
+    bl.bl_live_bytes <- bl.bl_live_bytes + sz
+  | None -> (
+    match Hashtbl.find_opt bl.bl_live (dict, key) with
+    | Some (_, old) ->
+      Hashtbl.remove bl.bl_live (dict, key);
+      bl.bl_live_bytes <- bl.bl_live_bytes - old
+    | None -> ())
+
+let rebuild_live t bl =
+  Hashtbl.reset bl.bl_live;
+  bl.bl_live_bytes <- 0;
+  List.iter (fun (d, k, v) -> apply_write t bl (d, k, Some v)) bl.bl_snapshot;
+  List.iter (fun r -> List.iter (apply_write t bl) r.r_writes) (List.rev bl.bl_wal);
+  List.iter (fun (_, ws, _) -> List.iter (apply_write t bl) ws) (List.rev bl.bl_pending)
+
+let batch_bytes t writes =
+  record_overhead + List.fold_left (fun acc w -> acc + t.size_of w) 0 writes
+
+let append t ~bee ~hive writes =
+  if writes <> [] then begin
+    let bl = log_of t bee in
+    let bytes = batch_bytes t writes in
+    bl.bl_pending <- (hive, writes, bytes) :: bl.bl_pending;
+    List.iter (apply_write t bl) writes
+  end
+
+(* Durable view: snapshot overlaid with the WAL tail, pending excluded. *)
+let durable_table bl =
+  let view = Hashtbl.create (max 16 (List.length bl.bl_snapshot)) in
+  List.iter (fun (d, k, v) -> Hashtbl.replace view (d, k) v) bl.bl_snapshot;
+  List.iter
+    (fun r ->
+      List.iter
+        (fun (d, k, w) ->
+          match w with
+          | Some v -> Hashtbl.replace view (d, k) v
+          | None -> Hashtbl.remove view (d, k))
+        r.r_writes)
+    (List.rev bl.bl_wal);
+  view
+
+let durable_entries bl =
+  Hashtbl.fold (fun (d, k) v acc -> (d, k, v) :: acc) (durable_table bl) []
+  |> List.sort entry_order
+
+let compact_log t bl =
+  let dropped_records = bl.bl_wal_records in
+  let dropped_bytes = bl.bl_wal_bytes in
+  let snap = durable_entries bl in
+  let snap_bytes =
+    snapshot_overhead
+    + List.fold_left (fun acc (d, k, v) -> acc + t.size_of (d, k, Some v)) 0 snap
+  in
+  bl.bl_snapshot <- snap;
+  bl.bl_snapshot_lsn <- bl.bl_next_lsn - 1;
+  bl.bl_snapshot_bytes <- snap_bytes;
+  bl.bl_wal <- [];
+  bl.bl_wal_bytes <- 0;
+  bl.bl_wal_records <- 0;
+  bl.bl_compactions <- bl.bl_compactions + 1;
+  t.n_compactions <- t.n_compactions + 1;
+  match t.on_compaction with
+  | Some f -> f ~bee:bl.bl_bee ~dropped_records ~dropped_bytes ~snapshot_bytes:snap_bytes
+  | None -> ()
+
+let flush t =
+  let by_hive = Hashtbl.create 8 in
+  let dirty = ref false in
+  List.iter
+    (fun bl ->
+      match bl.bl_pending with
+      | [] -> ()
+      | pending ->
+        dirty := true;
+        List.iter
+          (fun (hive, writes, bytes) ->
+            let r =
+              {
+                r_lsn = bl.bl_next_lsn;
+                r_at = Engine.now t.engine;
+                r_writes = writes;
+                r_bytes = bytes;
+              }
+            in
+            bl.bl_next_lsn <- bl.bl_next_lsn + 1;
+            bl.bl_wal <- r :: bl.bl_wal;
+            bl.bl_wal_bytes <- bl.bl_wal_bytes + bytes;
+            bl.bl_wal_records <- bl.bl_wal_records + 1;
+            t.wal_bytes_written <- t.wal_bytes_written + bytes;
+            let b, n =
+              Option.value ~default:(0, 0) (Hashtbl.find_opt by_hive hive)
+            in
+            Hashtbl.replace by_hive hive (b + bytes, n + 1))
+          (List.rev pending);
+        bl.bl_pending <- [])
+    (sorted_logs t);
+  if !dirty then begin
+    let hives =
+      Hashtbl.fold (fun h v acc -> (h, v) :: acc) by_hive []
+      |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+    in
+    List.iter
+      (fun (hive, (bytes, records)) ->
+        t.n_fsyncs <- t.n_fsyncs + 1;
+        match t.on_fsync with Some f -> f ~hive ~bytes ~records | None -> ())
+      hives;
+    (* Compact any bee whose durable log outgrew the threshold. *)
+    List.iter
+      (fun bl ->
+        if bl.bl_wal_bytes > t.cfg.snapshot_threshold_bytes then compact_log t bl)
+      (sorted_logs t)
+  end
+
+let create engine ?(config = default_config) ~size_of ?on_fsync ?on_compaction () =
+  if config.wal_group_commit_ticks < 1 then
+    invalid_arg "Store.create: wal_group_commit_ticks must be >= 1";
+  let t =
+    {
+      engine;
+      cfg = config;
+      size_of;
+      on_fsync;
+      on_compaction;
+      logs = Hashtbl.create 64;
+      n_fsyncs = 0;
+      wal_bytes_written = 0;
+      n_compactions = 0;
+    }
+  in
+  (* Group commit: batches accumulated during a tick become durable one
+     fsync latency after the tick boundary. A crash inside that window
+     loses them, exactly like an un-fsynced log. *)
+  ignore
+    (Engine.every engine (Simtime.of_ms config.wal_group_commit_ticks) (fun () ->
+         if Hashtbl.fold (fun _ bl acc -> acc || bl.bl_pending <> []) t.logs false then
+           ignore (Engine.schedule_after engine config.fsync_latency (fun () -> flush t))));
+  t
+
+let compact t ~bee =
+  flush t;
+  compact_log t (log_of t bee)
+
+let drop_pending t ~hive =
+  List.iter
+    (fun bl ->
+      let keep = List.filter (fun (h, _, _) -> h <> hive) bl.bl_pending in
+      if List.length keep <> List.length bl.bl_pending then begin
+        bl.bl_pending <- keep;
+        rebuild_live t bl
+      end)
+    (sorted_logs t)
+
+let forget t ~bee = Hashtbl.remove t.logs bee
+
+let recover t ~bee =
+  match Hashtbl.find_opt t.logs bee with
+  | None -> []
+  | Some bl -> durable_entries bl
+
+let recovery_cost t ~bee =
+  match Hashtbl.find_opt t.logs bee with
+  | None -> (0, 0)
+  | Some bl -> (bl.bl_wal_records, bl.bl_snapshot_bytes + bl.bl_wal_bytes)
+
+let package t ~bee =
+  flush t;
+  let bl = log_of t bee in
+  if bl.bl_wal_bytes > t.cfg.snapshot_threshold_bytes then compact_log t bl;
+  let tail = List.rev bl.bl_wal in
+  {
+    pkg_bee = bee;
+    pkg_snapshot = bl.bl_snapshot;
+    pkg_snapshot_lsn = bl.bl_snapshot_lsn;
+    pkg_tail = tail;
+    pkg_bytes = package_overhead + bl.bl_snapshot_bytes + bl.bl_wal_bytes;
+  }
+
+let install t pkg =
+  Hashtbl.remove t.logs pkg.pkg_bee;
+  let bl = log_of t pkg.pkg_bee in
+  bl.bl_snapshot <- pkg.pkg_snapshot;
+  bl.bl_snapshot_lsn <- pkg.pkg_snapshot_lsn;
+  bl.bl_snapshot_bytes <-
+    snapshot_overhead
+    + List.fold_left
+        (fun acc (d, k, v) -> acc + t.size_of (d, k, Some v))
+        0 pkg.pkg_snapshot;
+  List.iter
+    (fun r ->
+      bl.bl_wal <- r :: bl.bl_wal;
+      bl.bl_wal_bytes <- bl.bl_wal_bytes + r.r_bytes;
+      bl.bl_wal_records <- bl.bl_wal_records + 1)
+    pkg.pkg_tail;
+  bl.bl_next_lsn <-
+    1
+    + List.fold_left (fun acc r -> max acc r.r_lsn) pkg.pkg_snapshot_lsn pkg.pkg_tail;
+  rebuild_live t bl
+
+let entries t ~bee =
+  match Hashtbl.find_opt t.logs bee with
+  | None -> []
+  | Some bl ->
+    Hashtbl.fold (fun (d, k) (v, _) acc -> (d, k, v) :: acc) bl.bl_live []
+    |> List.sort entry_order
+
+let entry_count t ~bee =
+  match Hashtbl.find_opt t.logs bee with
+  | None -> 0
+  | Some bl -> Hashtbl.length bl.bl_live
+
+let size_bytes t ~bee =
+  match Hashtbl.find_opt t.logs bee with None -> 0 | Some bl -> bl.bl_live_bytes
+
+let wal_bytes t ~bee =
+  match Hashtbl.find_opt t.logs bee with None -> 0 | Some bl -> bl.bl_wal_bytes
+
+let wal_records t ~bee =
+  match Hashtbl.find_opt t.logs bee with None -> 0 | Some bl -> bl.bl_wal_records
+
+let pending_writes t ~bee =
+  match Hashtbl.find_opt t.logs bee with
+  | None -> 0
+  | Some bl -> List.length bl.bl_pending
+
+let durable_lsn t ~bee =
+  match Hashtbl.find_opt t.logs bee with None -> 0 | Some bl -> bl.bl_next_lsn - 1
+
+let snapshot_lsn t ~bee =
+  match Hashtbl.find_opt t.logs bee with None -> 0 | Some bl -> bl.bl_snapshot_lsn
+
+let snapshot_count t ~bee =
+  match Hashtbl.find_opt t.logs bee with None -> 0 | Some bl -> bl.bl_compactions
+
+let tracked_bees t =
+  Hashtbl.fold (fun bee _ acc -> bee :: acc) t.logs [] |> List.sort Int.compare
+
+let total_fsyncs t = t.n_fsyncs
+let total_wal_bytes_written t = t.wal_bytes_written
+let total_compactions t = t.n_compactions

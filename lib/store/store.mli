@@ -1,0 +1,146 @@
+(** Durable dictionary storage engine.
+
+    Every non-local bee's dictionaries are shadowed by a per-bee
+    append-only write-ahead log with group commit: transaction write-sets
+    are batched per simulated-time tick and become durable together at the
+    next group-commit flush, paying one configurable fsync latency per
+    hive per flush. When a bee's WAL grows past a threshold its live cell
+    set is serialized into a snapshot record and the log is truncated
+    (compaction); recovery loads the snapshot and replays only the WAL
+    tail. The same snapshot+tail package is what live migration ships
+    between hives.
+
+    The engine is value-polymorphic so it can live below [beehive_core]
+    (the platform instantiates it at [Value.t]); byte accounting is
+    delegated to a [size_of] estimator, and durability costs surface
+    through the [on_fsync] / [on_compaction] callbacks so the owning hive
+    can be charged in Figure-4-style series. Everything is deterministic:
+    logs are iterated in ascending bee order and all latency flows through
+    the discrete-event engine. *)
+
+type config = {
+  wal_group_commit_ticks : int;
+      (** group-commit interval in simulated milliseconds (ticks); every
+          write-set appended within one tick is fsynced — and therefore
+          acknowledged durable — together *)
+  fsync_latency : Beehive_sim.Simtime.t;
+      (** simulated cost of one group-commit fsync, charged once per hive
+          with dirty batches per flush *)
+  snapshot_threshold_bytes : int;
+      (** compact a bee's WAL into a snapshot once its durable log exceeds
+          this many bytes *)
+}
+
+val default_config : config
+(** 1 ms group-commit ticks, 100 us fsync, 64 KiB snapshot threshold. *)
+
+type 'v write = string * string * 'v option
+(** [(dict, key, Some v)] sets, [(dict, key, None)] deletes. *)
+
+type 'v record = {
+  r_lsn : int;  (** 1-based, per bee *)
+  r_at : Beehive_sim.Simtime.t;  (** flush time *)
+  r_writes : 'v write list;
+  r_bytes : int;
+}
+
+type 'v package = {
+  pkg_bee : int;
+  pkg_snapshot : (string * string * 'v) list;  (** compacted cell set *)
+  pkg_snapshot_lsn : int;
+  pkg_tail : 'v record list;  (** WAL records after the snapshot, oldest first *)
+  pkg_bytes : int;  (** transfer size: snapshot + tail + framing *)
+}
+
+type 'v t
+
+val create :
+  Beehive_sim.Engine.t ->
+  ?config:config ->
+  size_of:('v write -> int) ->
+  ?on_fsync:(hive:int -> bytes:int -> records:int -> unit) ->
+  ?on_compaction:(bee:int -> dropped_records:int -> dropped_bytes:int -> snapshot_bytes:int -> unit) ->
+  unit ->
+  'v t
+(** Creates the store and arms its group-commit timer on the engine.
+    [size_of] estimates the serialized size of one write (dict + key +
+    value). [on_fsync] fires once per hive per flush that made data
+    durable; [on_compaction] fires whenever a bee's WAL is folded into a
+    snapshot. *)
+
+val config : 'v t -> config
+
+(** {2 The write path} *)
+
+val append : 'v t -> bee:int -> hive:int -> 'v write list -> unit
+(** Appends one transaction write-set to the bee's log. The writes are
+    immediately visible in the materialized view ({!entries},
+    {!size_bytes}) but only become durable — i.e. survive {!drop_pending}
+    — at the next group-commit flush. *)
+
+val flush : 'v t -> unit
+(** Forces a group commit of every pending batch now (the periodic timer
+    does this every [wal_group_commit_ticks] ms). Runs compaction on any
+    bee whose durable WAL exceeds the snapshot threshold. *)
+
+val compact : 'v t -> bee:int -> unit
+(** Forces snapshot + log truncation for one bee (flushes it first). *)
+
+val drop_pending : 'v t -> hive:int -> unit
+(** Crash semantics: discards every batch appended from [hive] that has
+    not yet been group-committed. Durable records are unaffected. *)
+
+val forget : 'v t -> bee:int -> unit
+(** Drops all storage for a bee (merged away or permanently dead). *)
+
+(** {2 Recovery} *)
+
+val recover : 'v t -> bee:int -> (string * string * 'v) list
+(** The bee's durable cell set: snapshot overlaid with the WAL tail, in
+    deterministic (dict, key) order. Pending (un-fsynced) batches are not
+    part of recovery — exactly what a crash loses. *)
+
+val recovery_cost : 'v t -> bee:int -> int * int
+(** [(records_replayed, bytes_read)] of a {!recover} call right now:
+    snapshot bytes plus every tail record. The figure of merit that
+    snapshot-based recovery improves over full log replay. *)
+
+(** {2 Migration} *)
+
+val package : 'v t -> bee:int -> 'v package
+(** Flushes and compacts the bee, then returns the snapshot+tail package a
+    live migration ships (stop -> buffer -> transfer -> drain). *)
+
+val install : 'v t -> 'v package -> unit
+(** Installs a package under [pkg_bee], replacing any existing log —
+    the receiving side of a migration or a cross-store transfer. *)
+
+(** {2 Introspection (per bee)} *)
+
+val entries : 'v t -> bee:int -> (string * string * 'v) list
+(** Materialized view including not-yet-durable pending writes (matches
+    the owning bee's committed in-memory state). *)
+
+val entry_count : 'v t -> bee:int -> int
+val size_bytes : 'v t -> bee:int -> int
+
+val wal_bytes : 'v t -> bee:int -> int
+(** Durable WAL tail size (bytes after the last snapshot). *)
+
+val wal_records : 'v t -> bee:int -> int
+val pending_writes : 'v t -> bee:int -> int
+val durable_lsn : 'v t -> bee:int -> int
+val snapshot_lsn : 'v t -> bee:int -> int
+val snapshot_count : 'v t -> bee:int -> int
+(** Compactions taken so far for this bee. *)
+
+val tracked_bees : 'v t -> int list
+(** Bees with any storage, ascending. *)
+
+(** {2 Totals} *)
+
+val total_fsyncs : 'v t -> int
+val total_wal_bytes_written : 'v t -> int
+(** Cumulative bytes ever appended to WALs (not reduced by compaction). *)
+
+val total_compactions : 'v t -> int

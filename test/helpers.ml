@@ -49,9 +49,11 @@ let kv_app ?(name = "test.kv") ?(with_whole_dict_reader = false) () =
   App.create ~name ~dicts:[ "store" ]
     (if with_whole_dict_reader then [ on_put; on_get_all ] else [ on_put ])
 
-let make_platform ?(n_hives = 4) ?(replication = false) ?(apps = []) () =
+let make_platform ?(n_hives = 4) ?(replication = false) ?durability ?(apps = []) () =
   let engine = Engine.create () in
-  let cfg = { (Platform.default_config ~n_hives) with Platform.replication } in
+  let cfg =
+    { (Platform.default_config ~n_hives) with Platform.replication; durability }
+  in
   let platform = Platform.create engine cfg in
   List.iter (Platform.register_app platform) apps;
   Platform.start platform;

@@ -1,0 +1,405 @@
+(* The durable storage engine: WAL group commit, snapshot compaction,
+   crash/restart recovery through the platform, snapshot-based migration,
+   and Raft install-snapshot catch-up. *)
+
+open Helpers
+module Store = Beehive_store.Store
+module Stats = Beehive_core.Stats
+module Raft = Beehive_raft.Raft
+module Cluster = Beehive_raft.Cluster
+module Raft_replication = Beehive_core.Raft_replication
+
+let run_for engine secs =
+  Engine.run_until engine (Simtime.add (Engine.now engine) (Simtime.of_sec secs))
+
+(* Store-level tests use plain int values. *)
+let size_of (d, k, w) =
+  String.length d + String.length k + (match w with Some _ -> 8 | None -> 4)
+
+let int_store ?config engine = Store.create engine ?config ~size_of ()
+
+let sorted_entries store ~bee =
+  List.sort compare (Store.recover store ~bee)
+
+(* ------------------------------------------------------------------ *)
+(* WAL group commit                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_group_commit_batches_per_tick () =
+  let engine = Engine.create () in
+  let fsyncs = ref 0 in
+  let store =
+    Store.create engine ~size_of ~on_fsync:(fun ~hive:_ ~bytes:_ ~records:_ -> incr fsyncs) ()
+  in
+  (* Three write sets inside one tick... *)
+  Store.append store ~bee:0 ~hive:0 [ ("d", "a", Some 1) ];
+  Store.append store ~bee:0 ~hive:0 [ ("d", "b", Some 2) ];
+  Store.append store ~bee:1 ~hive:0 [ ("d", "c", Some 3) ];
+  (* ...are not durable before the group-commit fsync lands... *)
+  Alcotest.(check (list (triple string string int))) "nothing durable yet" []
+    (Store.recover store ~bee:0);
+  Alcotest.(check int) "pending" 2 (Store.pending_writes store ~bee:0);
+  (* ...and all become durable together one fsync after the tick. *)
+  Engine.run_until engine (Simtime.of_ms 2);
+  Alcotest.(check (list (triple string string int)))
+    "bee 0 durable" [ ("d", "a", 1); ("d", "b", 2) ]
+    (sorted_entries store ~bee:0);
+  Alcotest.(check (list (triple string string int)))
+    "bee 1 durable" [ ("d", "c", 3) ]
+    (sorted_entries store ~bee:1);
+  Alcotest.(check int) "one fsync covered the whole tick" 1 !fsyncs
+
+let test_crash_loses_unsynced_tail () =
+  let engine = Engine.create () in
+  let store = int_store engine in
+  Store.append store ~bee:0 ~hive:2 [ ("d", "a", Some 1) ];
+  Store.flush store;
+  (* A later write set that never reaches its fsync dies with the hive. *)
+  Store.append store ~bee:0 ~hive:2 [ ("d", "a", Some 99); ("d", "b", Some 2) ];
+  Store.drop_pending store ~hive:2;
+  Engine.run_until engine (Simtime.of_ms 5);
+  Alcotest.(check (list (triple string string int)))
+    "only the fsynced prefix survives" [ ("d", "a", 1) ]
+    (sorted_entries store ~bee:0);
+  Alcotest.(check (list (triple string string int)))
+    "live view agrees after the drop" [ ("d", "a", 1) ]
+    (List.sort compare (Store.entries store ~bee:0))
+
+(* ------------------------------------------------------------------ *)
+(* Replay determinism and snapshot equivalence                          *)
+(* ------------------------------------------------------------------ *)
+
+let workload store =
+  for round = 0 to 4 do
+    for k = 0 to 39 do
+      Store.append store ~bee:0 ~hive:0
+        [ ("d", Printf.sprintf "k%02d" k, Some ((round * 100) + k)) ]
+    done;
+    (* Sprinkle deletes so recovery must honour tombstones. *)
+    Store.append store ~bee:0 ~hive:0 [ ("d", Printf.sprintf "k%02d" round, None) ];
+    Store.flush store
+  done
+
+let test_replay_determinism () =
+  let s1 = int_store (Engine.create ()) in
+  let s2 = int_store (Engine.create ()) in
+  workload s1;
+  workload s2;
+  Alcotest.(check (list (triple string string int)))
+    "identical histories recover identically"
+    (sorted_entries s1 ~bee:0) (sorted_entries s2 ~bee:0);
+  Alcotest.(check int) "same WAL byte count" (Store.total_wal_bytes_written s1)
+    (Store.total_wal_bytes_written s2)
+
+let test_snapshot_tail_equals_pure_replay () =
+  let compacting =
+    int_store
+      ~config:{ Store.default_config with Store.snapshot_threshold_bytes = 256 }
+      (Engine.create ())
+  in
+  let pure =
+    int_store
+      ~config:{ Store.default_config with Store.snapshot_threshold_bytes = max_int }
+      (Engine.create ())
+  in
+  workload compacting;
+  workload pure;
+  Alcotest.(check (list (triple string string int)))
+    "snapshot + tail == full replay"
+    (sorted_entries pure ~bee:0)
+    (sorted_entries compacting ~bee:0);
+  Alcotest.(check bool) "compaction actually happened" true
+    (Store.snapshot_count compacting ~bee:0 > 0);
+  let rec_compact, _ = Store.recovery_cost compacting ~bee:0 in
+  let rec_pure, _ = Store.recovery_cost pure ~bee:0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "snapshot recovery replays fewer records (%d < %d)" rec_compact rec_pure)
+    true (rec_compact < rec_pure)
+
+let test_compaction_under_concurrent_commits () =
+  let store =
+    int_store
+      ~config:{ Store.default_config with Store.snapshot_threshold_bytes = 128 }
+      (Engine.create ())
+  in
+  (* Three bees commit interleaved across many flush cycles; compactions
+     of one log must not disturb the others. *)
+  let model = Hashtbl.create 64 in
+  for round = 0 to 19 do
+    for bee = 0 to 2 do
+      let key = Printf.sprintf "k%d" (round mod 4) in
+      Store.append store ~bee ~hive:bee [ ("d", key, Some ((bee * 1000) + round)) ];
+      Hashtbl.replace model (bee, key) ((bee * 1000) + round)
+    done;
+    Store.flush store
+  done;
+  Alcotest.(check bool) "compactions ran while others committed" true
+    (Store.total_compactions store > 0);
+  for bee = 0 to 2 do
+    let expected =
+      Hashtbl.fold
+        (fun (b, k) v acc -> if b = bee then ("d", k, v) :: acc else acc)
+        model []
+      |> List.sort compare
+    in
+    Alcotest.(check (list (triple string string int)))
+      (Printf.sprintf "bee %d recovers its own state" bee)
+      expected (sorted_entries store ~bee)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Platform: crash/restart and migration                                *)
+(* ------------------------------------------------------------------ *)
+
+let durable_platform ?(n_hives = 4) () =
+  make_platform ~n_hives ~durability:Store.default_config ~apps:[ kv_app () ] ()
+
+let test_platform_crash_restart_byte_identical () =
+  let engine, platform = durable_platform () in
+  for k = 0 to 11 do
+    put platform ~from:(k mod 4) ~key:(Printf.sprintf "key%d" k) ~value:(k + 1)
+  done;
+  drain engine;
+  Platform.flush_durability platform;
+  let on_hive_1 =
+    List.filter (fun v -> v.Platform.view_hive = 1) (Platform.live_bees platform)
+  in
+  Alcotest.(check bool) "some bees live on hive 1" true (on_hive_1 <> []);
+  let before =
+    List.map
+      (fun v -> (v.Platform.view_id, Platform.bee_state_entries platform v.Platform.view_id))
+      on_hive_1
+  in
+  Platform.fail_hive platform 1;
+  List.iter
+    (fun (id, _) ->
+      let v = Option.get (Platform.bee_view platform id) in
+      Alcotest.(check bool) "crashed, not alive" false v.Platform.view_alive)
+    before;
+  drain engine;
+  Platform.restart_hive platform 1;
+  drain engine;
+  List.iter
+    (fun (id, entries) ->
+      let v = Option.get (Platform.bee_view platform id) in
+      Alcotest.(check bool) "revived on its hive" true
+        (v.Platform.view_alive && v.Platform.view_hive = 1);
+      Alcotest.(check bool) "byte-identical state" true
+        (Platform.bee_state_entries platform id = entries))
+    before;
+  (* The revived bees keep processing. *)
+  let id, _ = List.hd before in
+  let key =
+    match Platform.bee_state_entries platform id with
+    | (_, k, _) :: _ -> k
+    | [] -> Alcotest.fail "revived bee has no state"
+  in
+  let prev = Option.get (store_value platform ~bee:id ~key) in
+  put platform ~from:0 ~key ~value:5;
+  drain engine;
+  Alcotest.(check (option int)) "processes after restart" (Some (prev + 5))
+    (store_value platform ~bee:id ~key)
+
+let test_unsynced_commits_lost_on_crash () =
+  let engine, platform = durable_platform () in
+  put platform ~from:0 ~key:"a" ~value:7;
+  drain engine;
+  Platform.flush_durability platform;
+  let bee = owner_exn platform ~app:"test.kv" "a" in
+  let hive = (Option.get (Platform.bee_view platform bee)).Platform.view_hive in
+  (* This commit is applied in memory but its fsync never happens. *)
+  put platform ~from:hive ~key:"a" ~value:100;
+  Engine.run_until engine (Simtime.add (Engine.now engine) (Simtime.of_us 400));
+  Platform.fail_hive platform hive;
+  drain engine;
+  Platform.restart_hive platform hive;
+  drain engine;
+  Alcotest.(check (option int)) "recovers to last group commit" (Some 7)
+    (store_value platform ~bee ~key:"a")
+
+let test_crash_mid_migration_single_owner () =
+  let engine, platform = durable_platform () in
+  put platform ~from:0 ~key:"m" ~value:3;
+  drain engine;
+  Platform.flush_durability platform;
+  let bee = owner_exn platform ~app:"test.kv" "m" in
+  let src = (Option.get (Platform.bee_view platform bee)).Platform.view_hive in
+  let dst = (src + 1) mod 4 in
+  Alcotest.(check bool) "migration starts" true
+    (Platform.migrate_bee platform ~bee ~to_hive:dst ~reason:"test");
+  (* The destination dies while the snapshot package is on the wire. *)
+  Platform.fail_hive platform dst;
+  drain engine;
+  let v = Option.get (Platform.bee_view platform bee) in
+  Alcotest.(check bool) "bee resumed at the source" true
+    (v.Platform.view_alive && v.Platform.view_hive = src);
+  Alcotest.(check int) "still the one owner" bee (owner_exn platform ~app:"test.kv" "m");
+  Alcotest.(check (option int)) "state intact" (Some 3)
+    (store_value platform ~bee ~key:"m");
+  put platform ~from:0 ~key:"m" ~value:4;
+  drain engine;
+  Alcotest.(check (option int)) "still processing" (Some 7)
+    (store_value platform ~bee ~key:"m")
+
+let test_migration_ships_package_and_wal_metrics () =
+  let engine = Engine.create () in
+  let cfg =
+    {
+      (Platform.default_config ~n_hives:4) with
+      Platform.durability =
+        Some { Store.default_config with Store.snapshot_threshold_bytes = 128 };
+    }
+  in
+  let platform = Platform.create engine cfg in
+  Platform.register_app platform (kv_app ());
+  Platform.start platform;
+  for i = 0 to 29 do
+    put platform ~from:0 ~key:"w" ~value:i;
+    if i mod 5 = 0 then drain engine
+  done;
+  drain engine;
+  let bee = owner_exn platform ~app:"test.kv" "w" in
+  Alcotest.(check bool) "overwrites compacted into snapshots" true
+    (Platform.bee_snapshot_count platform bee >= 1);
+  let stats = Option.get (Platform.bee_stats platform bee) in
+  Alcotest.(check (option int)) "snapshot gauge tracks the store"
+    (Some (Platform.bee_snapshot_count platform bee))
+    (Stats.gauge stats "snapshots");
+  Alcotest.(check bool) "wal_bytes gauge populated" true
+    (Stats.gauge stats "wal_bytes" <> None);
+  (* State reads go through the store, so both views agree. *)
+  Alcotest.(check int) "state size reads through the store"
+    (Store.size_bytes (Option.get (Platform.store platform)) ~bee)
+    (Platform.bee_state_size platform bee);
+  let src = (Option.get (Platform.bee_view platform bee)).Platform.view_hive in
+  let dst = (src + 1) mod 4 in
+  Alcotest.(check bool) "migrates" true
+    (Platform.migrate_bee platform ~bee ~to_hive:dst ~reason:"test");
+  drain engine;
+  let v = Option.get (Platform.bee_view platform bee) in
+  Alcotest.(check int) "landed" dst v.Platform.view_hive;
+  (match Platform.migrations platform with
+  | [] -> Alcotest.fail "no migration recorded"
+  | ms ->
+    let m = List.nth ms (List.length ms - 1) in
+    Alcotest.(check bool) "transfer cost is the snapshot package" true
+      (m.Platform.mig_bytes > 0));
+  Alcotest.(check (option int)) "state survived the move"
+    (Some (List.init 30 Fun.id |> List.fold_left ( + ) 0))
+    (store_value platform ~bee ~key:"w")
+
+(* ------------------------------------------------------------------ *)
+(* Raft install-snapshot                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_raft_install_snapshot_catches_up_lagging_node () =
+  let engine = Engine.create () in
+  let cluster = Cluster.create engine ~n:3 () in
+  let await_leader () =
+    let deadline = Simtime.add (Engine.now engine) (Simtime.of_sec 10.0) in
+    let rec go () =
+      match Cluster.leader cluster with
+      | Some l -> l
+      | None ->
+        if Simtime.(Engine.now engine > deadline) then Alcotest.fail "no leader";
+        Engine.run_until engine (Simtime.add (Engine.now engine) (Simtime.of_ms 50));
+        go ()
+    in
+    go ()
+  in
+  let l = await_leader () in
+  let f = if l = 0 then 1 else 0 in
+  Cluster.crash cluster f;
+  for i = 1 to 20 do
+    (match Cluster.propose_anywhere cluster (Printf.sprintf "cmd%d" i) with
+    | `Proposed _ -> ()
+    | `No_leader -> Alcotest.fail "lost the leader");
+    run_for engine 0.2
+  done;
+  run_for engine 1.0;
+  let leader_node = Cluster.node cluster l in
+  Alcotest.(check int) "leader applied everything" 20 (Raft.last_applied leader_node);
+  (* Compact the leader's whole log: the crashed follower's entries are
+     now only reachable through the snapshot. *)
+  Raft.compact leader_node ~upto:(Raft.last_applied leader_node) ~data:"img" ();
+  Alcotest.(check int) "leader log compacted" 20 (Raft.snapshot_index leader_node);
+  Cluster.restart cluster f;
+  run_for engine 3.0;
+  let follower = Cluster.node cluster f in
+  Alcotest.(check int) "follower installed the snapshot" 20
+    (Raft.snapshot_index follower);
+  Alcotest.(check bool) "follower caught up" true (Raft.last_applied follower >= 20);
+  (* Replication continues past the snapshot for everyone. *)
+  (match Cluster.propose_anywhere cluster "after-snap" with
+  | `Proposed _ -> ()
+  | `No_leader -> Alcotest.fail "no leader after snapshot");
+  run_for engine 2.0;
+  Alcotest.(check (list (pair int string))) "follower applies the tail"
+    [ (21, "after-snap") ]
+    (Cluster.applied cluster f)
+
+let test_raft_replication_restart_recovers_via_snapshot () =
+  let engine = Engine.create () in
+  let platform = Platform.create engine (Platform.default_config ~n_hives:5) in
+  Platform.register_app platform { (kv_app ()) with App.replicated = true };
+  let rep = Raft_replication.install platform ~compact_every:4 () in
+  Platform.start platform;
+  run_for engine 2.0;
+  put platform ~from:1 ~key:"k" ~value:1;
+  run_for engine 2.0;
+  let bee = owner_exn platform ~app:"test.kv" "k" in
+  (* The group is anchored at the bee's first-commit hive — where the bee
+     lives, since it has not moved. *)
+  let bee_hive = (Option.get (Platform.bee_view platform bee)).Platform.view_hive in
+  let anchor = bee_hive in
+  let members = Raft_replication.group_members rep ~hive:anchor in
+  (* Crash a member that does not host the bee itself. *)
+  let victim = List.find (fun m -> m <> bee_hive) members in
+  Platform.fail_hive platform victim;
+  (* Enough commits that every live member compacts past the victim's
+     match index. *)
+  for v = 2 to 13 do
+    put platform ~from:bee_hive ~key:"k" ~value:v;
+    run_for engine 0.5
+  done;
+  run_for engine 2.0;
+  let installs_before = Raft_replication.snapshot_installs rep in
+  Platform.restart_hive platform victim;
+  run_for engine 5.0;
+  Alcotest.(check bool) "snapshot shipped to the rejoined member" true
+    (Raft_replication.snapshot_installs rep > installs_before);
+  Alcotest.(check bool) "member's node holds a snapshot" true
+    (Raft_replication.member_snapshot_index rep ~hive:anchor ~member:victim > 0);
+  let total = List.init 13 (fun i -> i + 1) |> List.fold_left ( + ) 0 in
+  (match Raft_replication.replica_entries rep ~member:victim ~bee with
+  | [ ("store", "k", Value.V_int n) ] ->
+    Alcotest.(check int) "replica caught up through the snapshot" total n
+  | entries ->
+    Alcotest.failf "victim replica wrong (%d entries)" (List.length entries))
+
+let suite =
+  [
+    ( "store",
+      [
+        Alcotest.test_case "group commit batches one tick" `Quick
+          test_group_commit_batches_per_tick;
+        Alcotest.test_case "crash loses unsynced tail" `Quick test_crash_loses_unsynced_tail;
+        Alcotest.test_case "replay is deterministic" `Quick test_replay_determinism;
+        Alcotest.test_case "snapshot + tail == pure replay" `Quick
+          test_snapshot_tail_equals_pure_replay;
+        Alcotest.test_case "compaction under concurrent commits" `Quick
+          test_compaction_under_concurrent_commits;
+        Alcotest.test_case "platform crash/restart is byte-identical" `Quick
+          test_platform_crash_restart_byte_identical;
+        Alcotest.test_case "unsynced commits lost on crash" `Quick
+          test_unsynced_commits_lost_on_crash;
+        Alcotest.test_case "crash mid-migration keeps one owner" `Quick
+          test_crash_mid_migration_single_owner;
+        Alcotest.test_case "migration ships snapshot package" `Quick
+          test_migration_ships_package_and_wal_metrics;
+        Alcotest.test_case "raft install-snapshot catch-up" `Quick
+          test_raft_install_snapshot_catches_up_lagging_node;
+        Alcotest.test_case "raft replication restart via snapshot" `Quick
+          test_raft_replication_restart_recovers_via_snapshot;
+      ] );
+  ]
