@@ -95,6 +95,91 @@ let fig4_all =
     (Cmd.info "fig4" ~doc)
     Term.(const run $ cfg_term)
 
+let check_cmd =
+  let module Check = Beehive_check.Check in
+  let module Script = Beehive_check.Script in
+  let doc =
+    "Deterministic fault exploration: run the nemesis over a range of seeds, \
+     checking invariants continuously; shrink and print any failing trace."
+  in
+  let docs = "CHECK PARAMETERS" in
+  let seeds =
+    Arg.(value & opt int 50
+         & info [ "seeds" ] ~docs ~doc:"Number of consecutive seeds to explore.")
+  in
+  let first_seed =
+    Arg.(value & opt int 0 & info [ "first-seed" ] ~docs ~doc:"First seed of the sweep.")
+  in
+  let ticks =
+    Arg.(value & opt int 30
+         & info [ "ticks" ] ~docs
+             ~doc:"Fault-injection horizon per seed, in simulated milliseconds.")
+  in
+  let hives =
+    Arg.(value & opt int 4 & info [ "hives" ] ~docs ~doc:"Hives per checked platform.")
+  in
+  let profile =
+    let parse s =
+      Result.map_error (fun e -> `Msg e) (Script.profile_of_string s)
+    in
+    let print ppf p = Format.pp_print_string ppf (Script.profile_to_string p) in
+    Arg.(value
+         & opt (list (conv (parse, print))) Script.all_profiles
+         & info [ "profile" ] ~docs
+             ~doc:"Fault profile(s): $(b,migration), $(b,durability), $(b,raft), \
+                   $(b,all), or a comma-separated list. Default: every profile.")
+  in
+  let trace_dir =
+    Arg.(value & opt (some string) None
+         & info [ "trace-dir" ] ~docs
+             ~doc:"Directory to write one shrunk failure trace per failing seed \
+                   (created if missing); what the CI soak job uploads.")
+  in
+  let inject_bug =
+    Arg.(value & opt (some string) None
+         & info [ "inject-bug" ] ~docs
+             ~doc:"Deliberately re-introduce a historical bug before checking \
+                   (currently: $(b,forwarding) disables in-flight message \
+                   forwarding after bee merges). The sweep should then fail — \
+                   a self-test of the checker.")
+  in
+  let run seeds first_seed ticks hives profiles trace_dir inject_bug =
+    (match inject_bug with
+    | None -> ()
+    | Some "forwarding" -> Beehive_core.Platform.debug_disable_forwarding := true
+    | Some other ->
+      Format.eprintf "unknown --inject-bug %S (known: forwarding)@." other;
+      exit 2);
+    let n_failures = ref 0 in
+    List.iter
+      (fun profile ->
+        let report = Check.run ~n_hives:hives ~ticks ~first_seed ~seeds profile in
+        Format.printf "%a" Check.pp_report report;
+        List.iter
+          (fun f ->
+            incr n_failures;
+            match trace_dir with
+            | None -> ()
+            | Some dir ->
+              if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+              let path =
+                Filename.concat dir
+                  (Printf.sprintf "trace-%s-seed%d.txt"
+                     (Script.profile_to_string profile)
+                     f.Check.f_seed)
+              in
+              let oc = open_out path in
+              output_string oc (Check.failure_to_string f);
+              close_out oc;
+              Format.printf "  trace written to %s@." path)
+          report.Check.rp_failures)
+      profiles;
+    if !n_failures > 0 then exit 1
+  in
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(const run $ seeds $ first_seed $ ticks $ hives $ profile $ trace_dir
+          $ inject_bug)
+
 let feedback_cmd =
   let doc = "Run the naive TE and print the design-bottleneck feedback (Section 5)." in
   let run cfg =
@@ -115,6 +200,7 @@ let main =
       run_one "fig4c" (fun ~cfg () -> Fig4.run_optimized ~cfg ());
       fig4_all;
       feedback_cmd;
+      check_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,86 @@
+type failure = {
+  f_profile : Script.profile;
+  f_seed : int;
+  f_ticks : int;
+  f_violation : Monitor.violation;
+  f_script : Script.op list;
+  f_shrunk : Script.op list;
+  f_replays : bool;
+}
+
+type report = {
+  rp_profile : Script.profile;
+  rp_first_seed : int;
+  rp_seeds : int;
+  rp_ticks : int;
+  rp_passed : int;
+  rp_failures : failure list;
+}
+
+let shrink_failure cfg script (v : Monitor.violation) =
+  let still_fails ops =
+    match Runner.execute cfg ops with
+    | Runner.Fail v' -> String.equal v'.Monitor.v_monitor v.Monitor.v_monitor
+    | Runner.Pass _ -> false
+  in
+  let shrunk = Shrink.minimize ~still_fails script in
+  let replays = still_fails shrunk in
+  (shrunk, replays)
+
+let run ?(n_hives = 4) ?(ticks = 30) ?(storm_budget = 5000) ?(first_seed = 0) ~seeds
+    profile =
+  let passed = ref 0 in
+  let failures = ref [] in
+  for seed = first_seed to first_seed + seeds - 1 do
+    let cfg = Runner.make_cfg ~n_hives ~ticks ~storm_budget ~seed profile in
+    match Runner.run_seed cfg with
+    | _, Runner.Pass _ -> incr passed
+    | script, Runner.Fail v ->
+      let shrunk, replays = shrink_failure cfg script v in
+      failures :=
+        {
+          f_profile = profile;
+          f_seed = seed;
+          f_ticks = ticks;
+          f_violation = v;
+          f_script = script;
+          f_shrunk = shrunk;
+          f_replays = replays;
+        }
+        :: !failures
+  done;
+  {
+    rp_profile = profile;
+    rp_first_seed = first_seed;
+    rp_seeds = seeds;
+    rp_ticks = ticks;
+    rp_passed = !passed;
+    rp_failures = List.rev !failures;
+  }
+
+let replay ?n_hives ?ticks ?storm_budget ~seed profile =
+  Runner.run_seed (Runner.make_cfg ?n_hives ?ticks ?storm_budget ~seed profile)
+
+let pp_failure ppf f =
+  Format.fprintf ppf "FAIL profile=%s seed=%d ticks=%d@."
+    (Script.profile_to_string f.f_profile)
+    f.f_seed f.f_ticks;
+  Format.fprintf ppf "  %a@." Monitor.pp_violation f.f_violation;
+  Format.fprintf ppf "  replay: beehive_sim check --profile %s --first-seed %d --seeds 1 --ticks %d@."
+    (Script.profile_to_string f.f_profile)
+    f.f_seed f.f_ticks;
+  Format.fprintf ppf "  script: %d events, shrunk to %d (%s)@."
+    (List.length f.f_script) (List.length f.f_shrunk)
+    (if f.f_replays then "replays deterministically" else "REPLAY DIVERGED");
+  Format.fprintf ppf "%a" Script.pp_timeline f.f_shrunk
+
+let pp_report ppf r =
+  Format.fprintf ppf "profile %-10s seeds %d..%d ticks %d: %d passed, %d failed@."
+    (Script.profile_to_string r.rp_profile)
+    r.rp_first_seed
+    (r.rp_first_seed + r.rp_seeds - 1)
+    r.rp_ticks r.rp_passed
+    (List.length r.rp_failures);
+  List.iter (fun f -> Format.fprintf ppf "%a" pp_failure f) r.rp_failures
+
+let failure_to_string f = Format.asprintf "%a" pp_failure f

@@ -1,0 +1,50 @@
+(** The check driver: seed sweeps, shrinking, and reporting.
+
+    [run] explores [seeds] consecutive seeds of a fault profile. Each
+    failing seed's generated script is minimized with {!Shrink} (the
+    predicate: the same monitor is still violated), then the shrunk
+    script is re-executed once more to confirm it replays
+    deterministically. The resulting {!failure} carries everything a
+    human or a CI artifact needs: the seed, the violation, the full
+    script, and the shrunk timeline. *)
+
+type failure = {
+  f_profile : Script.profile;
+  f_seed : int;
+  f_ticks : int;
+  f_violation : Monitor.violation;
+  f_script : Script.op list;  (** the full generated script *)
+  f_shrunk : Script.op list;  (** 1-minimal failing subsequence *)
+  f_replays : bool;
+      (** the shrunk script, re-executed from scratch, violated the same
+          monitor again *)
+}
+
+type report = {
+  rp_profile : Script.profile;
+  rp_first_seed : int;
+  rp_seeds : int;
+  rp_ticks : int;
+  rp_passed : int;
+  rp_failures : failure list;
+}
+
+val run :
+  ?n_hives:int ->
+  ?ticks:int ->
+  ?storm_budget:int ->
+  ?first_seed:int ->
+  seeds:int ->
+  Script.profile ->
+  report
+
+val replay : ?n_hives:int -> ?ticks:int -> ?storm_budget:int -> seed:int ->
+  Script.profile -> Script.op list * Runner.outcome
+(** Regenerates and re-executes one seed — the reproduction command
+    behind "replay: ... --seed N". *)
+
+val pp_failure : Format.formatter -> failure -> unit
+val pp_report : Format.formatter -> report -> unit
+
+val failure_to_string : failure -> string
+(** The artifact format the CI soak job uploads. *)

@@ -1,0 +1,252 @@
+module Engine = Beehive_sim.Engine
+module Simtime = Beehive_sim.Simtime
+module Channels = Beehive_net.Channels
+module Traffic_matrix = Beehive_net.Traffic_matrix
+module Platform = Beehive_core.Platform
+module Registry = Beehive_core.Registry
+module Cell = Beehive_core.Cell
+module Value = Beehive_core.Value
+module Raft_replication = Beehive_core.Raft_replication
+module Raft = Beehive_raft.Raft
+
+type ctx = {
+  cx_engine : Engine.t;
+  cx_platform : Platform.t;
+  cx_app : string;
+  cx_dict : string;
+  cx_puts : (string, int) Hashtbl.t;
+  cx_raft : Raft_replication.t option;
+  cx_crashes : bool;
+}
+
+type violation = {
+  v_monitor : string;
+  v_detail : string;
+  v_at : Beehive_sim.Simtime.t;
+}
+
+exception Violation of violation
+
+let pp_violation ppf v =
+  Format.fprintf ppf "%s violated at %a: %s" v.v_monitor Simtime.pp v.v_at v.v_detail
+
+type phase =
+  | Continuous
+  | Final
+
+type t = {
+  m_name : string;
+  m_phase : phase;
+  m_check : ctx -> string option;
+}
+
+let check m ctx =
+  match m.m_check ctx with
+  | None -> ()
+  | Some detail ->
+    raise
+      (Violation
+         { v_monitor = m.m_name; v_detail = detail; v_at = Engine.now ctx.cx_engine })
+
+(* The counter a key's owner currently holds, or [None] when the key has
+   no registered owner. *)
+let observed ctx key =
+  match Platform.find_owner ctx.cx_platform ~app:ctx.cx_app (Cell.cell ctx.cx_dict key) with
+  | None -> None
+  | Some bee ->
+    let n =
+      List.fold_left
+        (fun acc (d, k, v) ->
+          if String.equal d ctx.cx_dict && String.equal k key then
+            match v with Value.V_int n -> n | _ -> acc
+          else acc)
+        0
+        (Platform.bee_state_entries ctx.cx_platform bee)
+    in
+    Some (bee, n)
+
+let model_keys ctx =
+  Hashtbl.fold (fun k n acc -> (k, n) :: acc) ctx.cx_puts [] |> List.sort compare
+
+let single_owner =
+  {
+    m_name = "single-owner";
+    m_phase = Continuous;
+    m_check =
+      (fun ctx ->
+        match Registry.check_invariant (Platform.registry ctx.cx_platform) with
+        | () -> None
+        | exception Failure msg -> Some msg);
+  }
+
+let conservation =
+  {
+    m_name = "byte-conservation";
+    m_phase = Continuous;
+    m_check =
+      (fun ctx ->
+        let m = Channels.matrix (Platform.channels ctx.cx_platform) in
+        let n = Platform.n_hives ctx.cx_platform in
+        let sum f = List.fold_left ( +. ) 0.0 (List.init n f) in
+        let rows = sum (Traffic_matrix.row_bytes m) in
+        let cols = sum (Traffic_matrix.col_bytes m) in
+        let total = Traffic_matrix.total_bytes m in
+        let loc = Traffic_matrix.locality_fraction m in
+        if abs_float (rows -. total) > 1e-6 then
+          Some (Printf.sprintf "row sum %.1f <> total %.1f" rows total)
+        else if abs_float (cols -. total) > 1e-6 then
+          Some (Printf.sprintf "col sum %.1f <> total %.1f" cols total)
+        else if loc < 0.0 || loc > 1.0 then
+          Some (Printf.sprintf "locality fraction %.3f outside [0,1]" loc)
+        else None);
+  }
+
+let no_duplication =
+  {
+    m_name = "no-duplication";
+    m_phase = Continuous;
+    m_check =
+      (fun ctx ->
+        List.find_map
+          (fun (key, puts) ->
+            match observed ctx key with
+            | Some (bee, n) when n > puts ->
+              Some
+                (Printf.sprintf "key %s: bee %d holds %d, only %d puts injected" key
+                   bee n puts)
+            | Some _ | None -> None)
+          (model_keys ctx));
+  }
+
+let no_loss =
+  {
+    m_name = "no-loss";
+    m_phase = Final;
+    m_check =
+      (fun ctx ->
+        if ctx.cx_crashes then None
+        else
+          List.find_map
+            (fun (key, puts) ->
+              match observed ctx key with
+              | None -> Some (Printf.sprintf "key %s: %d puts but no owner" key puts)
+              | Some (bee, n) when n <> puts ->
+                Some
+                  (Printf.sprintf "key %s: bee %d applied %d of %d puts" key bee n
+                     puts)
+              | Some _ -> None)
+            (model_keys ctx));
+  }
+
+let durable_ownership =
+  {
+    m_name = "durable-ownership";
+    m_phase = Final;
+    m_check =
+      (fun ctx ->
+        if Platform.store ctx.cx_platform = None then None
+        else
+          List.find_map
+            (fun (key, puts) ->
+              match observed ctx key with
+              | None ->
+                Some
+                  (Printf.sprintf
+                     "key %s lost its owner despite durability (%d puts)" key puts)
+              | Some _ -> None)
+            (model_keys ctx));
+  }
+
+(* Committed prefixes of any two group members must agree entry-by-entry
+   above both snapshot points — Raft's State Machine Safety, checked
+   structurally on the logs. *)
+let raft_prefix =
+  {
+    m_name = "raft-log-prefix";
+    m_phase = Continuous;
+    m_check =
+      (fun ctx ->
+        match ctx.cx_raft with
+        | None -> None
+        | Some rep ->
+          let n = Platform.n_hives ctx.cx_platform in
+          let result = ref None in
+          for anchor = 0 to n - 1 do
+            if !result = None then begin
+              let members = Raft_replication.group_members rep ~hive:anchor in
+              let view m =
+                ( m,
+                  Raft_replication.member_commit_index rep ~hive:anchor ~member:m,
+                  Raft_replication.member_snapshot_index rep ~hive:anchor ~member:m,
+                  Raft_replication.member_log_entries rep ~hive:anchor ~member:m )
+              in
+              let views = List.map view members in
+              let rec pairs = function
+                | [] -> []
+                | v :: rest -> List.map (fun w -> (v, w)) rest @ pairs rest
+              in
+              List.iter
+                (fun ((m1, c1, s1, log1), (m2, c2, s2, log2)) ->
+                  if !result = None then begin
+                    let lim = min c1 c2 in
+                    let entry log i =
+                      List.find_opt (fun e -> e.Raft.e_index = i) log
+                    in
+                    let i = ref (max s1 s2 + 1) in
+                    while !result = None && !i <= lim do
+                      (match (entry log1 !i, entry log2 !i) with
+                      | Some e1, Some e2
+                        when e1.Raft.e_term <> e2.Raft.e_term
+                             || not (String.equal e1.Raft.e_command e2.Raft.e_command)
+                        ->
+                        result :=
+                          Some
+                            (Printf.sprintf
+                               "group %d: members %d/%d diverge at committed index \
+                                %d (terms %d vs %d)"
+                               anchor m1 m2 !i e1.Raft.e_term e2.Raft.e_term)
+                      | None, Some _ | Some _, None ->
+                        result :=
+                          Some
+                            (Printf.sprintf
+                               "group %d: committed index %d missing from one of \
+                                members %d/%d"
+                               anchor !i m1 m2)
+                      | _ -> ());
+                      incr i
+                    done
+                  end)
+                (pairs views)
+            end
+          done;
+          !result);
+  }
+
+let storm ~budget =
+  let last = ref 0 in
+  {
+    m_name = "event-storm";
+    m_phase = Continuous;
+    m_check =
+      (fun ctx ->
+        let total = Engine.events_executed ctx.cx_engine in
+        let delta = total - !last in
+        last := total;
+        if delta > budget then
+          Some
+            (Printf.sprintf "%d events in one monitor tick (budget %d): amplification \
+                             runaway"
+               delta budget)
+        else None);
+  }
+
+let defaults ~storm_budget =
+  [
+    single_owner;
+    conservation;
+    no_duplication;
+    raft_prefix;
+    storm ~budget:storm_budget;
+    no_loss;
+    durable_ownership;
+  ]

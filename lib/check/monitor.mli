@@ -1,0 +1,88 @@
+(** Invariant monitors.
+
+    A monitor is a named predicate over a running check — the platform,
+    the workload model (expected per-key counters), and the optional
+    Raft replication layer. Continuous monitors are evaluated on a
+    periodic simulated-time tick while faults are being injected; final
+    monitors run once the run has quiesced (after the nemesis heals all
+    failed hives). A monitor that does not apply to the current
+    configuration (e.g. the Raft prefix check without Raft) reports
+    nothing. *)
+
+module Engine = Beehive_sim.Engine
+module Platform = Beehive_core.Platform
+module Raft_replication = Beehive_core.Raft_replication
+
+type ctx = {
+  cx_engine : Engine.t;
+  cx_platform : Platform.t;
+  cx_app : string;  (** the check workload's app name *)
+  cx_dict : string;  (** its counter dictionary *)
+  cx_puts : (string, int) Hashtbl.t;
+      (** model: key -> number of puts injected while the origin hive was
+          alive (each put increments the key's counter by 1) *)
+  cx_raft : Raft_replication.t option;
+  cx_crashes : bool;  (** the script being executed contains [Fail] ops *)
+}
+
+type violation = {
+  v_monitor : string;
+  v_detail : string;
+  v_at : Beehive_sim.Simtime.t;
+}
+
+exception Violation of violation
+
+val pp_violation : Format.formatter -> violation -> unit
+
+type phase =
+  | Continuous  (** evaluated on every monitor tick during the run *)
+  | Final  (** evaluated once, after quiesce + heal *)
+
+type t = {
+  m_name : string;
+  m_phase : phase;
+  m_check : ctx -> string option;  (** [Some detail] = invariant violated *)
+}
+
+val check : t -> ctx -> unit
+(** Runs the monitor; raises {!Violation} on a violation. *)
+
+(** {2 Built-in monitors} *)
+
+val single_owner : t
+(** Every cell is owned by exactly one bee ({!Registry.check_invariant}). *)
+
+val conservation : t
+(** Traffic-matrix byte conservation: row and column sums equal the
+    total, locality fraction stays in [0, 1]. *)
+
+val no_duplication : t
+(** No key's counter ever exceeds the number of puts injected for it —
+    a message was applied twice if it does. Valid under any fault mix. *)
+
+val no_loss : t
+(** Exact delivery conservation: every injected put is applied exactly
+    once. Only meaningful without crashes (a [Fail] legitimately drops
+    in-flight and un-fsynced work), so it skips itself when
+    [cx_crashes]. *)
+
+val durable_ownership : t
+(** With durability on, a crash never loses cell ownership: every key
+    that ever had a put still has a registered owner. Skips itself when
+    the platform has no storage engine. *)
+
+val raft_prefix : t
+(** Raft log-prefix compatibility: in every replication group, any two
+    members' committed log prefixes agree (same term and command at every
+    shared committed index above both snapshot points). Skips itself
+    without Raft. *)
+
+val storm : budget:int -> t
+(** Event-storm detector: fails if more than [budget] engine events
+    execute between two consecutive monitor ticks — the signature of
+    runaway message amplification (the historical broadcast-storm bug).
+    Stateful; create one per run. *)
+
+val defaults : storm_budget:int -> t list
+(** All built-ins, continuous monitors first. *)

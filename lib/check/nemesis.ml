@@ -1,0 +1,48 @@
+module Rng = Beehive_sim.Rng
+
+let n_keys = 6
+
+(* Per-profile fault mix, in cumulative percent. Order: put, read_all,
+   migrate, fail, spike (restarts are paired with fails below). *)
+let weights = function
+  | Script.Migration -> (60, 72, 92, 92, 100)
+  | Script.Durability -> (50, 58, 73, 88, 100)
+  | Script.Raft -> (55, 55, 67, 85, 100)
+  | Script.All -> (45, 55, 70, 85, 100)
+
+let generate ~rng ~profile ~n_hives ~ticks =
+  if ticks <= 0 then invalid_arg "Nemesis.generate: ticks must be positive";
+  let horizon_us = ticks * 1000 in
+  let n_ops = 20 + ticks in
+  let p_put, p_read, p_mig, p_fail, _ = weights profile in
+  let ops = ref [] in
+  let push op = ops := op :: !ops in
+  for _ = 1 to n_ops do
+    let at_us = Rng.int rng horizon_us in
+    let roll = Rng.int rng 100 in
+    if roll < p_put then
+      push (Script.Put { at_us; key = Rng.int rng n_keys; from_hive = Rng.int rng n_hives })
+    else if roll < p_read then push (Script.Read_all { at_us; from_hive = Rng.int rng n_hives })
+    else if roll < p_mig then
+      push (Script.Migrate { at_us; key = Rng.int rng n_keys; to_hive = Rng.int rng n_hives })
+    else if roll < p_fail then begin
+      let hive = Rng.int rng n_hives in
+      push (Script.Fail { at_us; hive });
+      (* Usually bring it back while the run is still hot, so recovery
+         races against live traffic instead of only against the final
+         heal. *)
+      if Rng.int rng 10 < 8 then
+        push
+          (Script.Restart
+             { at_us = min horizon_us (at_us + 1000 + Rng.int rng 8000); hive })
+    end
+    else
+      push
+        (Script.Spike
+           {
+             at_us;
+             factor = float_of_int (2 + Rng.int rng 14);
+             dur_us = 500 + Rng.int rng 4000;
+           })
+  done;
+  Script.sort_ops (List.rev !ops)

@@ -1,0 +1,227 @@
+module Engine = Beehive_sim.Engine
+module Simtime = Beehive_sim.Simtime
+module Rng = Beehive_sim.Rng
+module Channels = Beehive_net.Channels
+module Platform = Beehive_core.Platform
+module App = Beehive_core.App
+module Mapping = Beehive_core.Mapping
+module Context = Beehive_core.Context
+module Message = Beehive_core.Message
+module Value = Beehive_core.Value
+module Cell = Beehive_core.Cell
+module Raft_replication = Beehive_core.Raft_replication
+module Store = Beehive_store.Store
+
+type Message.payload +=
+  | Ck_put of string
+  | Ck_read_all
+
+let k_put = "check.put"
+let k_read = "check.read_all"
+let app_name = "check.kv"
+let dict = "store"
+let key_name k = Printf.sprintf "k%d" k
+
+(* The check workload: a key-sharded counter plus the centralizing
+   whole-dict reader, mirroring the patterns the paper's apps use (and
+   the two patterns that found the historical bugs). *)
+let kv_app ~replicated =
+  let on_put =
+    App.handler ~kind:k_put
+      ~map:(fun msg ->
+        match msg.Message.payload with
+        | Ck_put key -> Mapping.with_key dict key
+        | _ -> Mapping.Drop)
+      (fun ctx msg ->
+        match msg.Message.payload with
+        | Ck_put key ->
+          Context.update ctx ~dict ~key (function
+            | Some (Value.V_int n) -> Some (Value.V_int (n + 1))
+            | _ -> Some (Value.V_int 1))
+        | _ -> ())
+  in
+  let on_read_all =
+    App.handler ~kind:k_read
+      ~map:(fun _ -> Mapping.whole_dict dict)
+      (fun ctx _ ->
+        let n = ref 0 in
+        Context.iter_dict ctx ~dict (fun _ _ -> incr n);
+        Context.set ctx ~dict ~key:"__total" (Value.V_int !n))
+  in
+  App.create ~name:app_name ~dicts:[ dict ] ~replicated [ on_put; on_read_all ]
+
+type cfg = {
+  r_profile : Script.profile;
+  r_n_hives : int;
+  r_ticks : int;
+  r_seed : int;
+  r_storm_budget : int;
+}
+
+let make_cfg ?(n_hives = 4) ?(ticks = 30) ?(storm_budget = 5000) ~seed profile =
+  if n_hives <= 0 then invalid_arg "Runner.make_cfg: need at least one hive";
+  {
+    r_profile = profile;
+    r_n_hives = n_hives;
+    r_ticks = ticks;
+    r_seed = seed;
+    r_storm_budget = storm_budget;
+  }
+
+type stats = {
+  s_events : int;
+  s_processed : int;
+  s_migrations : int;
+  s_merges : int;
+  s_dropped : int;
+  s_puts : int;
+}
+
+type outcome =
+  | Pass of stats
+  | Fail of Monitor.violation
+
+let with_durability = function
+  | Script.Migration -> false
+  | Script.Durability | Script.Raft | Script.All -> true
+
+let with_raft = function
+  | Script.Raft | Script.All -> true
+  | Script.Migration | Script.Durability -> false
+
+let execute cfg ops =
+  let engine = Engine.create ~seed:cfg.r_seed () in
+  let durability =
+    if with_durability cfg.r_profile then
+      (* A small threshold so compaction actually runs inside short checks. *)
+      Some { Store.default_config with Store.snapshot_threshold_bytes = 2048 }
+    else None
+  in
+  let pcfg = { (Platform.default_config ~n_hives:cfg.r_n_hives) with Platform.durability } in
+  let platform = Platform.create engine pcfg in
+  let replicated = with_raft cfg.r_profile in
+  Platform.register_app platform (kv_app ~replicated);
+  let raft =
+    if replicated then
+      Some (Raft_replication.install platform ~group_size:3 ~compact_every:8 ())
+    else None
+  in
+  Platform.start platform;
+  let puts = Hashtbl.create 16 in
+  let n_puts = ref 0 in
+  let ctx =
+    {
+      Monitor.cx_engine = engine;
+      cx_platform = platform;
+      cx_app = app_name;
+      cx_dict = dict;
+      cx_puts = puts;
+      cx_raft = raft;
+      cx_crashes = Script.has_crash ops;
+    }
+  in
+  let monitors = Monitor.defaults ~storm_budget:cfg.r_storm_budget in
+  let continuous =
+    List.filter (fun m -> m.Monitor.m_phase = Monitor.Continuous) monitors
+  in
+  ignore
+    (Engine.every engine (Simtime.of_ms 1) (fun () ->
+         List.iter (fun m -> Monitor.check m ctx) continuous));
+  (* Restarting a hive is also a monitoring point: each crashed bee must
+     revive byte-identical to its durable snapshot+WAL state. *)
+  let do_restart h =
+    let crashed =
+      List.filter
+        (fun v -> (not v.Platform.view_alive) && v.Platform.view_hive = h)
+        (Platform.live_bees platform)
+    in
+    let expected =
+      List.map
+        (fun v ->
+          ( v.Platform.view_id,
+            List.sort compare (Platform.durable_bee_entries platform v.Platform.view_id)
+          ))
+        crashed
+    in
+    Platform.restart_hive platform h;
+    List.iter
+      (fun (id, exp) ->
+        let got = List.sort compare (Platform.bee_state_entries platform id) in
+        if got <> exp then
+          raise
+            (Monitor.Violation
+               {
+                 Monitor.v_monitor = "recovery-identity";
+                 v_detail =
+                   Printf.sprintf
+                     "bee %d revived with %d entries, durable state held %d" id
+                     (List.length got) (List.length exp);
+                 v_at = Engine.now engine;
+               }))
+      expected
+  in
+  let apply = function
+    | Script.Put { key; from_hive; _ } ->
+      if Platform.hive_alive platform from_hive then begin
+        let key = key_name key in
+        Hashtbl.replace puts key (1 + Option.value ~default:0 (Hashtbl.find_opt puts key));
+        incr n_puts;
+        Platform.inject platform ~from:(Channels.Hive from_hive) ~kind:k_put (Ck_put key)
+      end
+    | Script.Read_all { from_hive; _ } ->
+      if Platform.hive_alive platform from_hive then
+        Platform.inject platform ~from:(Channels.Hive from_hive) ~kind:k_read Ck_read_all
+    | Script.Migrate { key; to_hive; _ } -> (
+      match Platform.find_owner platform ~app:app_name (Cell.cell dict (key_name key)) with
+      | Some bee -> ignore (Platform.migrate_bee platform ~bee ~to_hive ~reason:"nemesis")
+      | None -> ())
+    | Script.Fail { hive; _ } -> Platform.fail_hive platform hive
+    | Script.Restart { hive; _ } -> do_restart hive
+    | Script.Spike { factor; dur_us; _ } ->
+      Channels.set_latency_factor (Platform.channels platform) factor;
+      ignore
+        (Engine.schedule_after engine (Simtime.of_us dur_us) (fun () ->
+             Channels.set_latency_factor (Platform.channels platform) 1.0))
+  in
+  List.iter
+    (fun op ->
+      ignore
+        (Engine.schedule_at engine (Simtime.of_us (Script.at_us op)) (fun () -> apply op)))
+    ops;
+  match
+    Engine.run_until engine (Simtime.of_us (cfg.r_ticks * 1000));
+    (* Heal: the nemesis never leaves a hive down forever — revive
+       everything, let the system quiesce, then judge the end state. *)
+    for h = 0 to cfg.r_n_hives - 1 do
+      if not (Platform.hive_alive platform h) then do_restart h
+    done;
+    Engine.run_until engine (Simtime.add (Engine.now engine) (Simtime.of_sec 2.0));
+    List.iter (fun m -> Monitor.check m ctx) monitors
+  with
+  | () ->
+    Pass
+      {
+        s_events = Engine.events_executed engine;
+        s_processed = Platform.total_processed platform;
+        s_migrations = List.length (Platform.migrations platform);
+        s_merges = Platform.total_bee_merges platform;
+        s_dropped = Platform.total_dropped platform;
+        s_puts = !n_puts;
+      }
+  | exception Monitor.Violation v -> Fail v
+  | exception exn ->
+    (* A crash is a finding too: report it as a violation so it shrinks
+       and replays like any invariant failure. *)
+    Fail
+      {
+        Monitor.v_monitor = "exception";
+        v_detail = Printexc.to_string exn;
+        v_at = Engine.now engine;
+      }
+
+let run_seed cfg =
+  let script =
+    Nemesis.generate ~rng:(Rng.create cfg.r_seed) ~profile:cfg.r_profile
+      ~n_hives:cfg.r_n_hives ~ticks:cfg.r_ticks
+  in
+  (script, execute cfg script)

@@ -1,0 +1,54 @@
+(** Deterministic script execution.
+
+    Builds a fresh platform for the profile (durability and/or Raft
+    replication on top of the keyed-counter check workload), schedules
+    every script op at its simulated time, evaluates continuous monitors
+    on a 1 ms tick, heals all still-failed hives after the horizon,
+    drains, and evaluates the final monitors. Everything — bee RNG
+    streams, channel latencies, Raft timeouts — derives from the single
+    engine seed, so [execute cfg ops] is a pure function of its
+    arguments. *)
+
+type cfg = {
+  r_profile : Script.profile;
+  r_n_hives : int;
+  r_ticks : int;  (** fault-injection horizon, simulated ms *)
+  r_seed : int;  (** engine seed (bee RNGs, Raft timeouts, ...) *)
+  r_storm_budget : int;  (** max engine events per 1 ms monitor tick *)
+}
+
+val make_cfg :
+  ?n_hives:int -> ?ticks:int -> ?storm_budget:int -> seed:int -> Script.profile -> cfg
+(** Defaults: 4 hives, 30 ticks, 5000-event storm budget. *)
+
+type stats = {
+  s_events : int;
+  s_processed : int;
+  s_migrations : int;
+  s_merges : int;
+  s_dropped : int;
+  s_puts : int;  (** puts counted into the model (origin hive alive) *)
+}
+
+type outcome =
+  | Pass of stats
+  | Fail of Monitor.violation
+
+val execute : cfg -> Script.op list -> outcome
+(** Runs one script to completion. Any exception escaping the platform is
+    reported as a ["exception"] violation so crashes are shrinkable like
+    invariant violations. The run also enforces snapshot+WAL recovery
+    byte-identity at every [Restart] op (monitor name
+    ["recovery-identity"]). *)
+
+val run_seed : cfg -> Script.op list * outcome
+(** Generates the script for [cfg.r_seed] with {!Nemesis.generate} and
+    executes it — the seed-replay entry point. *)
+
+(** {2 Workload constants} (exposed for tests) *)
+
+val app_name : string
+val dict : string
+
+val key_name : int -> string
+(** [key_name 3 = "k3"], the dictionary key of script key index 3. *)

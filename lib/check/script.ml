@@ -1,0 +1,60 @@
+type profile =
+  | Migration
+  | Durability
+  | Raft
+  | All
+
+let profile_of_string = function
+  | "migration" -> Ok Migration
+  | "durability" -> Ok Durability
+  | "raft" -> Ok Raft
+  | "all" -> Ok All
+  | s -> Error (Printf.sprintf "unknown profile %S (migration|durability|raft|all)" s)
+
+let profile_to_string = function
+  | Migration -> "migration"
+  | Durability -> "durability"
+  | Raft -> "raft"
+  | All -> "all"
+
+let all_profiles = [ Migration; Durability; Raft; All ]
+
+type op =
+  | Put of { at_us : int; key : int; from_hive : int }
+  | Read_all of { at_us : int; from_hive : int }
+  | Migrate of { at_us : int; key : int; to_hive : int }
+  | Fail of { at_us : int; hive : int }
+  | Restart of { at_us : int; hive : int }
+  | Spike of { at_us : int; factor : float; dur_us : int }
+
+let at_us = function
+  | Put { at_us; _ }
+  | Read_all { at_us; _ }
+  | Migrate { at_us; _ }
+  | Fail { at_us; _ }
+  | Restart { at_us; _ }
+  | Spike { at_us; _ } -> at_us
+
+let sort_ops ops = List.stable_sort (fun a b -> Int.compare (at_us a) (at_us b)) ops
+
+let has_crash ops = List.exists (function Fail _ -> true | _ -> false) ops
+
+let pp_op ppf = function
+  | Put { key; from_hive; _ } -> Format.fprintf ppf "put k%d from hive %d" key from_hive
+  | Read_all { from_hive; _ } ->
+    Format.fprintf ppf "read-all from hive %d (whole-dict merge trigger)" from_hive
+  | Migrate { key; to_hive; _ } ->
+    Format.fprintf ppf "migrate owner(k%d) -> hive %d" key to_hive
+  | Fail { hive; _ } -> Format.fprintf ppf "fail hive %d" hive
+  | Restart { hive; _ } -> Format.fprintf ppf "restart hive %d" hive
+  | Spike { factor; dur_us; _ } ->
+    Format.fprintf ppf "latency spike x%.1f for %.3fms" factor
+      (float_of_int dur_us /. 1000.0)
+
+let pp_timeline ppf ops =
+  List.iteri
+    (fun i op ->
+      Format.fprintf ppf "[%3d] %9.3fms  %a@." i
+        (float_of_int (at_us op) /. 1000.0)
+        pp_op op)
+    ops

@@ -1,0 +1,46 @@
+(** Fault scripts: the replayable unit of deterministic fault exploration.
+
+    A script is a time-ordered list of operations — workload injections
+    and nemesis faults — applied to a fresh platform at fixed simulated
+    times. Scripts are pure data: the same script against the same
+    {!Runner} configuration produces the same execution, which is what
+    makes failure traces replayable and shrinkable. *)
+
+type profile =
+  | Migration  (** puts, live migrations, whole-dict merges, latency spikes *)
+  | Durability
+      (** adds [fail_hive]/[restart_hive] crashes against the WAL+snapshot
+          storage engine (durability on) *)
+  | Raft  (** crashes against Raft-replicated state (durability on) *)
+  | All  (** every fault kind at once *)
+
+val profile_of_string : string -> (profile, string) result
+val profile_to_string : profile -> string
+val all_profiles : profile list
+
+type op =
+  | Put of { at_us : int; key : int; from_hive : int }
+      (** inject one counter increment for key [k<key>] at [from_hive] *)
+  | Read_all of { at_us : int; from_hive : int }
+      (** inject a whole-dict read — the centralizing pattern that forces
+          bee merges *)
+  | Migrate of { at_us : int; key : int; to_hive : int }
+      (** live-migrate the key's owner bee to [to_hive] *)
+  | Fail of { at_us : int; hive : int }
+  | Restart of { at_us : int; hive : int }
+  | Spike of { at_us : int; factor : float; dur_us : int }
+      (** multiply all link latencies by [factor] for [dur_us] *)
+
+val at_us : op -> int
+
+val sort_ops : op list -> op list
+(** Stable sort by time: simultaneous ops keep their generation order. *)
+
+val has_crash : op list -> bool
+(** Whether any [Fail] op is present — decides which delivery-conservation
+    monitor applies (exact conservation needs a crash-free script). *)
+
+val pp_op : Format.formatter -> op -> unit
+
+val pp_timeline : Format.formatter -> op list -> unit
+(** Human-readable numbered timeline, one op per line. *)

@@ -1,0 +1,16 @@
+(** Delta-debugging minimization of failing fault scripts.
+
+    Classic ddmin over the op list: repeatedly re-executes the script
+    with chunks removed, keeping any strictly smaller script that still
+    fails the same way, until the script is 1-minimal (no single op can
+    be removed). The caller's predicate decides "still fails the same
+    way" — typically "the same monitor is violated", so shrinking cannot
+    wander onto an unrelated failure. *)
+
+val minimize : still_fails:(Script.op list -> bool) -> Script.op list -> Script.op list
+(** [minimize ~still_fails ops] assumes [still_fails ops = true] and
+    returns a subsequence that still satisfies the predicate. The result
+    preserves the relative (time) order of the surviving ops. *)
+
+val trials : unit -> int
+(** Predicate evaluations since the library was loaded (diagnostics). *)

@@ -9,6 +9,8 @@ let src = Logs.Src.create "beehive.platform" ~doc:"Beehive control platform"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
+let debug_disable_forwarding = ref false
+
 type config = {
   n_hives : int;
   channel : Channels.config;
@@ -546,7 +548,7 @@ and start_transfer t (b : bee) dst reason =
 (* Bee merge: late collocation of previously-disjoint cell groups      *)
 (* ------------------------------------------------------------------ *)
 
-and merge_bees t ~(winner : bee) ~(losers : bee list) =
+and merge_bees t ~(winner : bee) ~(losers : bee list) ~k =
   t.n_merges <- t.n_merges + List.length losers;
   t.version <- t.version + 1;
   winner.status <- `Paused;
@@ -554,11 +556,17 @@ and merge_bees t ~(winner : bee) ~(losers : bee list) =
   let finish_one () =
     decr remaining;
     if !remaining = 0 then begin
+      (* All losers folded: registry ownership is consolidated, so the
+         caller may now claim additional cells for the winner without
+         conflicting with a busy loser whose fold-in was deferred. *)
+      k ();
       winner.status <- `Active;
       maybe_process t winner
     end
   in
   let fold_in (l : bee) () =
+    if l.status = `Dead then finish_one ()
+    else begin
     (* Move committed state, ownership and queued messages to the winner. *)
     let info = Registry.bee t.reg l.id in
     let cells = info.Registry.bee_cells in
@@ -590,6 +598,7 @@ and merge_bees t ~(winner : bee) ~(losers : bee list) =
     Log.debug (fun m ->
         m "merged bee %d into bee %d (%s)" l.id winner.id winner.app.App.name);
     finish_one ()
+    end
   in
   List.iter
     (fun (l : bee) ->
@@ -616,7 +625,7 @@ and deliver t (b : bee) d ~latency =
      its forwarding pointer to the surviving bee. *)
   let rec resolve (b : bee) =
     match (b.status, b.forwarded_to) with
-    | `Dead, Some w -> resolve w
+    | `Dead, Some w when not !debug_disable_forwarding -> resolve w
     | _ -> b
   in
   ignore
@@ -680,16 +689,23 @@ and route_cells t ~(app : App.t) ~(handler : App.handler) ~src_ep ~origin cs msg
       (match List.sort by_size bees with
       | [] -> None
       | winner :: losers ->
-        merge_bees t ~winner ~losers;
+        (* Claiming the mapped cells must wait for every loser's deferred
+           fold-in: a busy loser still owns its cells until it goes idle,
+           and assigning a wildcard before then would break
+           single-ownership. The winner stays paused meanwhile, so the
+           message delivered below queues behind the completed merge. *)
+        merge_bees t ~winner ~losers ~k:(fun () ->
+            let info = Registry.bee t.reg winner.id in
+            let unowned =
+              Cell.Set.filter
+                (fun c -> not (Cell.Set.mem c info.Registry.bee_cells))
+                cs
+            in
+            if not (Cell.Set.is_empty unowned) then begin
+              acquire_cell_locks t ~app:app.App.name unowned;
+              Registry.assign t.reg ~bee:winner.id unowned
+            end);
         extra := Simtime.add !extra (charge_lock_rpc t ~hive:origin);
-        let info = Registry.bee t.reg winner.id in
-        let unowned =
-          Cell.Set.filter (fun c -> not (Cell.Set.mem c info.Registry.bee_cells)) cs
-        in
-        if not (Cell.Set.is_empty unowned) then begin
-          acquire_cell_locks t ~app:app.App.name unowned;
-          Registry.assign t.reg ~bee:winner.id unowned
-        end;
         t.version <- t.version + 1;
         Some winner)
   in
@@ -1056,6 +1072,7 @@ let restart_hive t h =
 let total_processed t = t.n_processed
 let total_lock_rpcs t = t.n_lock_rpcs
 let total_bee_merges t = t.n_merges
+let total_dropped t = t.n_dropped
 
 let message_latency_percentile t p =
   let merged = Stats.create () in

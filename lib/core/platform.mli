@@ -215,6 +215,20 @@ val total_processed : t -> int
 val total_lock_rpcs : t -> int
 val total_bee_merges : t -> int
 
+val total_dropped : t -> int
+(** Messages discarded (dead target, dead origin hive, missing
+    endpoint). Delivery-conservation monitors read this. *)
+
+(** {2 Debug fault injection}
+
+    Knobs for {!Beehive_check}'s self-tests: each re-introduces a
+    historical bug so the checker can prove it would have caught it. *)
+
+val debug_disable_forwarding : bool ref
+(** When set, messages in flight to a bee that was merged away are
+    dropped instead of following its forwarding pointer to the surviving
+    bee — the original in-flight-forwarding bug. Default [false]. *)
+
 val message_latency_percentile : t -> float -> int option
 (** Cluster-wide percentile (in microseconds) of the emission-to-handler
     delay over all messages processed so far. *)

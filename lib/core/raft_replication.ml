@@ -295,6 +295,24 @@ let member_snapshot_index t ~hive ~member =
   match Hashtbl.find_opt g.g_nodes member with
   | Some node -> Raft.snapshot_index node
   | None -> 0
+
+let member_node t ~hive ~member =
+  Hashtbl.find_opt t.groups.(hive mod Array.length t.groups).g_nodes member
+
+let member_log_entries t ~hive ~member =
+  match member_node t ~hive ~member with
+  | Some node -> Raft.log_entries node
+  | None -> []
+
+let member_commit_index t ~hive ~member =
+  match member_node t ~hive ~member with
+  | Some node -> Raft.commit_index node
+  | None -> 0
+
+let member_snapshot_term t ~hive ~member =
+  match member_node t ~hive ~member with
+  | Some node -> Raft.snapshot_term node
+  | None -> 0
 let pending_commands t = Array.fold_left (fun a g -> a + List.length g.g_queue) 0 t.groups
 
 let replica_entries t ~member ~bee =

@@ -54,3 +54,15 @@ val snapshot_installs : t -> int
 val member_snapshot_index : t -> hive:int -> member:int -> int
 (** Raft snapshot index of [member]'s node in the group anchored at
     [hive] (0 = that node has never compacted or installed). *)
+
+(** {2 Consensus observer hooks}
+
+    Read-only views of a member's Raft node, for external invariant
+    monitors (e.g. {!Beehive_check}'s log-prefix compatibility check). *)
+
+val member_log_entries : t -> hive:int -> member:int -> Beehive_raft.Raft.entry list
+(** The member node's un-compacted log tail ([[]] if the member has no
+    node in that group). *)
+
+val member_commit_index : t -> hive:int -> member:int -> int
+val member_snapshot_term : t -> hive:int -> member:int -> int

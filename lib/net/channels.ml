@@ -28,6 +28,7 @@ type t = {
   matrix : Traffic_matrix.t;
   mutable series : Series.t;
   mutable sw_bytes : float;
+  mutable latency_factor : float;
 }
 
 let create ~n_hives cfg =
@@ -39,7 +40,18 @@ let create ~n_hives cfg =
     matrix = Traffic_matrix.create n_hives;
     series = Series.create ~bucket:cfg.bucket;
     sw_bytes = 0.0;
+    latency_factor = 1.0;
   }
+
+let set_latency_factor t f =
+  if f < 1.0 then invalid_arg "Channels.set_latency_factor: factor < 1";
+  t.latency_factor <- f
+
+let latency_factor t = t.latency_factor
+
+let scale t d =
+  if t.latency_factor = 1.0 then d
+  else Simtime.of_us (int_of_float (float_of_int (Simtime.to_us d) *. t.latency_factor))
 
 let n_hives t = t.n
 
@@ -64,19 +76,19 @@ let transfer t ~src ~dst ~bytes ~now =
   in
   if crosses_switch_link then t.sw_bytes <- t.sw_bytes +. float_of_int bytes;
   if sh = dh then
-    if crosses_switch_link then Simtime.add t.cfg.switch_latency (ser_delay t bytes)
+    if crosses_switch_link then scale t (Simtime.add t.cfg.switch_latency (ser_delay t bytes))
     else begin
       (* Intra-hive bee-to-bee message: diagonal of the traffic matrix,
          but not inter-hive channel bandwidth. *)
       Traffic_matrix.add t.matrix ~src:sh ~dst:dh ~bytes;
-      t.cfg.local_latency
+      scale t t.cfg.local_latency
     end
   else begin
     (* Remote: the message traverses an inter-hive channel. *)
     Traffic_matrix.add t.matrix ~src:sh ~dst:dh ~bytes;
     Series.add t.series ~at:now (float_of_int bytes);
     let base = if crosses_switch_link then Simtime.add t.cfg.switch_latency t.cfg.hive_latency else t.cfg.hive_latency in
-    Simtime.add base (ser_delay t bytes)
+    scale t (Simtime.add base (ser_delay t bytes))
   end
 
 let matrix t = t.matrix

@@ -60,3 +60,12 @@ val switch_bytes : t -> float
 
 val reset_accounting : t -> unit
 (** Clears matrix and series (e.g. after a warm-up window). *)
+
+val set_latency_factor : t -> float -> unit
+(** Degrades every link: all subsequently computed delivery latencies are
+    multiplied by the factor (>= 1.0). Fault-injection hook: a nemesis
+    uses it to model transient latency spikes. Accounting (bytes,
+    matrix, series) is unaffected. *)
+
+val latency_factor : t -> float
+(** Current factor (1.0 = healthy links). *)

@@ -11,10 +11,16 @@ type t = {
   queue : (unit -> unit) Event_queue.t;
   mutable clock : Simtime.t;
   root_rng : Rng.t;
+  mutable n_events : int;
 }
 
 let create ?(seed = 42) () =
-  { queue = Event_queue.create (); clock = Simtime.zero; root_rng = Rng.create seed }
+  {
+    queue = Event_queue.create ();
+    clock = Simtime.zero;
+    root_rng = Rng.create seed;
+    n_events = 0;
+  }
 
 let now t = t.clock
 let rng t = t.root_rng
@@ -58,6 +64,7 @@ let step t =
   | None -> false
   | Some (at, f) ->
     t.clock <- at;
+    t.n_events <- t.n_events + 1;
     f ();
     true
 
@@ -72,3 +79,4 @@ let run_until t horizon =
 
 let run t = while step t do () done
 let pending t = Event_queue.length t.queue
+let events_executed t = t.n_events

@@ -42,3 +42,8 @@ val step : t -> bool
 (** Executes the single earliest event. Returns [false] if none is left. *)
 
 val pending : t -> int
+
+val events_executed : t -> int
+(** Total events run since {!create}. Monotone; the rate of growth per
+    unit of simulated time is the signal an event-storm monitor (e.g.
+    {!Beehive_check}'s nemesis runs) watches for runaway amplification. *)

@@ -1,4 +1,6 @@
-(* Shared test utilities: mini-platform builders and payloads. *)
+(* Shared test utilities: mini-platform builders, payloads, and clock /
+   cluster helpers. Scenario construction lives here once — suites must
+   not re-implement these. *)
 
 module Engine = Beehive_sim.Engine
 module Simtime = Beehive_sim.Simtime
@@ -60,6 +62,33 @@ let make_platform ?(n_hives = 4) ?(replication = false) ?durability ?(apps = [])
   (engine, platform)
 
 let drain engine = Engine.run_until engine (Simtime.add (Engine.now engine) (Simtime.of_sec 1.0))
+
+let run_for engine secs =
+  Engine.run_until engine (Simtime.add (Engine.now engine) (Simtime.of_sec secs))
+
+(* The kv app with primary-backup (or Raft) replication enabled. *)
+let replicated_kv_app ?name ?with_whole_dict_reader () =
+  { (kv_app ?name ?with_whole_dict_reader ()) with App.replicated = true }
+
+(* A platform whose non-local bees write through the durable storage
+   engine (WAL + snapshots). *)
+let durable_platform ?(n_hives = 4) ?(config = Beehive_store.Store.default_config)
+    ?(apps = [ kv_app () ]) () =
+  make_platform ~n_hives ~durability:config ~apps ()
+
+(* Runs the simulation until the Raft cluster elects a leader (10 s of
+   simulated time at most). *)
+let await_leader engine cluster =
+  let deadline = Simtime.add (Engine.now engine) (Simtime.of_sec 10.0) in
+  let rec go () =
+    match Beehive_raft.Cluster.leader cluster with
+    | Some l -> l
+    | None ->
+      if Simtime.(Engine.now engine > deadline) then Alcotest.fail "no leader elected";
+      Engine.run_until engine (Simtime.add (Engine.now engine) (Simtime.of_ms 50));
+      go ()
+  in
+  go ()
 
 let put platform ~from ~key ~value =
   Platform.inject platform ~from:(Channels.Hive from) ~kind:k_put

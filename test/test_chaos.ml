@@ -1,133 +1,97 @@
-(* Chaos testing: random migrations, merges and failures driven by
-   QCheck, with conservation invariants. *)
+(* Chaos testing, driven through the Beehive_check engine: QCheck
+   generates fault scripts (or whole nemesis seeds) and the check
+   runner's invariant monitors do the judging. *)
 
-open Helpers
-module Registry = Beehive_core.Registry
-module Traffic_matrix = Beehive_net.Traffic_matrix
+module Script = Beehive_check.Script
+module Runner = Beehive_check.Runner
+module Monitor = Beehive_check.Monitor
+
+let pass_or_report outcome =
+  match outcome with
+  | Runner.Pass _ -> true
+  | Runner.Fail v -> QCheck.Test.fail_reportf "%a" Monitor.pp_violation v
+
+let execute ?(seed = 7) profile ops =
+  Runner.execute (Runner.make_cfg ~seed profile) (Script.sort_ops ops)
 
 (* Under any interleaving of puts and migrations, every put is applied
-   exactly once: the per-key counter equals the number of puts. *)
+   exactly once (the runner's no-loss/no-duplication monitors) and the
+   registry keeps a single owner per cell. *)
 let prop_migration_conserves_messages =
-  QCheck.Test.make ~name:"no message lost or duplicated under random migrations" ~count:40
+  QCheck.Test.make ~name:"no message lost or duplicated under random migrations"
+    ~count:40
     QCheck.(list_of_size Gen.(5 -- 40) (pair (int_bound 3) (int_bound 4)))
     (fun ops ->
-      let engine, platform = make_platform ~n_hives:4 ~apps:[ kv_app () ] () in
-      let puts = Hashtbl.create 8 in
-      List.iteri
-        (fun step (key_i, hive_or_move) ->
-          let key = Printf.sprintf "k%d" key_i in
-          if hive_or_move < 4 then begin
-            (* A put from some hive. *)
-            put platform ~from:hive_or_move ~key ~value:1;
-            Hashtbl.replace puts key (1 + Option.value ~default:0 (Hashtbl.find_opt puts key))
-          end
-          else begin
-            (* Migrate the key's bee (if it exists) to a rotating hive. *)
-            match Platform.find_owner platform ~app:"test.kv" (Cell.cell "store" key) with
-            | Some bee ->
-              ignore (Platform.migrate_bee platform ~bee ~to_hive:(step mod 4) ~reason:"chaos")
-            | None -> ()
-          end;
-          (* Occasionally let some time pass mid-stream. *)
-          if step mod 7 = 0 then
-            Engine.run_until engine
-              (Simtime.add (Engine.now engine) (Simtime.of_ms 3)))
-        ops;
-      drain engine;
-      Registry.check_invariant (Platform.registry platform);
-      Hashtbl.fold
-        (fun key expected acc ->
-          acc
-          &&
-          match Platform.find_owner platform ~app:"test.kv" (Cell.cell "store" key) with
-          | Some bee -> store_value platform ~bee ~key = Some expected
-          | None -> false)
-        puts true)
+      let script =
+        List.mapi
+          (fun step (key, hive_or_move) ->
+            let at_us = step * 600 in
+            if hive_or_move < 4 then Script.Put { at_us; key; from_hive = hive_or_move }
+            else Script.Migrate { at_us; key; to_hive = step mod 4 })
+          ops
+      in
+      pass_or_report (execute Script.Migration script))
 
-(* Merges triggered at random points between writes never lose state. *)
+(* Whole-dict reads (the centralizing pattern) force bee merges at random
+   points between writes; merged state must lose nothing. *)
 let prop_merge_conserves_state =
   QCheck.Test.make ~name:"whole-dict merges at random points lose nothing" ~count:40
     QCheck.(list_of_size Gen.(5 -- 30) (option (int_bound 5)))
     (fun ops ->
-      let engine, platform =
-        make_platform ~n_hives:4 ~apps:[ kv_app ~with_whole_dict_reader:true () ] ()
+      let script =
+        List.mapi
+          (fun step op ->
+            let at_us = step * 700 in
+            match op with
+            | Some key -> Script.Put { at_us; key; from_hive = step mod 4 }
+            | None -> Script.Read_all { at_us; from_hive = step mod 4 })
+          ops
       in
-      let puts = Hashtbl.create 8 in
-      List.iteri
-        (fun step op ->
-          (match op with
-          | Some key_i ->
-            let key = Printf.sprintf "k%d" key_i in
-            put platform ~from:(step mod 4) ~key ~value:1;
-            Hashtbl.replace puts key (1 + Option.value ~default:0 (Hashtbl.find_opt puts key))
-          | None ->
-            (* Trigger the centralizing whole-dict reader. *)
-            Platform.inject platform ~from:(Channels.Hive (step mod 4)) ~kind:k_get_all Get_all);
-          if step mod 5 = 0 then
-            Engine.run_until engine (Simtime.add (Engine.now engine) (Simtime.of_ms 2)))
-        ops;
-      drain engine;
-      Registry.check_invariant (Platform.registry platform);
-      Hashtbl.fold
-        (fun key expected acc ->
-          acc
-          &&
-          match Platform.find_owner platform ~app:"test.kv" (Cell.cell "store" key) with
-          | Some bee -> store_value platform ~bee ~key = Some expected
-          | None -> false)
-        puts true)
+      pass_or_report (execute Script.Migration script))
 
-(* Replicated apps survive killing any single hive at any point. *)
+(* Raft-replicated apps survive killing any single hive at any point:
+   after the crash and heal, every registry cell still has a live owner
+   and the replica logs stay prefix-compatible. *)
 let prop_failover_preserves_replicated_state =
-  QCheck.Test.make ~name:"replicated state survives one random hive failure" ~count:25
+  QCheck.Test.make ~name:"replicated state survives one random hive failure"
+    ~count:25
     QCheck.(pair (int_bound 3) (list_of_size Gen.(5 -- 25) (pair (int_bound 3) (int_bound 3))))
     (fun (victim, ops) ->
-      let app = { (kv_app ()) with App.replicated = true } in
-      let engine, platform = make_platform ~n_hives:4 ~replication:true ~apps:[ app ] () in
-      let puts = Hashtbl.create 8 in
-      List.iter
-        (fun (key_i, hive) ->
-          let key = Printf.sprintf "k%d" key_i in
-          put platform ~from:hive ~key ~value:1;
-          Hashtbl.replace puts key (1 + Option.value ~default:0 (Hashtbl.find_opt puts key)))
-        ops;
-      (* Quiesce so every commit replicated, then kill a hive. *)
-      drain engine;
-      Platform.fail_hive platform victim;
-      drain engine;
-      Hashtbl.fold
-        (fun key expected acc ->
-          acc
-          &&
-          match Platform.find_owner platform ~app:"test.kv" (Cell.cell "store" key) with
-          | Some bee ->
-            let v = Option.get (Platform.bee_view platform bee) in
-            v.Platform.view_alive
-            && v.Platform.view_hive <> victim
-            && store_value platform ~bee ~key = Some expected
-          | None -> false)
-        puts true)
+      let puts =
+        List.mapi
+          (fun step (key, from_hive) ->
+            Script.Put { at_us = step * 500; key; from_hive })
+          ops
+      in
+      let crash =
+        [ Script.Fail { at_us = 20_000; hive = victim };
+          Script.Restart { at_us = 26_000; hive = victim } ]
+      in
+      pass_or_report (execute Script.Raft (puts @ crash)))
 
-(* Accounting sanity across arbitrary workloads: matrix totals are the
-   sum of their parts and never negative. *)
+(* Accounting sanity across arbitrary workloads: the conservation monitor
+   checks matrix row/column/total agreement on every tick. *)
 let prop_accounting_consistent =
   QCheck.Test.make ~name:"traffic accounting stays consistent" ~count:40
     QCheck.(list_of_size Gen.(1 -- 30) (pair (int_bound 3) (int_bound 5)))
     (fun ops ->
-      let engine, platform = make_platform ~n_hives:4 ~apps:[ kv_app () ] () in
-      List.iter
-        (fun (hive, key_i) ->
-          put platform ~from:hive ~key:(Printf.sprintf "k%d" key_i) ~value:1)
-        ops;
-      drain engine;
-      let m = Channels.matrix (Platform.channels platform) in
-      let rows = List.init 4 (fun i -> Traffic_matrix.row_bytes m i) in
-      let cols = List.init 4 (fun j -> Traffic_matrix.col_bytes m j) in
-      let total = Traffic_matrix.total_bytes m in
-      abs_float (List.fold_left ( +. ) 0.0 rows -. total) < 1e-6
-      && abs_float (List.fold_left ( +. ) 0.0 cols -. total) < 1e-6
-      && Traffic_matrix.locality_fraction m >= 0.0
-      && Traffic_matrix.locality_fraction m <= 1.0)
+      let script =
+        List.mapi
+          (fun step (from_hive, key) ->
+            Script.Put { at_us = step * 900; key; from_hive })
+          ops
+      in
+      pass_or_report (execute Script.Migration script))
+
+(* The full nemesis: any seed, any profile, the generated fault script
+   must pass every applicable monitor. *)
+let prop_nemesis_seeds_pass =
+  QCheck.Test.make ~name:"nemesis sweeps pass on every profile" ~count:20
+    QCheck.(pair (int_bound 10_000) (int_bound 3))
+    (fun (seed, profile_i) ->
+      let profile = List.nth Script.all_profiles profile_i in
+      let _script, outcome = Runner.run_seed (Runner.make_cfg ~seed profile) in
+      pass_or_report outcome)
 
 let suite =
   [
@@ -137,5 +101,6 @@ let suite =
         QCheck_alcotest.to_alcotest prop_merge_conserves_state;
         QCheck_alcotest.to_alcotest prop_failover_preserves_replicated_state;
         QCheck_alcotest.to_alcotest prop_accounting_consistent;
+        QCheck_alcotest.to_alcotest prop_nemesis_seeds_pass;
       ] );
   ]

@@ -1,0 +1,211 @@
+(* The beehive_check harness itself: corpus replay, the forwarding-bug
+   self-test (a deliberately re-introduced historical bug must be caught
+   and shrunk), fail/restart edge cases, and the shrinker. *)
+
+open Helpers
+module Script = Beehive_check.Script
+module Nemesis = Beehive_check.Nemesis
+module Monitor = Beehive_check.Monitor
+module Runner = Beehive_check.Runner
+module Shrink = Beehive_check.Shrink
+module Check = Beehive_check.Check
+
+(* --- Regression seed corpus ------------------------------------------ *)
+
+let parse_corpus path =
+  let ic = open_in path in
+  let rec go acc n =
+    match input_line ic with
+    | exception End_of_file -> List.rev acc
+    | line ->
+      let line = String.trim line in
+      if line = "" || line.[0] = '#' then go acc (n + 1)
+      else
+        (match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+        | [ profile; seed; ticks ] ->
+          (match Script.profile_of_string profile with
+          | Ok p -> go ((p, int_of_string seed, int_of_string ticks) :: acc) (n + 1)
+          | Error e -> Alcotest.fail (Printf.sprintf "seeds.corpus:%d: %s" n e))
+        | _ -> Alcotest.fail (Printf.sprintf "seeds.corpus:%d: malformed line" n))
+  in
+  let entries = go [] 1 in
+  close_in ic;
+  entries
+
+let test_corpus_replays_clean () =
+  let entries = parse_corpus "seeds.corpus" in
+  Alcotest.(check bool) "corpus is not empty" true (List.length entries >= 10);
+  List.iter
+    (fun (profile, seed, ticks) ->
+      match Check.replay ~ticks ~seed profile with
+      | _, Runner.Pass _ -> ()
+      | _, Runner.Fail v ->
+        Alcotest.fail
+          (Format.asprintf "corpus seed %s/%d regressed: %a"
+             (Script.profile_to_string profile)
+             seed Monitor.pp_violation v))
+    entries
+
+(* --- Self-test: the harness catches a re-introduced historical bug --- *)
+
+(* Disabling in-flight forwarding to merged-away bees (the historical
+   bug) must be caught within 200 seeds, shrink to a handful of events,
+   and replay deterministically from the printed seed. *)
+let test_catches_forwarding_bug () =
+  Beehive_core.Platform.debug_disable_forwarding := true;
+  Fun.protect
+    ~finally:(fun () -> Beehive_core.Platform.debug_disable_forwarding := false)
+    (fun () ->
+      (* Sweep in batches so a typical run stops after the first few seeds. *)
+      let rec sweep first_seed =
+        if first_seed >= 200 then Alcotest.fail "bug not caught within 200 seeds"
+        else
+          let report = Check.run ~first_seed ~seeds:10 Script.Migration in
+          match report.Check.rp_failures with
+          | [] -> sweep (first_seed + 10)
+          | f :: _ -> f
+      in
+      let f = sweep 0 in
+      Alcotest.(check bool)
+        "shrunk to at most 5 events" true
+        (List.length f.Check.f_shrunk <= 5);
+      Alcotest.(check bool)
+        "shrunk trace replays deterministically" true f.Check.f_replays;
+      (* The violation is a delivery one, not an unrelated crash. *)
+      Alcotest.(check bool)
+        "violated a delivery monitor" true
+        (List.mem f.Check.f_violation.Monitor.v_monitor
+           [ "no-loss"; "no-duplication"; "durable-ownership" ]))
+
+(* --- fail_hive / restart_hive edge cases ----------------------------- *)
+
+(* Crashing a hive with durability disabled kills its bees outright;
+   restarting brings the hive back empty and the platform keeps working. *)
+let test_crash_without_durability () =
+  let engine, platform = make_platform ~n_hives:4 ~apps:[ kv_app () ] () in
+  put platform ~from:1 ~key:"a" ~value:1;
+  drain engine;
+  let owner = owner_exn platform ~app:"test.kv" "a" in
+  let hive = (Option.get (Platform.bee_view platform owner)).Platform.view_hive in
+  Platform.fail_hive platform hive;
+  drain engine;
+  Alcotest.(check bool) "hive down" false (Platform.hive_alive platform hive);
+  Alcotest.(check (option int))
+    "unreplicated, undurable state is lost" None
+    (Platform.find_owner platform ~app:"test.kv" (Cell.cell "store" "a"));
+  Platform.restart_hive platform hive;
+  drain engine;
+  Alcotest.(check bool) "hive back" true (Platform.hive_alive platform hive);
+  (* New work lands normally, including on the restarted hive. *)
+  put platform ~from:hive ~key:"b" ~value:1;
+  drain engine;
+  let owner_b = owner_exn platform ~app:"test.kv" "b" in
+  Alcotest.(check (option int)) "new key counted" (Some 1)
+    (store_value platform ~bee:owner_b ~key:"b");
+  Beehive_core.Registry.check_invariant (Platform.registry platform)
+
+(* A second fail_hive on an already-failed hive is a no-op, not a second
+   round of failovers or kills. *)
+let test_double_fail_hive_idempotent () =
+  let engine, platform =
+    durable_platform ~apps:[ replicated_kv_app () ] ()
+  in
+  for i = 0 to 5 do
+    put platform ~from:(i mod 4) ~key:(Printf.sprintf "k%d" i) ~value:1
+  done;
+  drain engine;
+  Platform.fail_hive platform 2;
+  drain engine;
+  let snapshot p =
+    List.sort compare
+      (List.map (fun v -> (v.Platform.view_id, v.Platform.view_hive)) (Platform.live_bees p))
+  in
+  let after_first = snapshot platform in
+  Platform.fail_hive platform 2;
+  drain engine;
+  Alcotest.(check bool) "second fail_hive changed nothing" true
+    (after_first = snapshot platform);
+  Beehive_core.Registry.check_invariant (Platform.registry platform)
+
+(* Restarting a hive that never failed leaves the platform untouched. *)
+let test_restart_never_failed_hive () =
+  let engine, platform = durable_platform () in
+  put platform ~from:0 ~key:"a" ~value:3;
+  drain engine;
+  let owner = owner_exn platform ~app:"test.kv" "a" in
+  Platform.restart_hive platform 3;
+  drain engine;
+  Alcotest.(check bool) "hive still alive" true (Platform.hive_alive platform 3);
+  Alcotest.(check (option int)) "state untouched" (Some 3)
+    (store_value platform ~bee:owner ~key:"a");
+  Beehive_core.Registry.check_invariant (Platform.registry platform)
+
+(* --- Mid-migration destination death --------------------------------- *)
+
+(* The optimizer's migration path with the destination dying while the
+   package is in flight, then the nemesis restarting it: the single-owner
+   and durable-ownership monitors must hold throughout. *)
+let test_mid_migration_destination_death () =
+  let script =
+    [
+      Script.Put { at_us = 1_000; key = 0; from_hive = 0 };
+      Script.Put { at_us = 2_000; key = 1; from_hive = 1 };
+      Script.Put { at_us = 3_000; key = 0; from_hive = 3 };
+      (* Start the live migration, then kill the destination 100 us
+         later — well inside the transfer — and restart it. *)
+      Script.Migrate { at_us = 10_000; key = 0; to_hive = 2 };
+      Script.Fail { at_us = 10_100; hive = 2 };
+      Script.Restart { at_us = 18_000; hive = 2 };
+    ]
+  in
+  match Runner.execute (Runner.make_cfg ~seed:11 Script.Durability) script with
+  | Runner.Pass _ -> ()
+  | Runner.Fail v ->
+    Alcotest.fail (Format.asprintf "%a" Monitor.pp_violation v)
+
+(* --- Shrinker -------------------------------------------------------- *)
+
+(* ddmin on a synthetic predicate: failure needs exactly ops #3 and #17
+   together; everything else must be shaved off. *)
+let test_shrinker_minimizes () =
+  let ops =
+    List.init 24 (fun i -> Script.Put { at_us = i * 100; key = i; from_hive = 0 })
+  in
+  let culprit op =
+    match op with Script.Put { key = 3 | 17; _ } -> true | _ -> false
+  in
+  let still_fails ops = List.length (List.filter culprit ops) = 2 in
+  let shrunk = Shrink.minimize ~still_fails ops in
+  Alcotest.(check int) "exactly the two culprits" 2 (List.length shrunk);
+  Alcotest.(check bool) "still failing" true (still_fails shrunk)
+
+(* The nemesis is a pure function of the seed. *)
+let test_nemesis_deterministic () =
+  let gen seed =
+    Nemesis.generate ~rng:(Beehive_sim.Rng.create seed) ~profile:Script.All
+      ~n_hives:4 ~ticks:30
+  in
+  Alcotest.(check bool) "same seed, same script" true (gen 5 = gen 5);
+  Alcotest.(check bool) "different seeds differ" true (gen 5 <> gen 6)
+
+let suite =
+  [
+    ( "check",
+      [
+        Alcotest.test_case "seed corpus replays clean" `Quick test_corpus_replays_clean;
+        Alcotest.test_case "catches re-introduced forwarding bug" `Quick
+          test_catches_forwarding_bug;
+        Alcotest.test_case "crash with durability disabled" `Quick
+          test_crash_without_durability;
+        Alcotest.test_case "double fail_hive is idempotent" `Quick
+          test_double_fail_hive_idempotent;
+        Alcotest.test_case "restart of never-failed hive is a no-op" `Quick
+          test_restart_never_failed_hive;
+        Alcotest.test_case "mid-migration destination death" `Quick
+          test_mid_migration_destination_death;
+        Alcotest.test_case "shrinker minimizes to the culprits" `Quick
+          test_shrinker_minimizes;
+        Alcotest.test_case "nemesis is seed-deterministic" `Quick
+          test_nemesis_deterministic;
+      ] );
+  ]

@@ -16,9 +16,6 @@ let setup ~optimize () =
   Platform.start platform;
   (engine, platform, handle)
 
-let run_for engine secs =
-  Engine.run_until engine (Simtime.add (Engine.now engine) (Simtime.of_sec secs))
-
 let stream engine platform ~from ~key ~seconds =
   (* One put per 100 ms from [from]. *)
   let h =

@@ -6,25 +6,13 @@ module Simtime = Beehive_sim.Simtime
 module Raft = Beehive_raft.Raft
 module Cluster = Beehive_raft.Cluster
 
-let run_for engine secs =
-  Engine.run_until engine (Simtime.add (Engine.now engine) (Simtime.of_sec secs))
+let run_for = Helpers.run_for
+let await_leader = Helpers.await_leader
 
 let setup ?(n = 3) () =
   let engine = Engine.create () in
   let cluster = Cluster.create engine ~n () in
   (engine, cluster)
-
-let await_leader engine cluster =
-  let deadline = Simtime.add (Engine.now engine) (Simtime.of_sec 10.0) in
-  let rec go () =
-    match Cluster.leader cluster with
-    | Some l -> l
-    | None ->
-      if Simtime.(Engine.now engine > deadline) then Alcotest.fail "no leader elected";
-      Engine.run_until engine (Simtime.add (Engine.now engine) (Simtime.of_ms 50));
-      go ()
-  in
-  go ()
 
 let test_elects_single_leader () =
   let engine, cluster = setup () in

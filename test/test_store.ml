@@ -9,9 +9,6 @@ module Raft = Beehive_raft.Raft
 module Cluster = Beehive_raft.Cluster
 module Raft_replication = Beehive_core.Raft_replication
 
-let run_for engine secs =
-  Engine.run_until engine (Simtime.add (Engine.now engine) (Simtime.of_sec secs))
-
 (* Store-level tests use plain int values. *)
 let size_of (d, k, w) =
   String.length d + String.length k + (match w with Some _ -> 8 | None -> 4)
@@ -151,9 +148,6 @@ let test_compaction_under_concurrent_commits () =
 (* Platform: crash/restart and migration                                *)
 (* ------------------------------------------------------------------ *)
 
-let durable_platform ?(n_hives = 4) () =
-  make_platform ~n_hives ~durability:Store.default_config ~apps:[ kv_app () ] ()
-
 let test_platform_crash_restart_byte_identical () =
   let engine, platform = durable_platform () in
   for k = 0 to 11 do
@@ -242,17 +236,11 @@ let test_crash_mid_migration_single_owner () =
     (store_value platform ~bee ~key:"m")
 
 let test_migration_ships_package_and_wal_metrics () =
-  let engine = Engine.create () in
-  let cfg =
-    {
-      (Platform.default_config ~n_hives:4) with
-      Platform.durability =
-        Some { Store.default_config with Store.snapshot_threshold_bytes = 128 };
-    }
+  let engine, platform =
+    durable_platform
+      ~config:{ Store.default_config with Store.snapshot_threshold_bytes = 128 }
+      ()
   in
-  let platform = Platform.create engine cfg in
-  Platform.register_app platform (kv_app ());
-  Platform.start platform;
   for i = 0 to 29 do
     put platform ~from:0 ~key:"w" ~value:i;
     if i mod 5 = 0 then drain engine
@@ -295,19 +283,7 @@ let test_migration_ships_package_and_wal_metrics () =
 let test_raft_install_snapshot_catches_up_lagging_node () =
   let engine = Engine.create () in
   let cluster = Cluster.create engine ~n:3 () in
-  let await_leader () =
-    let deadline = Simtime.add (Engine.now engine) (Simtime.of_sec 10.0) in
-    let rec go () =
-      match Cluster.leader cluster with
-      | Some l -> l
-      | None ->
-        if Simtime.(Engine.now engine > deadline) then Alcotest.fail "no leader";
-        Engine.run_until engine (Simtime.add (Engine.now engine) (Simtime.of_ms 50));
-        go ()
-    in
-    go ()
-  in
-  let l = await_leader () in
+  let l = await_leader engine cluster in
   let f = if l = 0 then 1 else 0 in
   Cluster.crash cluster f;
   for i = 1 to 20 do
@@ -341,7 +317,7 @@ let test_raft_install_snapshot_catches_up_lagging_node () =
 let test_raft_replication_restart_recovers_via_snapshot () =
   let engine = Engine.create () in
   let platform = Platform.create engine (Platform.default_config ~n_hives:5) in
-  Platform.register_app platform { (kv_app ()) with App.replicated = true };
+  Platform.register_app platform (replicated_kv_app ());
   let rep = Raft_replication.install platform ~compact_every:4 () in
   Platform.start platform;
   run_for engine 2.0;
