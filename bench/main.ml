@@ -303,6 +303,73 @@ let ablation_durability () =
     (List.fold_left (fun a (_, e) -> a + List.length e) 0 before)
     identical (P.total_fsyncs platform)
 
+let ablation_loss () =
+  (* Cost of reliability under a degrading fabric: the same cross-hive
+     write workload at increasing link-loss rates. Delivered counts stay
+     flat (the transport masks the loss) while tail latency and
+     retransmit overhead grow with the loss rate; the overhead column is
+     retransmitted bytes as a share of all inter-hive bytes. *)
+  Format.printf "##### Ablation: link loss vs. delivery latency and retransmit overhead #####@.";
+  Format.printf "%-8s %-11s %-10s %-10s %-10s %-13s %-10s %-9s@." "loss" "delivered"
+    "p50 us" "p99 us" "p99.9 us" "retransmits" "overhead" "dropped";
+  let module P = Beehive_core.Platform in
+  let module A = Beehive_core.App in
+  let module T = Beehive_net.Transport in
+  let run loss =
+    let engine = Engine.create () in
+    let platform = P.create engine (P.default_config ~n_hives:6) in
+    let writer =
+      A.create ~name:"bench.writer" ~dicts:[ "store" ]
+        [
+          A.handler ~kind:"bench.put"
+            ~map:(fun msg ->
+              match msg.Beehive_core.Message.payload with
+              | Bench_put { bp_key; _ } -> Beehive_core.Mapping.with_key "store" bp_key
+              | _ -> Beehive_core.Mapping.Drop)
+            (fun ctx msg ->
+              match msg.Beehive_core.Message.payload with
+              | Bench_put { bp_key; bp_size } ->
+                Beehive_core.Context.set ctx ~dict:"store" ~key:bp_key
+                  (Beehive_core.Value.V_string (String.make bp_size 'v'))
+              | _ -> ());
+        ]
+    in
+    P.register_app platform writer;
+    P.start platform;
+    Beehive_net.Channels.set_loss (P.channels platform) loss;
+    (* Rotate the injection hive so nearly every put crosses hives. *)
+    let tick = ref 0 in
+    let h =
+      Engine.every engine (Simtime.of_ms 100) (fun () ->
+          incr tick;
+          for k = 0 to 11 do
+            P.inject platform
+              ~from:(Beehive_net.Channels.Hive ((k + !tick) mod 6))
+              ~kind:"bench.put"
+              (Bench_put { bp_key = Printf.sprintf "k%d" k; bp_size = 512 })
+          done)
+    in
+    Engine.run_until engine (Simtime.of_sec 10.0);
+    ignore (Engine.cancel engine h);
+    (* Heal and let in-flight retries land before reading the counters. *)
+    Beehive_net.Channels.set_loss (P.channels platform) 0.0;
+    Engine.run_until engine (Simtime.add (Engine.now engine) (Simtime.of_sec 2.0));
+    let tr = P.transport platform in
+    let pct p = Option.value ~default:0 (P.message_latency_percentile platform p) in
+    let total_bytes =
+      Beehive_net.Traffic_matrix.off_diagonal_bytes
+        (Beehive_net.Channels.matrix (P.channels platform))
+    in
+    Format.printf "%-8s %-11d %-10d %-10d %-10d %-13d %-10s %-9d@."
+      (Printf.sprintf "%.1f%%" (loss *. 100.0))
+      (T.delivered tr) (pct 0.5) (pct 0.99) (pct 0.999) (T.retransmits tr)
+      (Printf.sprintf "%.2f%%"
+         (100.0 *. float_of_int (T.retransmit_bytes tr) /. Float.max 1.0 total_bytes))
+      (P.total_dropped platform)
+  in
+  List.iter run [ 0.0; 0.001; 0.01; 0.05 ];
+  Format.printf "@."
+
 (* ------------------------------------------------------------------ *)
 (* Part 3: Bechamel micro-benchmarks                                   *)
 (* ------------------------------------------------------------------ *)
@@ -460,15 +527,39 @@ let run_microbenches () =
   List.iter (fun (name, ns) -> Format.printf "%-40s %14.1f@." name ns) rows;
   Format.printf "@."
 
+let sections =
+  [
+    ("figures", fun () -> if not (run_figures ()) then exit 1);
+    ("optimizer", ablation_optimizer);
+    ("external-store", ablation_external_store);
+    ("cluster-size", ablation_cluster_size);
+    ("replication", ablation_replication);
+    ("durability", ablation_durability);
+    ("loss", ablation_loss);
+    ("micro", run_microbenches);
+  ]
+
 let () =
-  let ok = run_figures () in
-  ablation_optimizer ();
-  ablation_external_store ();
-  ablation_cluster_size ();
-  ablation_replication ();
-  ablation_durability ();
-  run_microbenches ();
-  if not ok then begin
-    Format.printf "SHAPE CHECKS FAILED@.";
-    exit 1
-  end
+  match Sys.getenv_opt "BEEHIVE_BENCH_ONLY" with
+  | Some name -> (
+    (* Run a single section, e.g. BEEHIVE_BENCH_ONLY=loss for the
+       link-loss ablation alone (what the CI bench job uses). *)
+    match List.assoc_opt name sections with
+    | Some f -> f ()
+    | None ->
+      Format.eprintf "unknown BEEHIVE_BENCH_ONLY section %S (known: %s)@." name
+        (String.concat ", " (List.map fst sections));
+      exit 2)
+  | None ->
+    let ok = run_figures () in
+    ablation_optimizer ();
+    ablation_external_store ();
+    ablation_cluster_size ();
+    ablation_replication ();
+    ablation_durability ();
+    ablation_loss ();
+    run_microbenches ();
+    if not ok then begin
+      Format.printf "SHAPE CHECKS FAILED@.";
+      exit 1
+    end

@@ -127,7 +127,8 @@ let check_cmd =
          & opt (list (conv (parse, print))) Script.all_profiles
          & info [ "profile" ] ~docs
              ~doc:"Fault profile(s): $(b,migration), $(b,durability), $(b,raft), \
-                   $(b,all), or a comma-separated list. Default: every profile.")
+                   $(b,partition), $(b,all), or a comma-separated list. Default: \
+                   every profile.")
   in
   let trace_dir =
     Arg.(value & opt (some string) None
@@ -139,16 +140,18 @@ let check_cmd =
     Arg.(value & opt (some string) None
          & info [ "inject-bug" ] ~docs
              ~doc:"Deliberately re-introduce a historical bug before checking \
-                   (currently: $(b,forwarding) disables in-flight message \
-                   forwarding after bee merges). The sweep should then fail — \
-                   a self-test of the checker.")
+                   ($(b,forwarding) disables in-flight message forwarding after \
+                   bee merges; $(b,dedup-off) disables the transport's \
+                   receiver-side duplicate suppression). The sweep should then \
+                   fail — a self-test of the checker.")
   in
   let run seeds first_seed ticks hives profiles trace_dir inject_bug =
     (match inject_bug with
     | None -> ()
     | Some "forwarding" -> Beehive_core.Platform.debug_disable_forwarding := true
+    | Some "dedup-off" -> Beehive_net.Transport.debug_disable_dedup := true
     | Some other ->
-      Format.eprintf "unknown --inject-bug %S (known: forwarding)@." other;
+      Format.eprintf "unknown --inject-bug %S (known: forwarding, dedup-off)@." other;
       exit 2);
     let n_failures = ref 0 in
     List.iter

@@ -7,6 +7,7 @@ module Registry = Beehive_core.Registry
 module Cell = Beehive_core.Cell
 module Value = Beehive_core.Value
 module Raft_replication = Beehive_core.Raft_replication
+module Failure_detector = Beehive_core.Failure_detector
 module Raft = Beehive_raft.Raft
 
 type ctx = {
@@ -16,6 +17,7 @@ type ctx = {
   cx_dict : string;
   cx_puts : (string, int) Hashtbl.t;
   cx_raft : Raft_replication.t option;
+  cx_detector : Failure_detector.t option;
   cx_crashes : bool;
 }
 
@@ -222,6 +224,56 @@ let raft_prefix =
           !result);
   }
 
+(* After the final heal and drain, the cluster must have re-converged on
+   a single healthy membership: every hive back in, no residual
+   suspicion, no bee left fenced or mid-pause, and every key owned on an
+   alive hive. This is what "a partitioned-then-healed hive rejoins
+   without double ownership" looks like as an invariant. *)
+let membership_convergence =
+  {
+    m_name = "membership-convergence";
+    m_phase = Final;
+    m_check =
+      (fun ctx ->
+        let p = ctx.cx_platform in
+        let n = Platform.n_hives p in
+        let dead = ref None in
+        for h = 0 to n - 1 do
+          if !dead = None && not (Platform.hive_alive p h) then
+            dead :=
+              Some
+                (Printf.sprintf "hive %d still %s after the final heal" h
+                   (if Platform.hive_crashed p h then "crashed" else "fenced"))
+        done;
+        match !dead with
+        | Some _ as v -> v
+        | None -> (
+          match ctx.cx_detector with
+          | Some det when Failure_detector.suspected det <> [] ->
+            Some
+              (Printf.sprintf "detector still suspects hives [%s] after heal + drain"
+                 (String.concat "; "
+                    (List.map string_of_int (Failure_detector.suspected det))))
+          | _ ->
+            let paused = Platform.paused_bees p in
+            if paused > 0 then
+              Some (Printf.sprintf "%d bees still paused after heal + drain" paused)
+            else
+              List.find_map
+                (fun (key, _) ->
+                  match observed ctx key with
+                  | Some (bee, _) -> (
+                    match Platform.bee_view p bee with
+                    | Some v when not (Platform.hive_alive p v.Platform.view_hive) ->
+                      Some
+                        (Printf.sprintf
+                           "key %s owned by bee %d on non-member hive %d" key bee
+                           v.Platform.view_hive)
+                    | _ -> None)
+                  | None -> None (* missing owners are no-loss/durability findings *))
+                (model_keys ctx)));
+  }
+
 let storm ~budget =
   let last = ref 0 in
   {
@@ -249,4 +301,5 @@ let defaults ~storm_budget =
     storm ~budget:storm_budget;
     no_loss;
     durable_ownership;
+    membership_convergence;
   ]

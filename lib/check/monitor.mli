@@ -12,6 +12,7 @@
 module Engine = Beehive_sim.Engine
 module Platform = Beehive_core.Platform
 module Raft_replication = Beehive_core.Raft_replication
+module Failure_detector = Beehive_core.Failure_detector
 
 type ctx = {
   cx_engine : Engine.t;
@@ -22,6 +23,9 @@ type ctx = {
       (** model: key -> number of puts injected while the origin hive was
           alive (each put increments the key's counter by 1) *)
   cx_raft : Raft_replication.t option;
+  cx_detector : Failure_detector.t option;
+      (** installed for fabric-fault profiles; lets the convergence
+          monitor read residual suspicion *)
   cx_crashes : bool;  (** the script being executed contains [Fail] ops *)
 }
 
@@ -77,6 +81,12 @@ val raft_prefix : t
     members' committed log prefixes agree (same term and command at every
     shared committed index above both snapshot points). Skips itself
     without Raft. *)
+
+val membership_convergence : t
+(** After the final heal and drain: every hive is back in membership, the
+    failure detector (when installed) suspects nobody, no bee is left
+    paused or fenced, and every key's owner lives on an alive hive — a
+    partitioned-then-healed hive has rejoined without double ownership. *)
 
 val storm : budget:int -> t
 (** Event-storm detector: fails if more than [budget] engine events

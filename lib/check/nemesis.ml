@@ -3,18 +3,21 @@ module Rng = Beehive_sim.Rng
 let n_keys = 6
 
 (* Per-profile fault mix, in cumulative percent. Order: put, read_all,
-   migrate, fail, spike (restarts are paired with fails below). *)
+   migrate, fail, drop_links, partition, spike (restarts are paired with
+   fails below, heals with partitions). Profiles without a fault kind
+   give its branch zero width. *)
 let weights = function
-  | Script.Migration -> (60, 72, 92, 92, 100)
-  | Script.Durability -> (50, 58, 73, 88, 100)
-  | Script.Raft -> (55, 55, 67, 85, 100)
-  | Script.All -> (45, 55, 70, 85, 100)
+  | Script.Migration -> (60, 72, 92, 92, 92, 92, 100)
+  | Script.Durability -> (50, 58, 73, 88, 88, 88, 100)
+  | Script.Raft -> (55, 55, 67, 85, 85, 85, 100)
+  | Script.Partition -> (45, 55, 65, 65, 80, 92, 100)
+  | Script.All -> (45, 55, 70, 85, 91, 96, 100)
 
 let generate ~rng ~profile ~n_hives ~ticks =
   if ticks <= 0 then invalid_arg "Nemesis.generate: ticks must be positive";
   let horizon_us = ticks * 1000 in
   let n_ops = 20 + ticks in
-  let p_put, p_read, p_mig, p_fail, _ = weights profile in
+  let p_put, p_read, p_mig, p_fail, p_drop, p_part, _ = weights profile in
   let ops = ref [] in
   let push op = ops := op :: !ops in
   for _ = 1 to n_ops do
@@ -34,8 +37,52 @@ let generate ~rng ~profile ~n_hives ~ticks =
       if Rng.int rng 10 < 8 then
         push
           (Script.Restart
-             { at_us = min horizon_us (at_us + 1000 + Rng.int rng 8000); hive })
+             { at_us = min horizon_us (at_us + 1000 + Rng.int rng 8000) ; hive })
     end
+    else if roll < p_drop then
+      (* A lossy window: 0.5%..5% on every inter-hive link. The
+         transport must mask it entirely. *)
+      push
+        (Script.Drop_links
+           {
+             at_us;
+             loss = 0.005 +. Rng.float rng 0.045;
+             dur_us = 2000 + Rng.int rng 8000;
+           })
+    else if roll < p_part then begin
+      if Rng.int rng 10 < 3 then begin
+        (* Isolate one hive from every peer, long enough for the
+           detector to confirm suspicion, evict it and (after the heal)
+           walk it back in — the false-positive path. *)
+        let hive = Rng.int rng n_hives in
+        let dur_us = 4000 + Rng.int rng 10_000 in
+        for p = 0 to n_hives - 1 do
+          if p <> hive then push (Script.Partition_pair { at_us; a = hive; b = p })
+        done;
+        push (Script.Heal { at_us = min horizon_us (at_us + dur_us) })
+      end
+      else begin
+        (* A pairwise cut: below quorum, so nobody gets evicted and
+           traffic between the pair just buffers until the heal. *)
+        let a = Rng.int rng n_hives in
+        let b = Rng.int rng n_hives in
+        if a <> b then begin
+          push (Script.Partition_pair { at_us; a; b });
+          push
+            (Script.Heal { at_us = min horizon_us (at_us + 2000 + Rng.int rng 8000) })
+        end
+      end
+    end
+    else if profile = Script.Partition then
+      push
+        (Script.Spike_link
+           {
+             at_us;
+             src = Rng.int rng n_hives;
+             dst = Rng.int rng n_hives;
+             factor = float_of_int (2 + Rng.int rng 14);
+             dur_us = 500 + Rng.int rng 4000;
+           })
     else
       push
         (Script.Spike

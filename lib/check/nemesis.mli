@@ -3,7 +3,9 @@
     Generates a {!Script} from a splittable RNG seed: a dense workload of
     keyed puts interleaved with profile-specific faults (hive crashes and
     restarts, live migrations, whole-dict merge triggers, link latency
-    spikes) at randomized simulated times. Generation is pure — it never
+    spikes, lossy-link windows, pairwise partitions and whole-hive
+    isolations with paired heals) at randomized simulated times.
+    Generation is pure — it never
     touches a platform — so a seed fully determines the script, and a
     printed seed is a complete reproduction recipe. *)
 

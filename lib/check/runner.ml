@@ -10,6 +10,8 @@ module Message = Beehive_core.Message
 module Value = Beehive_core.Value
 module Cell = Beehive_core.Cell
 module Raft_replication = Beehive_core.Raft_replication
+module Failure_detector = Beehive_core.Failure_detector
+module Transport = Beehive_net.Transport
 module Store = Beehive_store.Store
 
 type Message.payload +=
@@ -74,6 +76,7 @@ type stats = {
   s_migrations : int;
   s_merges : int;
   s_dropped : int;
+  s_retransmits : int;
   s_puts : int;
 }
 
@@ -83,11 +86,19 @@ type outcome =
 
 let with_durability = function
   | Script.Migration -> false
-  | Script.Durability | Script.Raft | Script.All -> true
+  | Script.Durability | Script.Raft | Script.Partition | Script.All -> true
 
 let with_raft = function
   | Script.Raft | Script.All -> true
-  | Script.Migration | Script.Durability -> false
+  | Script.Migration | Script.Durability | Script.Partition -> false
+
+(* The failure detector owns membership only in the fabric-fault profile:
+   there, eviction/rejoin of partitioned hives is the behavior under
+   test. The crash profiles keep driving fail_hive/restart_hive by hand
+   so their scripts stay the sole membership authority. *)
+let with_detector = function
+  | Script.Partition -> true
+  | Script.Migration | Script.Durability | Script.Raft | Script.All -> false
 
 let execute cfg ops =
   let engine = Engine.create ~seed:cfg.r_seed () in
@@ -106,6 +117,11 @@ let execute cfg ops =
       Some (Raft_replication.install platform ~group_size:3 ~compact_every:8 ())
     else None
   in
+  let detector =
+    if with_detector cfg.r_profile then
+      Some (Failure_detector.install platform ())
+    else None
+  in
   Platform.start platform;
   let puts = Hashtbl.create 16 in
   let n_puts = ref 0 in
@@ -117,6 +133,7 @@ let execute cfg ops =
       cx_dict = dict;
       cx_puts = puts;
       cx_raft = raft;
+      cx_detector = detector;
       cx_crashes = Script.has_crash ops;
     }
   in
@@ -182,6 +199,22 @@ let execute cfg ops =
       ignore
         (Engine.schedule_after engine (Simtime.of_us dur_us) (fun () ->
              Channels.set_latency_factor (Platform.channels platform) 1.0))
+    | Script.Drop_links { loss; dur_us; _ } ->
+      Channels.set_loss (Platform.channels platform) loss;
+      ignore
+        (Engine.schedule_after engine (Simtime.of_us dur_us) (fun () ->
+             Channels.set_loss (Platform.channels platform) 0.0))
+    | Script.Partition_pair { a; b; _ } ->
+      if a <> b then Channels.partition (Platform.channels platform) ~a ~b
+    | Script.Heal _ -> Channels.heal_all (Platform.channels platform)
+    | Script.Spike_link { src; dst; factor; dur_us; _ } ->
+      if src <> dst then begin
+        Channels.set_link_latency_factor (Platform.channels platform) ~src ~dst factor;
+        ignore
+          (Engine.schedule_after engine (Simtime.of_us dur_us) (fun () ->
+               Channels.set_link_latency_factor (Platform.channels platform) ~src ~dst
+                 1.0))
+      end
   in
   List.iter
     (fun op ->
@@ -190,10 +223,17 @@ let execute cfg ops =
     ops;
   match
     Engine.run_until engine (Simtime.of_us (cfg.r_ticks * 1000));
-    (* Heal: the nemesis never leaves a hive down forever — revive
-       everything, let the system quiesce, then judge the end state. *)
+    (* Heal: the nemesis never leaves the fabric broken or a hive down
+       forever. Mend every link, revive crashed processes, and let the
+       system quiesce before judging the end state. Fenced (evicted but
+       running) hives are deliberately NOT restarted here: once the
+       fabric heals, their heartbeats must walk them back into
+       membership — that rejoin path is part of what the final monitors
+       judge. *)
+    Channels.heal_all (Platform.channels platform);
+    Channels.set_loss (Platform.channels platform) 0.0;
     for h = 0 to cfg.r_n_hives - 1 do
-      if not (Platform.hive_alive platform h) then do_restart h
+      if Platform.hive_crashed platform h then do_restart h
     done;
     Engine.run_until engine (Simtime.add (Engine.now engine) (Simtime.of_sec 2.0));
     List.iter (fun m -> Monitor.check m ctx) monitors
@@ -206,6 +246,7 @@ let execute cfg ops =
         s_migrations = List.length (Platform.migrations platform);
         s_merges = Platform.total_bee_merges platform;
         s_dropped = Platform.total_dropped platform;
+        s_retransmits = Transport.retransmits (Platform.transport platform);
         s_puts = !n_puts;
       }
   | exception Monitor.Violation v -> Fail v

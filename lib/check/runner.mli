@@ -1,13 +1,15 @@
 (** Deterministic script execution.
 
-    Builds a fresh platform for the profile (durability and/or Raft
-    replication on top of the keyed-counter check workload), schedules
-    every script op at its simulated time, evaluates continuous monitors
-    on a 1 ms tick, heals all still-failed hives after the horizon,
+    Builds a fresh platform for the profile (durability, Raft
+    replication and/or the heartbeat failure detector on top of the
+    keyed-counter check workload), schedules every script op at its
+    simulated time, evaluates continuous monitors on a 1 ms tick, heals
+    the fabric (partitions and loss) and restarts crashed hives after
+    the horizon — fenced hives are left to rejoin through the detector —
     drains, and evaluates the final monitors. Everything — bee RNG
-    streams, channel latencies, Raft timeouts — derives from the single
-    engine seed, so [execute cfg ops] is a pure function of its
-    arguments. *)
+    streams, channel latencies, link-loss rolls, Raft timeouts — derives
+    from the single engine seed, so [execute cfg ops] is a pure function
+    of its arguments. *)
 
 type cfg = {
   r_profile : Script.profile;
@@ -27,6 +29,9 @@ type stats = {
   s_migrations : int;
   s_merges : int;
   s_dropped : int;
+  s_retransmits : int;
+      (** transport-level retransmissions — how hard the at-least-once
+          layer had to work to mask the fabric faults *)
   s_puts : int;  (** puts counted into the model (origin hive alive) *)
 }
 

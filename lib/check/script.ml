@@ -2,22 +2,27 @@ type profile =
   | Migration
   | Durability
   | Raft
+  | Partition
   | All
 
 let profile_of_string = function
   | "migration" -> Ok Migration
   | "durability" -> Ok Durability
   | "raft" -> Ok Raft
+  | "partition" -> Ok Partition
   | "all" -> Ok All
-  | s -> Error (Printf.sprintf "unknown profile %S (migration|durability|raft|all)" s)
+  | s ->
+    Error
+      (Printf.sprintf "unknown profile %S (migration|durability|raft|partition|all)" s)
 
 let profile_to_string = function
   | Migration -> "migration"
   | Durability -> "durability"
   | Raft -> "raft"
+  | Partition -> "partition"
   | All -> "all"
 
-let all_profiles = [ Migration; Durability; Raft; All ]
+let all_profiles = [ Migration; Durability; Raft; Partition; All ]
 
 type op =
   | Put of { at_us : int; key : int; from_hive : int }
@@ -26,6 +31,10 @@ type op =
   | Fail of { at_us : int; hive : int }
   | Restart of { at_us : int; hive : int }
   | Spike of { at_us : int; factor : float; dur_us : int }
+  | Drop_links of { at_us : int; loss : float; dur_us : int }
+  | Partition_pair of { at_us : int; a : int; b : int }
+  | Heal of { at_us : int }
+  | Spike_link of { at_us : int; src : int; dst : int; factor : float; dur_us : int }
 
 let at_us = function
   | Put { at_us; _ }
@@ -33,7 +42,11 @@ let at_us = function
   | Migrate { at_us; _ }
   | Fail { at_us; _ }
   | Restart { at_us; _ }
-  | Spike { at_us; _ } -> at_us
+  | Spike { at_us; _ }
+  | Drop_links { at_us; _ }
+  | Partition_pair { at_us; _ }
+  | Heal { at_us; _ }
+  | Spike_link { at_us; _ } -> at_us
 
 let sort_ops ops = List.stable_sort (fun a b -> Int.compare (at_us a) (at_us b)) ops
 
@@ -49,6 +62,14 @@ let pp_op ppf = function
   | Restart { hive; _ } -> Format.fprintf ppf "restart hive %d" hive
   | Spike { factor; dur_us; _ } ->
     Format.fprintf ppf "latency spike x%.1f for %.3fms" factor
+      (float_of_int dur_us /. 1000.0)
+  | Drop_links { loss; dur_us; _ } ->
+    Format.fprintf ppf "drop links: %.2f%% loss for %.3fms" (loss *. 100.0)
+      (float_of_int dur_us /. 1000.0)
+  | Partition_pair { a; b; _ } -> Format.fprintf ppf "partition hives %d <-/-> %d" a b
+  | Heal _ -> Format.fprintf ppf "heal all partitions"
+  | Spike_link { src; dst; factor; dur_us; _ } ->
+    Format.fprintf ppf "latency spike x%.1f on link %d->%d for %.3fms" factor src dst
       (float_of_int dur_us /. 1000.0)
 
 let pp_timeline ppf ops =

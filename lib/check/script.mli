@@ -12,6 +12,12 @@ type profile =
       (** adds [fail_hive]/[restart_hive] crashes against the WAL+snapshot
           storage engine (durability on) *)
   | Raft  (** crashes against Raft-replicated state (durability on) *)
+  | Partition
+      (** fabric faults only — link loss windows, pairwise partitions and
+          whole-hive isolations, heals — with the failure detector
+          installed. Crash-free by construction, so the exact no-loss
+          monitor stays armed: every put must survive the chaos {e because
+          of} retransmission, dedup and fence-buffering. *)
   | All  (** every fault kind at once *)
 
 val profile_of_string : string -> (profile, string) result
@@ -30,6 +36,15 @@ type op =
   | Restart of { at_us : int; hive : int }
   | Spike of { at_us : int; factor : float; dur_us : int }
       (** multiply all link latencies by [factor] for [dur_us] *)
+  | Drop_links of { at_us : int; loss : float; dur_us : int }
+      (** set every inter-hive link's loss probability to [loss] for
+          [dur_us], then restore it to zero *)
+  | Partition_pair of { at_us : int; a : int; b : int }
+      (** cut both directions between hives [a] and [b]; stays cut until a
+          [Heal] (the runner always heals at the horizon) *)
+  | Heal of { at_us : int }  (** remove every pairwise partition *)
+  | Spike_link of { at_us : int; src : int; dst : int; factor : float; dur_us : int }
+      (** multiply one directed link's latency by [factor] for [dur_us] *)
 
 val at_us : op -> int
 
@@ -38,7 +53,9 @@ val sort_ops : op list -> op list
 
 val has_crash : op list -> bool
 (** Whether any [Fail] op is present — decides which delivery-conservation
-    monitor applies (exact conservation needs a crash-free script). *)
+    monitor applies (exact conservation needs a crash-free script).
+    Fabric faults ([Drop_links], [Partition_pair]) deliberately do {e not}
+    count: the reliable transport must mask them. *)
 
 val pp_op : Format.formatter -> op -> unit
 

@@ -1,0 +1,179 @@
+module Engine = Beehive_sim.Engine
+module Simtime = Beehive_sim.Simtime
+module Channels = Beehive_net.Channels
+
+let src = Logs.Src.create "beehive.detector" ~doc:"Beehive failure detector"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type config = {
+  hb_period : Simtime.t;
+  hb_bytes : int;
+  suspect_timeout : Simtime.t;
+  check_period : Simtime.t;
+  confirm_ticks : int;
+}
+
+let default_config =
+  {
+    hb_period = Simtime.of_us 500;
+    hb_bytes = 16;
+    suspect_timeout = Simtime.of_us 3_000;
+    check_period = Simtime.of_us 1_000;
+    confirm_ticks = 2;
+  }
+
+type t = {
+  platform : Platform.t;
+  engine : Engine.t;
+  cfg : config;
+  n : int;
+  last_heard : Simtime.t array array;  (* [observer].[subject] *)
+  incarnation : int array;
+      (* the cluster's authoritative incarnation per hive; bumped on every
+         eviction so claims from a previous life are detectably stale *)
+  believed : int array;
+      (* what the hive itself believes its incarnation is — lags the
+         authoritative value while the hive is unknowingly deposed *)
+  evicted : bool array;
+  streak : int array;  (* consecutive confirming check ticks per subject *)
+  mutable n_evictions : int;
+  mutable n_rejoins : int;
+  mutable n_stale_claims : int;
+}
+
+let reset_subject t s =
+  let now = Engine.now t.engine in
+  for o = 0 to t.n - 1 do
+    t.last_heard.(o).(s) <- now
+  done;
+  t.streak.(s) <- 0;
+  t.evicted.(s) <- false;
+  t.believed.(s) <- t.incarnation.(s)
+
+(* An observer receives a heartbeat. If the sender was deposed but is
+   demonstrably running, its stale claim is rejected (the heartbeat
+   carries an old incarnation) and it is walked back into membership with
+   the bumped incarnation. *)
+let receive t ~from:s ~at:d ~hb_inc =
+  if not (Platform.hive_crashed t.platform d) then begin
+    t.last_heard.(d).(s) <- Engine.now t.engine;
+    if t.evicted.(s) && not (Platform.hive_crashed t.platform s) then begin
+      if hb_inc < t.incarnation.(s) then t.n_stale_claims <- t.n_stale_claims + 1;
+      reset_subject t s;
+      Platform.rejoin_hive t.platform s;
+      t.n_rejoins <- t.n_rejoins + 1;
+      Log.info (fun m -> m "hive %d reappeared; rejoined at incarnation %d" s t.incarnation.(s))
+    end
+  end
+
+let broadcast t =
+  let chans = Platform.channels t.platform in
+  let now = Engine.now t.engine in
+  for s = 0 to t.n - 1 do
+    (* Crashed processes are silent; fenced (deposed-but-running) hives
+       keep gossiping — that is how a false positive heals. *)
+    if not (Platform.hive_crashed t.platform s) then begin
+      let hb_inc = t.believed.(s) in
+      for d = 0 to t.n - 1 do
+        if d <> s then
+          match
+            Channels.transfer_result chans ~src:(Channels.Hive s)
+              ~dst:(Channels.Hive d) ~bytes:t.cfg.hb_bytes ~now
+          with
+          | `Lost -> ()
+          | `Delivered lat ->
+            ignore
+              (Engine.schedule_after t.engine lat (fun () ->
+                   receive t ~from:s ~at:d ~hb_inc))
+      done
+    end
+  done
+
+let quorum t = (t.n / 2) + 1
+
+let confirm t s =
+  t.evicted.(s) <- true;
+  t.incarnation.(s) <- t.incarnation.(s) + 1;
+  t.n_evictions <- t.n_evictions + 1;
+  if Platform.hive_crashed t.platform s then begin
+    (* The process really is dead: run the recovery path that fail_hive
+       observers used to trigger by hand. *)
+    Log.info (fun m -> m "hive %d confirmed dead; failing over its bees" s);
+    Platform.failover_hive t.platform s
+  end
+  else begin
+    Log.info (fun m -> m "hive %d suspected (incarnation %d); evicting" s t.incarnation.(s));
+    Platform.evict_hive t.platform s
+  end
+
+let check t =
+  let now = Engine.now t.engine in
+  let timeout = Simtime.to_us t.cfg.suspect_timeout in
+  let silent_on o s =
+    Simtime.to_us now - Simtime.to_us t.last_heard.(o).(s) > timeout
+  in
+  for s = 0 to t.n - 1 do
+    if not t.evicted.(s) then begin
+      let votes = ref 0 in
+      for o = 0 to t.n - 1 do
+        (* Only members in good standing vote: a minority partition (its
+           hives mute to us but not evicted yet) can still never muster a
+           majority of the full cluster. *)
+        if
+          o <> s
+          && (not t.evicted.(o))
+          && (not (Platform.hive_crashed t.platform o))
+          && silent_on o s
+        then incr votes
+      done;
+      if !votes >= quorum t then begin
+        t.streak.(s) <- t.streak.(s) + 1;
+        if t.streak.(s) >= t.cfg.confirm_ticks then confirm t s
+      end
+      else t.streak.(s) <- 0
+    end
+  done
+
+let install platform ?(config = default_config) () =
+  let engine = Platform.engine platform in
+  let n = Platform.n_hives platform in
+  let now = Engine.now engine in
+  let t =
+    {
+      platform;
+      engine;
+      cfg = config;
+      n;
+      last_heard = Array.init n (fun _ -> Array.make n now);
+      incarnation = Array.make n 0;
+      believed = Array.make n 0;
+      evicted = Array.make n false;
+      streak = Array.make n 0;
+      n_evictions = 0;
+      n_rejoins = 0;
+      n_stale_claims = 0;
+    }
+  in
+  (* A restarted hive re-enters membership with the bumped incarnation
+     and a fresh grace period. *)
+  Platform.on_hive_restart platform (fun h -> reset_subject t h);
+  ignore (Engine.every engine config.hb_period (fun () -> broadcast t));
+  ignore (Engine.every engine config.check_period (fun () -> check t));
+  t
+
+let suspected t =
+  let acc = ref [] in
+  for s = t.n - 1 downto 0 do
+    if t.evicted.(s) then acc := s :: !acc
+  done;
+  !acc
+
+let incarnation t h =
+  if h < 0 || h >= t.n then invalid_arg "Failure_detector.incarnation: bad hive";
+  t.incarnation.(h)
+
+let evictions t = t.n_evictions
+let rejoins t = t.n_rejoins
+let stale_claims t = t.n_stale_claims
+let converged t = suspected t = []

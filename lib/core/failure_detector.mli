@@ -1,0 +1,65 @@
+(** Heartbeat-based hive failure detector.
+
+    Every hive gossips a small heartbeat to every other hive each
+    [hb_period] over the raw failable wire (deliberately {e not} the
+    reliable transport: silence must mean something). A periodic check
+    accrues suspicion per subject hive: when a majority of the full
+    cluster has heard nothing from it for [suspect_timeout], for
+    [confirm_ticks] consecutive checks, the suspicion is confirmed and
+    the detector acts:
+
+    - if the hive's process is genuinely dead ({!Platform.hive_crashed}),
+      it triggers {!Platform.failover_hive} — the recovery that tests
+      previously had to invoke by hand;
+    - otherwise it {!Platform.evict_hive}s the hive, bumping its
+      incarnation so any claim from the deposed instance is detectably
+      stale.
+
+    False positives heal: when a heartbeat from an evicted-but-running
+    hive reaches any member, its stale claim is rejected (counted in
+    {!stale_claims}), the hive adopts the bumped incarnation, and
+    {!Platform.rejoin_hive} resumes its fenced bees — nothing is lost.
+
+    The majority quorum means a minority partition can never evict the
+    majority side; a symmetric split below quorum evicts nobody. *)
+
+type t
+
+type config = {
+  hb_period : Beehive_sim.Simtime.t;  (** heartbeat gossip interval *)
+  hb_bytes : int;  (** bytes per heartbeat on the control channel *)
+  suspect_timeout : Beehive_sim.Simtime.t;
+      (** silence before an observer votes to suspect *)
+  check_period : Beehive_sim.Simtime.t;  (** suspicion evaluation interval *)
+  confirm_ticks : int;
+      (** consecutive confirming checks before eviction *)
+}
+
+val default_config : config
+(** 500 us heartbeats, 3 ms suspect timeout, 1 ms checks, 2 confirming
+    ticks: detection in roughly 5 ms of simulated time. *)
+
+val install : Platform.t -> ?config:config -> unit -> t
+(** Starts the gossip and check loops on the platform's engine and hooks
+    {!Platform.on_hive_restart} so restarted hives re-enter membership
+    cleanly. Install once per platform. *)
+
+val suspected : t -> int list
+(** Hives currently evicted (confirmed suspicions not yet healed),
+    ascending. *)
+
+val converged : t -> bool
+(** No hive currently suspected. *)
+
+val incarnation : t -> int -> int
+(** Authoritative incarnation of a hive; bumped on every eviction. *)
+
+val evictions : t -> int
+(** Confirmed suspicions so far (including correct detections). *)
+
+val rejoins : t -> int
+(** Evicted hives walked back into membership after reappearing. *)
+
+val stale_claims : t -> int
+(** Heartbeats carrying a pre-eviction incarnation that were rejected —
+    each is a false positive caught and healed. *)

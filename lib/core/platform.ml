@@ -2,6 +2,7 @@ module Engine = Beehive_sim.Engine
 module Simtime = Beehive_sim.Simtime
 module Rng = Beehive_sim.Rng
 module Channels = Beehive_net.Channels
+module Transport = Beehive_net.Transport
 module Lock_service = Beehive_locksvc.Lock_service
 module Store = Beehive_store.Store
 
@@ -19,6 +20,8 @@ type config = {
   hive_capacity : int;
   replication : bool;
   durability : Store.config option;
+  reliable_transport : bool;
+  transport : Transport.config;
 }
 
 let default_config ~n_hives =
@@ -30,7 +33,33 @@ let default_config ~n_hives =
     hive_capacity = max_int;
     replication = false;
     durability = None;
+    reliable_transport = true;
+    transport = Transport.default_config;
   }
+
+type drop_reason =
+  | Dead_target
+  | Dead_origin
+  | Missing_endpoint
+  | Link_loss
+  | Retransmit_exhausted
+
+let all_drop_reasons =
+  [ Dead_target; Dead_origin; Missing_endpoint; Link_loss; Retransmit_exhausted ]
+
+let drop_reason_index = function
+  | Dead_target -> 0
+  | Dead_origin -> 1
+  | Missing_endpoint -> 2
+  | Link_loss -> 3
+  | Retransmit_exhausted -> 4
+
+let drop_reason_label = function
+  | Dead_target -> "dead_target"
+  | Dead_origin -> "dead_origin"
+  | Missing_endpoint -> "missing_endpoint"
+  | Link_loss -> "link_loss"
+  | Retransmit_exhausted -> "retransmit_exhausted"
 
 type allowed_spec =
   | A_cells of Cell.Set.t
@@ -64,6 +93,10 @@ type bee = {
   mutable incarnation : int;
       (* bumped on crash so events scheduled against a previous life
          (handler completions, migration landings) are discarded *)
+  mutable fenced : bool;
+      (* the failure detector evicted this bee's hive while the process
+         was (possibly) still running: the bee pauses with its state and
+         mailbox intact, and resumes if the hive rejoins *)
   mutable pending_migration : (int * string) option;
   mutable on_idle : (unit -> unit) list;
       (* continuations run when the current handler (if any) completes;
@@ -104,6 +137,7 @@ type t = {
   engine : Engine.t;
   cfg : config;
   chans : Channels.t;
+  transport : Transport.t;
   reg : Registry.t;
   locks : Lock_service.t;
   lock_session : Lock_service.session;
@@ -115,6 +149,9 @@ type t = {
   mutable version : int;
   lookup_cache : (int * string * Cell.t, int * int) Hashtbl.t;
   hive_up : bool array;
+  hive_down_hard : bool array;
+      (* process actually dead (crash), as opposed to merely evicted from
+         membership by the failure detector (fenced) *)
   pinned_bees : (int, unit) Hashtbl.t;
   endpoints : (Channels.endpoint, Message.t -> unit) Hashtbl.t;
   backups : (int, State.t) Hashtbl.t;
@@ -136,7 +173,8 @@ type t = {
   mutable n_processed : int;
   mutable n_lock_rpcs : int;
   mutable n_merges : int;
-  mutable n_dropped : int;
+  dropped : int array;  (* indexed by drop_reason_index *)
+  pstats : Stats.t;
 }
 
 let create engine cfg =
@@ -150,11 +188,23 @@ let create engine cfg =
     (Engine.every engine (Simtime.of_sec 4.0) (fun () ->
          if Lock_service.session_alive lock_session then
            Lock_service.keep_alive lock_session));
+  let hive_down_hard = Array.make cfg.n_hives false in
+  let chans =
+    Channels.create ~rng:(Rng.split (Engine.rng engine)) ~n_hives:cfg.n_hives
+      cfg.channel
+  in
+  let transport =
+    Transport.create ~config:cfg.transport ~engine
+      ~rng:(Rng.split (Engine.rng engine))
+      ~alive:(fun h -> not hive_down_hard.(h))
+      chans
+  in
   let t =
   {
     engine;
     cfg;
-    chans = Channels.create ~n_hives:cfg.n_hives cfg.channel;
+    chans;
+    transport;
     reg = Registry.create ();
     locks;
     lock_session;
@@ -166,6 +216,7 @@ let create engine cfg =
     version = 0;
     lookup_cache = Hashtbl.create 1024;
     hive_up = Array.make cfg.n_hives true;
+    hive_down_hard;
     pinned_bees = Hashtbl.create 64;
     endpoints = Hashtbl.create 64;
     backups = Hashtbl.create 64;
@@ -181,7 +232,8 @@ let create engine cfg =
     n_processed = 0;
     n_lock_rpcs = 0;
     n_merges = 0;
-    n_dropped = 0;
+    dropped = Array.make (List.length all_drop_reasons) 0;
+    pstats = Stats.create ();
   }
   in
   (match cfg.durability with
@@ -214,11 +266,23 @@ let create engine cfg =
 
 let engine t = t.engine
 let channels t = t.chans
+let transport t = t.transport
 let registry t = t.reg
 let config t = t.cfg
 let n_hives t = t.cfg.n_hives
 let now t = Engine.now t.engine
 let hive_alive t h = h >= 0 && h < t.cfg.n_hives && t.hive_up.(h)
+let hive_crashed t h = h >= 0 && h < t.cfg.n_hives && t.hive_down_hard.(h)
+
+(* Evicted from membership by the failure detector, but the process is
+   (possibly) still running: its bees pause, its endpoints and transport
+   links keep working, and a rejoin resumes it with state intact. *)
+let hive_fenced t h =
+  h >= 0 && h < t.cfg.n_hives && (not t.hive_up.(h)) && not t.hive_down_hard.(h)
+
+let drop t reason =
+  let i = drop_reason_index reason in
+  t.dropped.(i) <- t.dropped.(i) + 1
 
 let register_app t app =
   if t.started then invalid_arg "Platform.register_app: platform already started";
@@ -307,6 +371,7 @@ let new_bee t ~(app : App.t) ~hive ~is_local =
       busy = false;
       status = `Active;
       incarnation = 0;
+      fenced = false;
       pending_migration = None;
       on_idle = [];
       forwarded_to = None;
@@ -439,7 +504,7 @@ and process t (b : bee) d cost =
       t.emit_hooks;
     let lat = Channels.transfer t.chans ~src:(Channels.Hive b.hive) ~dst:ep ~bytes:m.Message.size ~now:(now t) in
     match Hashtbl.find_opt t.endpoints ep with
-    | None -> t.n_dropped <- t.n_dropped + 1
+    | None -> drop t Missing_endpoint
     | Some cb -> ignore (Engine.schedule_after t.engine lat (fun () -> cb m))
   in
   let ctx =
@@ -499,45 +564,47 @@ and start_transfer t (b : bee) dst reason =
       | Some s when not b.is_local -> (Store.package s ~bee:b.id).Store.pkg_bytes
       | Some _ | None -> 64 + State.size_bytes b.state
     in
-    let lat =
-      Channels.transfer t.chans ~src:(Channels.Hive src_hive) ~dst:(Channels.Hive dst)
-        ~bytes ~now:(now t)
-    in
     (* Registry update: one lock-service round trip from each side. *)
     let l_rpc = charge_lock_rpc t ~hive:src_hive in
     let inc = b.incarnation in
-    ignore
-      (Engine.schedule_after t.engine (Simtime.add lat l_rpc) (fun () ->
-           if b.status = `Paused && b.incarnation = inc && not (hive_alive t dst) then begin
-             (* Destination died mid-transfer: the source still owns the
-                bee; resume in place (the registry never changed, so there
-                is exactly one owner throughout). *)
-             b.status <- `Active;
-             maybe_process t b
-           end
-           else if b.status = `Paused && b.incarnation = inc then begin
-             b.hive <- dst;
-             Registry.set_hive t.reg ~bee:b.id ~hive:dst;
-             t.version <- t.version + 1;
-             b.status <- `Active;
-             let mig =
-               {
-                 mig_at = now t;
-                 mig_bee = b.id;
-                 mig_app = b.app.App.name;
-                 mig_src = src_hive;
-                 mig_dst = dst;
-                 mig_bytes = bytes;
-                 mig_reason = reason;
-               }
-             in
-             t.migration_log <- mig :: t.migration_log;
-             List.iter (fun f -> f mig) t.mig_hooks;
-             Log.debug (fun m ->
-                 m "migrated bee %d (%s) hive %d -> %d (%s)" b.id b.app.App.name src_hive
-                   dst reason);
-             maybe_process t b
-           end))
+    let resume_in_place () =
+      (* The source still owns the bee; resume in place (the registry
+         never changed, so there is exactly one owner throughout). A
+         fenced bee stays paused until its hive rejoins. *)
+      if b.status = `Paused && b.incarnation = inc && not b.fenced then begin
+        b.status <- `Active;
+        maybe_process t b
+      end
+    in
+    transmit t ~src_ep:(Channels.Hive src_hive) ~dst_hive:dst ~bytes ~extra:l_rpc
+      ~on_drop:resume_in_place (fun () ->
+        if b.status = `Paused && b.incarnation = inc && not (hive_alive t dst) then
+          (* Destination died mid-transfer. *)
+          resume_in_place ()
+        else if b.status = `Paused && b.incarnation = inc then begin
+          b.hive <- dst;
+          b.fenced <- false;
+          Registry.set_hive t.reg ~bee:b.id ~hive:dst;
+          t.version <- t.version + 1;
+          b.status <- `Active;
+          let mig =
+            {
+              mig_at = now t;
+              mig_bee = b.id;
+              mig_app = b.app.App.name;
+              mig_src = src_hive;
+              mig_dst = dst;
+              mig_bytes = bytes;
+              mig_reason = reason;
+            }
+          in
+          t.migration_log <- mig :: t.migration_log;
+          List.iter (fun f -> f mig) t.mig_hooks;
+          Log.debug (fun m ->
+              m "migrated bee %d (%s) hive %d -> %d (%s)" b.id b.app.App.name src_hive
+                dst reason);
+          maybe_process t b
+        end)
   end
   else if b.status = `Paused then begin
     b.status <- `Active;
@@ -620,7 +687,7 @@ and resolve_src t (msg : Message.t) =
   | Message.From_endpoint ep -> (Some (origin_hive_of t ep), None)
   | Message.From_system -> (None, None)
 
-and deliver t (b : bee) d ~latency =
+and enqueue t (b : bee) d =
   (* Messages in flight to a bee that has since been merged away follow
      its forwarding pointer to the surviving bee. *)
   let rec resolve (b : bee) =
@@ -628,14 +695,42 @@ and deliver t (b : bee) d ~latency =
     | `Dead, Some w when not !debug_disable_forwarding -> resolve w
     | _ -> b
   in
-  ignore
-    (Engine.schedule_after t.engine latency (fun () ->
-         let b = resolve b in
-         match b.status with
-         | `Dead | `Crashed -> t.n_dropped <- t.n_dropped + 1
-         | `Active | `Paused ->
-           Queue.push d b.mailbox;
-           maybe_process t b))
+  let b = resolve b in
+  match b.status with
+  | `Dead | `Crashed -> drop t Dead_target
+  | `Active | `Paused ->
+    Queue.push d b.mailbox;
+    maybe_process t b
+
+(* Moves [bytes] from [src_ep] to hive [dst_hive] and runs [k] on arrival
+   (plus [extra], e.g. lock-service latency already charged). Same-hive
+   traffic is a plain scheduled delivery; cross-hive traffic rides the
+   at-least-once {!Transport} (or, with [reliable_transport] off, the raw
+   failable wire). [on_drop] runs if the message can never arrive. *)
+and transmit t ~src_ep ~dst_hive ~bytes ?(extra = Simtime.zero)
+    ?(on_drop = fun () -> ()) k =
+  let src_hive = origin_hive_of t src_ep in
+  let dst_ep = Channels.Hive dst_hive in
+  if src_hive = dst_hive then begin
+    let lat = Channels.transfer t.chans ~src:src_ep ~dst:dst_ep ~bytes ~now:(now t) in
+    ignore (Engine.schedule_after t.engine (Simtime.add lat extra) k)
+  end
+  else if t.cfg.reliable_transport then
+    Transport.send t.transport ~src:src_ep ~dst:dst_ep ~bytes
+      ~on_drop:(fun () ->
+        drop t Retransmit_exhausted;
+        on_drop ())
+      ~deliver:(fun () ->
+        if Simtime.to_us extra = 0 then k ()
+        else ignore (Engine.schedule_after t.engine extra k))
+      ()
+  else begin
+    match Channels.transfer_result t.chans ~src:src_ep ~dst:dst_ep ~bytes ~now:(now t) with
+    | `Lost ->
+      drop t Link_loss;
+      on_drop ()
+    | `Delivered lat -> ignore (Engine.schedule_after t.engine (Simtime.add lat extra) k)
+  end
 
 and route_cells t ~(app : App.t) ~(handler : App.handler) ~src_ep ~origin cs msg =
   let src_hive, src_bee = resolve_src t msg in
@@ -645,6 +740,12 @@ and route_cells t ~(app : App.t) ~(handler : App.handler) ~src_ep ~origin cs msg
     | [] ->
       (* No owner: the local hive creates a new bee and claims the cells. *)
       let b = new_bee t ~app ~hive:origin ~is_local:false in
+      if hive_fenced t origin then begin
+        (* A fenced hive still serves its side of a partition, but its
+           new bees pause until the hive rejoins. *)
+        b.fenced <- true;
+        b.status <- `Paused
+      end;
       acquire_cell_locks t ~app:app.App.name cs;
       Registry.assign t.reg ~bee:b.id cs;
       t.version <- t.version + 1;
@@ -710,15 +811,11 @@ and route_cells t ~(app : App.t) ~(handler : App.handler) ~src_ep ~origin cs msg
         Some winner)
   in
   match target with
-  | None -> t.n_dropped <- t.n_dropped + 1
+  | None -> drop t Dead_target
   | Some b ->
-    if not (hive_alive t b.hive) then t.n_dropped <- t.n_dropped + 1
+    if hive_crashed t b.hive then drop t Dead_target
     else begin
-      let lat =
-        Channels.transfer t.chans ~src:src_ep ~dst:(Channels.Hive b.hive)
-          ~bytes:msg.Message.size ~now:(now t)
-      in
-      deliver t b
+      let d =
         {
           d_msg = msg;
           d_handler = handler;
@@ -726,7 +823,12 @@ and route_cells t ~(app : App.t) ~(handler : App.handler) ~src_ep ~origin cs msg
           d_src_hive = src_hive;
           d_src_bee = src_bee;
         }
-        ~latency:(Simtime.add lat !extra)
+      in
+      (* Fenced targets still receive: the transport buffers through the
+         partition and the bee's paused mailbox holds the message until
+         the hive rejoins, so nothing is lost to a false suspicion. *)
+      transmit t ~src_ep ~dst_hive:b.hive ~bytes:msg.Message.size ~extra:!extra
+        (fun () -> enqueue t b d)
     end
 
 and route_foreach t ~(app : App.t) ~(handler : App.handler) ~src_ep ~origin:_ dict msg =
@@ -744,24 +846,20 @@ and route_foreach t ~(app : App.t) ~(handler : App.handler) ~src_ep ~origin:_ di
   let hives = List.sort Int.compare (Hashtbl.fold (fun h _ acc -> h :: acc) by_hive []) in
   List.iter
     (fun h ->
-      if hive_alive t h then begin
-        let lat =
-          Channels.transfer t.chans ~src:src_ep ~dst:(Channels.Hive h)
-            ~bytes:msg.Message.size ~now:(now t)
-        in
-        List.iter
-          (fun (b : bee) ->
-            deliver t b
-              {
-                d_msg = msg;
-                d_handler = handler;
-                d_allowed = A_dict dict;
-                d_src_hive = src_hive;
-                d_src_bee = src_bee;
-              }
-              ~latency:lat)
-          (List.rev (Hashtbl.find by_hive h))
-      end)
+      if not (hive_crashed t h) then
+        let targets = List.rev (Hashtbl.find by_hive h) in
+        transmit t ~src_ep ~dst_hive:h ~bytes:msg.Message.size (fun () ->
+            List.iter
+              (fun (b : bee) ->
+                enqueue t b
+                  {
+                    d_msg = msg;
+                    d_handler = handler;
+                    d_allowed = A_dict dict;
+                    d_src_hive = src_hive;
+                    d_src_bee = src_bee;
+                  })
+              targets))
     hives
 
 and route_local t ~(app : App.t) ~(handler : App.handler) ~src_ep ~origin msg =
@@ -771,19 +869,15 @@ and route_local t ~(app : App.t) ~(handler : App.handler) ~src_ep ~origin msg =
       match local_bee_of t ~app ~hive:h with
       | None -> ()
       | Some b ->
-        let lat =
-          Channels.transfer t.chans ~src:src_ep ~dst:(Channels.Hive h)
-            ~bytes:msg.Message.size ~now:(now t)
-        in
-        deliver t b
-          {
-            d_msg = msg;
-            d_handler = handler;
-            d_allowed = A_all;
-            d_src_hive = src_hive;
-            d_src_bee = src_bee;
-          }
-          ~latency:lat
+        transmit t ~src_ep ~dst_hive:h ~bytes:msg.Message.size (fun () ->
+            enqueue t b
+              {
+                d_msg = msg;
+                d_handler = handler;
+                d_allowed = A_all;
+                d_src_hive = src_hive;
+                d_src_bee = src_bee;
+              })
   in
   (* System messages (timer ticks) trigger local handlers on every hive;
      ordinary messages only on their origin hive. *)
@@ -796,7 +890,9 @@ and route_local t ~(app : App.t) ~(handler : App.handler) ~src_ep ~origin msg =
 
 and route t ~src_ep msg =
   let origin = origin_hive_of t src_ep in
-  if hive_alive t origin then
+  (* A fenced origin keeps routing (the process is still up and serves
+     its partition side); only a genuinely crashed origin drops. *)
+  if not (hive_crashed t origin) then
     match Hashtbl.find_opt t.subscribers msg.Message.kind with
     | None -> ()
     | Some subs ->
@@ -810,7 +906,7 @@ and route t ~src_ep msg =
             if Cell.Set.is_empty cs then ()
             else route_cells t ~app ~handler ~src_ep ~origin cs msg)
         subs
-  else t.n_dropped <- t.n_dropped + 1
+  else drop t Dead_origin
 
 (* ------------------------------------------------------------------ *)
 (* Entry points                                                        *)
@@ -970,19 +1066,59 @@ let recover_entries t ~bee =
 (* Failures                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let fail_hive t h =
-  if hive_alive t h then begin
+let bees_on t h ~pred =
+  Hashtbl.fold (fun _ (b : bee) acc -> if b.hive = h && pred b then b :: acc else acc) t.bees []
+  |> List.sort (fun (a : bee) b -> Int.compare a.id b.id)
+
+(* What the primary-backup scheme (or an installed recovery provider,
+   e.g. Raft) can reconstruct for this bee, if anything. *)
+let recoverable_entries t (b : bee) =
+  if b.app.App.replicated then
+    match recover_entries t ~bee:b.id with
+    | Some entries -> Some entries
+    | None -> (
+      match Hashtbl.find_opt t.backups b.id with
+      | Some replica when t.cfg.replication -> Some (State.snapshot replica)
+      | Some _ | None -> None)
+  else None
+
+let failover_bee t (b : bee) ~from_hive entries =
+  (* Fail over onto the backup hive from the recovered state. The
+     incarnation was already bumped when the bee left its old life, so
+     anything the old instance still claims is void. *)
+  let bh = backup_hive t from_hive in
+  b.hive <- bh;
+  b.state <- State.restore entries;
+  Queue.clear b.mailbox;
+  b.busy <- false;
+  b.fenced <- false;
+  b.pending_migration <- None;
+  b.status <- `Active;
+  Registry.set_hive t.reg ~bee:b.id ~hive:bh;
+  (match t.store with
+  | Some s ->
+    (* Re-seed the durable log under the new owner so a later crash of
+       the backup hive also recovers. *)
+    Store.forget s ~bee:b.id;
+    Store.append s ~bee:b.id ~hive:bh (List.map (fun (d, k, v) -> (d, k, Some v)) entries)
+  | None -> ());
+  Log.info (fun m -> m "bee %d failed over from hive %d to %d" b.id from_hive bh);
+  maybe_process t b
+
+(* Process death: the hive stops cold. Local bees die; every other bee
+   crashes (incarnation bump voids in-flight work). No recovery happens
+   here — that is {!failover_hive}'s job, run either immediately (the
+   classic {!fail_hive}) or when the failure detector confirms the
+   death. *)
+let crash_hive t h =
+  if h < 0 || h >= t.cfg.n_hives then invalid_arg "Platform.crash_hive: bad hive";
+  if not t.hive_down_hard.(h) then begin
     t.hive_up.(h) <- false;
+    t.hive_down_hard.(h) <- true;
     t.version <- t.version + 1;
     List.iter (fun f -> f h) t.failure_hooks;
     (* Batches not yet group-committed die with the hive. *)
     (match t.store with Some s -> Store.drop_pending s ~hive:h | None -> ());
-    let victims =
-      Hashtbl.fold
-        (fun _ (b : bee) acc -> if b.status <> `Dead && b.hive = h then b :: acc else acc)
-        t.bees []
-      |> List.sort (fun (a : bee) b -> Int.compare a.id b.id)
-    in
     List.iter
       (fun (b : bee) ->
         if b.is_local then begin
@@ -991,78 +1127,104 @@ let fail_hive t h =
           Registry.unassign_bee t.reg ~bee:b.id
         end
         else begin
-          let recovered =
-            if b.app.App.replicated then
-              match recover_entries t ~bee:b.id with
-              | Some entries -> Some entries
-              | None -> (
-                match Hashtbl.find_opt t.backups b.id with
-                | Some replica when t.cfg.replication -> Some (State.snapshot replica)
-                | Some _ | None -> None)
-            else None
-          in
-          match recovered with
-          | Some entries ->
-            (* Fail over onto the backup hive from the recovered state. *)
-            let bh = backup_hive t h in
-            b.hive <- bh;
-            b.state <- State.restore entries;
-            Queue.clear b.mailbox;
-            b.busy <- false;
-            b.incarnation <- b.incarnation + 1;
-            b.pending_migration <- None;
-            b.status <- `Active;
-            Registry.set_hive t.reg ~bee:b.id ~hive:bh;
-            (match t.store with
-            | Some s ->
-              (* Re-seed the durable log under the new owner so a later
-                 crash of the backup hive also recovers. *)
-              Store.forget s ~bee:b.id;
-              Store.append s ~bee:b.id ~hive:bh
-                (List.map (fun (d, k, v) -> (d, k, Some v)) entries)
-            | None -> ());
-            Log.info (fun m -> m "bee %d failed over from hive %d to %d" b.id h bh)
-          | None -> (
-            match t.store with
-            | Some _ when not b.is_local ->
-              (* Durable crash: the dictionaries live on in snapshot+WAL;
-                 the registry keeps the cells so ownership stays unique
-                 and restart_hive revives the bee in place. *)
-              b.status <- `Crashed;
-              b.incarnation <- b.incarnation + 1;
-              b.busy <- false;
-              b.pending_migration <- None;
-              Queue.clear b.mailbox
-            | Some _ | None -> kill_bee t b)
+          b.status <- `Crashed;
+          b.incarnation <- b.incarnation + 1;
+          b.busy <- false;
+          b.fenced <- false;
+          b.pending_migration <- None;
+          Queue.clear b.mailbox
         end)
-      victims
+      (bees_on t h ~pred:(fun b -> b.status <> `Dead))
+  end
+
+(* Recovery of a dead hive's crashed bees: replicated bees fail over to
+   their backup hive; durable bees stay crashed in place (restart_hive
+   revives them); everything else dies with its cells. Idempotent. *)
+let failover_hive t h =
+  List.iter
+    (fun (b : bee) ->
+      match recoverable_entries t b with
+      | Some entries -> failover_bee t b ~from_hive:h entries
+      | None -> (
+        match t.store with
+        | Some _ when not b.is_local ->
+          (* Durable crash: the dictionaries live on in snapshot+WAL;
+             the registry keeps the cells so ownership stays unique
+             and restart_hive revives the bee in place. *)
+          ()
+        | Some _ | None -> kill_bee t b))
+    (bees_on t h ~pred:(fun b -> b.status = `Crashed))
+
+let fail_hive t h =
+  if hive_alive t h then begin
+    crash_hive t h;
+    failover_hive t h
+  end
+
+(* Membership eviction of a hive whose process may still be running (a
+   confirmed suspicion that could be a false positive). Recoverable
+   replicated bees fail over — their incarnation bump is the stale-claim
+   fence against the possibly-alive old instance. Everything else is
+   fenced in place, state and mailbox intact, and resumes on rejoin. *)
+let evict_hive t h =
+  if hive_alive t h then begin
+    t.hive_up.(h) <- false;
+    t.version <- t.version + 1;
+    List.iter
+      (fun (b : bee) ->
+        match (b.is_local, recoverable_entries t b) with
+        | false, Some entries ->
+          b.incarnation <- b.incarnation + 1;
+          failover_bee t b ~from_hive:h entries
+        | _, _ ->
+          b.fenced <- true;
+          if b.status = `Active then b.status <- `Paused)
+      (bees_on t h ~pred:(fun b ->
+           match b.status with `Active | `Paused -> true | `Crashed | `Dead -> false))
+  end
+
+let unfence_hive t h =
+  List.iter
+    (fun (b : bee) ->
+      b.fenced <- false;
+      if b.status = `Paused then b.status <- `Active;
+      maybe_process t b)
+    (bees_on t h ~pred:(fun b -> b.fenced))
+
+(* A fenced hive reappeared (the suspicion was false): bring it back into
+   membership and resume its bees, which drain everything the transport
+   buffered toward them during the eviction. *)
+let rejoin_hive t h =
+  if hive_fenced t h then begin
+    t.hive_up.(h) <- true;
+    t.version <- t.version + 1;
+    unfence_hive t h;
+    Log.info (fun m -> m "hive %d rejoined after eviction" h)
   end
 
 let restart_hive t h =
   if h < 0 || h >= t.cfg.n_hives then invalid_arg "Platform.restart_hive: bad hive";
   if not t.hive_up.(h) then begin
+    let was_crashed = t.hive_down_hard.(h) in
     t.hive_up.(h) <- true;
+    t.hive_down_hard.(h) <- false;
     t.version <- t.version + 1;
     List.iter (fun f -> f h) t.restart_hooks;
-    match t.store with
-    | None -> ()
-    | Some s ->
-      let crashed =
-        Hashtbl.fold
-          (fun _ (b : bee) acc ->
-            if b.status = `Crashed && b.hive = h then b :: acc else acc)
-          t.bees []
-        |> List.sort (fun (a : bee) b -> Int.compare a.id b.id)
-      in
-      List.iter
-        (fun (b : bee) ->
-          (* Snapshot + WAL-tail replay, byte-identical to the last
-             group-committed state. *)
-          b.state <- State.restore (Store.recover s ~bee:b.id);
-          b.status <- `Active;
-          Log.info (fun m -> m "bee %d recovered on restarted hive %d" b.id h);
-          maybe_process t b)
-        crashed
+    (* Restarting a merely-fenced hive is just a rejoin. *)
+    unfence_hive t h;
+    if was_crashed then
+      match t.store with
+      | None -> ()
+      | Some s ->
+        List.iter
+          (fun (b : bee) ->
+            (* Snapshot + WAL-tail replay, byte-identical to the last
+               group-committed state. *)
+            b.state <- State.restore (Store.recover s ~bee:b.id);
+            b.status <- `Active;
+            Log.info (fun m -> m "bee %d recovered on restarted hive %d" b.id h);
+            maybe_process t b)
+          (bees_on t h ~pred:(fun b -> b.status = `Crashed))
   end
 
 (* ------------------------------------------------------------------ *)
@@ -1072,7 +1234,30 @@ let restart_hive t h =
 let total_processed t = t.n_processed
 let total_lock_rpcs t = t.n_lock_rpcs
 let total_bee_merges t = t.n_merges
-let total_dropped t = t.n_dropped
+let total_dropped t = Array.fold_left ( + ) 0 t.dropped
+let dropped_by_reason t reason = t.dropped.(drop_reason_index reason)
+
+let paused_bees t =
+  Hashtbl.fold (fun _ (b : bee) acc -> if b.status = `Paused then acc + 1 else acc) t.bees 0
+
+(* Platform-wide gauges, refreshed on read: the per-reason drop
+   breakdown plus the transport's reliability counters. *)
+let stats t =
+  List.iter
+    (fun r ->
+      Stats.set_gauge t.pstats
+        ("dropped." ^ drop_reason_label r)
+        t.dropped.(drop_reason_index r))
+    all_drop_reasons;
+  Stats.set_gauge t.pstats "transport.sent" (Transport.sent t.transport);
+  Stats.set_gauge t.pstats "transport.delivered" (Transport.delivered t.transport);
+  Stats.set_gauge t.pstats "transport.retransmits" (Transport.retransmits t.transport);
+  Stats.set_gauge t.pstats "transport.retransmit_bytes"
+    (Transport.retransmit_bytes t.transport);
+  Stats.set_gauge t.pstats "transport.duplicates" (Transport.duplicates t.transport);
+  Stats.set_gauge t.pstats "transport.exhausted" (Transport.exhausted t.transport);
+  Stats.set_gauge t.pstats "transport.pending" (Transport.pending t.transport);
+  t.pstats
 
 let message_latency_percentile t p =
   let merged = Stats.create () in

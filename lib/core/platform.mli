@@ -27,6 +27,12 @@ type config = {
           with group commit, WALs compact into snapshots, crashed hives
           can {!restart_hive} with byte-identical state, and migration
           ships snapshot+WAL-tail packages *)
+  reliable_transport : bool;
+      (** route cross-hive traffic through the at-least-once
+          {!Beehive_net.Transport} (default). When off, messages ride the
+          raw failable wire and link loss surfaces as [Link_loss] drops —
+          the ablation baseline. *)
+  transport : Beehive_net.Transport.config;
 }
 
 val default_config : n_hives:int -> config
@@ -34,6 +40,11 @@ val default_config : n_hives:int -> config
 val create : Beehive_sim.Engine.t -> config -> t
 val engine : t -> Beehive_sim.Engine.t
 val channels : t -> Beehive_net.Channels.t
+
+val transport : t -> Beehive_net.Transport.t
+(** The at-least-once delivery layer carrying cross-hive platform
+    traffic (retransmit/duplicate counters live here). *)
+
 val registry : t -> Registry.t
 val config : t -> config
 val n_hives : t -> int
@@ -200,14 +211,52 @@ val on_emit :
     being processed as [parent] and the emitting [(bee, app, hive)];
     injected messages have neither. Drives {!Trace}. *)
 
-(** {2 Failures (replication extension)} *)
+(** {2 Failures}
+
+    Two distinct failure modes, plus the detector-facing membership
+    operations built from them:
+
+    - a {e crash} ({!crash_hive}) is a process death: in-flight work is
+      void, un-fsynced batches are lost, and only {!restart_hive} brings
+      the hive back;
+    - an {e eviction} ({!evict_hive}) is a membership decision about a
+      hive whose process may still be running (a confirmed suspicion by
+      the failure detector): replicated bees fail over with an
+      incarnation bump that voids any stale claim by the old instance,
+      while unrecoverable bees are fenced in place — paused with state
+      and mailbox intact — so a false positive loses nothing when the
+      hive {!rejoin_hive}s. *)
 
 val fail_hive : t -> int -> unit
-(** Kills a hive. Bees of replicated apps fail over to their backup hive
-    using the recovery provider's state if available, else the built-in
-    replica; other bees (and their cells) are lost. *)
+(** Kills a hive and immediately runs recovery ({!crash_hive} followed by
+    {!failover_hive}). Bees of replicated apps fail over to their backup
+    hive using the recovery provider's state if available, else the
+    built-in replica; durable bees stay crashed in place awaiting
+    {!restart_hive}; other bees (and their cells) are lost. *)
+
+val crash_hive : t -> int -> unit
+(** Process death only — no recovery. Pair with {!failover_hive} (what a
+    failure detector does once the death is confirmed). *)
+
+val failover_hive : t -> int -> unit
+(** Recovers a dead hive's crashed bees (see {!fail_hive}). Idempotent. *)
+
+val evict_hive : t -> int -> unit
+(** Fences a possibly-alive hive out of membership (see above). *)
+
+val rejoin_hive : t -> int -> unit
+(** Brings a fenced (not crashed) hive back: its bees resume and drain
+    everything the transport buffered toward them. No-op otherwise. *)
 
 val hive_alive : t -> int -> bool
+(** In membership: up, neither crashed nor fenced. *)
+
+val hive_crashed : t -> int -> bool
+(** Process dead (via {!fail_hive}/{!crash_hive}), not yet restarted. *)
+
+val hive_fenced : t -> int -> bool
+(** Evicted by the failure detector but not crashed: still running,
+    outside membership. *)
 
 (** {2 Counters} *)
 
@@ -215,9 +264,31 @@ val total_processed : t -> int
 val total_lock_rpcs : t -> int
 val total_bee_merges : t -> int
 
+(** Why a message was discarded. *)
+type drop_reason =
+  | Dead_target  (** addressed to a dead or crashed bee/hive *)
+  | Dead_origin  (** emitted from a crashed hive *)
+  | Missing_endpoint  (** sent to an unregistered IO endpoint *)
+  | Link_loss  (** lost on a lossy link with [reliable_transport] off *)
+  | Retransmit_exhausted
+      (** the transport gave up after [max_attempts] copies *)
+
+val all_drop_reasons : drop_reason list
+val drop_reason_label : drop_reason -> string
+
+val dropped_by_reason : t -> drop_reason -> int
+
 val total_dropped : t -> int
-(** Messages discarded (dead target, dead origin hive, missing
-    endpoint). Delivery-conservation monitors read this. *)
+(** Sum over {!dropped_by_reason} — delivery-conservation monitors read
+    this. *)
+
+val paused_bees : t -> int
+(** Bees currently paused (migrating, merging, or fenced). A converged
+    healed cluster has none. *)
+
+val stats : t -> Stats.t
+(** Platform-wide gauges, refreshed on each call: the per-reason
+    [dropped.*] breakdown and the [transport.*] reliability counters. *)
 
 (** {2 Debug fault injection}
 

@@ -108,17 +108,23 @@ let make_group t engine ~anchor ~members =
     (fun member ->
       let peers = List.filter (fun m -> m <> member) members in
       let send ~dst rpc =
+        (* Raft RPCs ride the raw failable wire: the protocol already
+           tolerates loss (retries, elections), so a lost AppendEntries
+           just surfaces as Raft-level retransmission. *)
         if Platform.hive_alive t.platform member && Platform.hive_alive t.platform dst
         then begin
-          let lat =
-            Channels.transfer (Platform.channels t.platform) ~src:(Channels.Hive member)
-              ~dst:(Channels.Hive dst) ~bytes:(Raft.rpc_size rpc) ~now:(Engine.now engine)
-          in
-          ignore
-            (Engine.schedule_after engine lat (fun () ->
-                 match Hashtbl.find_opt g.g_nodes dst with
-                 | Some node when Raft.is_up node -> Raft.receive node rpc
-                 | Some _ | None -> ()))
+          match
+            Channels.transfer_result (Platform.channels t.platform)
+              ~src:(Channels.Hive member) ~dst:(Channels.Hive dst)
+              ~bytes:(Raft.rpc_size rpc) ~now:(Engine.now engine)
+          with
+          | `Lost -> ()
+          | `Delivered lat ->
+            ignore
+              (Engine.schedule_after engine lat (fun () ->
+                   match Hashtbl.find_opt g.g_nodes dst with
+                   | Some node when Raft.is_up node -> Raft.receive node rpc
+                   | Some _ | None -> ()))
         end
       in
       let node_ref = ref None in

@@ -1,4 +1,5 @@
 module Simtime = Beehive_sim.Simtime
+module Rng = Beehive_sim.Rng
 
 type endpoint =
   | Hive of int
@@ -24,34 +25,97 @@ let default_config =
 type t = {
   n : int;
   cfg : config;
+  rng : Rng.t;
   masters : (int, int) Hashtbl.t;
   matrix : Traffic_matrix.t;
   mutable series : Series.t;
   mutable sw_bytes : float;
-  mutable latency_factor : float;
+  lat_factor : float array;  (* n*n, directed: src*n + dst *)
+  loss : float array;  (* n*n drop probability per directed link *)
+  parted : bool array;  (* n*n severed directed links *)
+  mutable n_faults : int;
+      (* lossy or severed directed links; 0 = the fabric is healthy and
+         reliability machinery above can take its fast path *)
+  mutable n_lost : int;
+  mutable n_parted : int;
 }
 
-let create ~n_hives cfg =
+let create ?rng ~n_hives cfg =
   if n_hives <= 0 then invalid_arg "Channels.create: need at least one hive";
   {
     n = n_hives;
     cfg;
+    rng = (match rng with Some r -> r | None -> Rng.create 0);
     masters = Hashtbl.create 64;
     matrix = Traffic_matrix.create n_hives;
     series = Series.create ~bucket:cfg.bucket;
     sw_bytes = 0.0;
-    latency_factor = 1.0;
+    lat_factor = Array.make (n_hives * n_hives) 1.0;
+    loss = Array.make (n_hives * n_hives) 0.0;
+    parted = Array.make (n_hives * n_hives) false;
+    n_faults = 0;
+    n_lost = 0;
+    n_parted = 0;
   }
+
+let idx t ~src ~dst =
+  if src < 0 || src >= t.n || dst < 0 || dst >= t.n then
+    invalid_arg "Channels: hive out of range";
+  (src * t.n) + dst
+
+let recount_faults t =
+  let n = ref 0 in
+  for i = 0 to Array.length t.loss - 1 do
+    if t.loss.(i) > 0.0 || t.parted.(i) then incr n
+  done;
+  t.n_faults <- !n
+
+let set_link_latency_factor t ~src ~dst f =
+  if f < 1.0 then invalid_arg "Channels.set_link_latency_factor: factor < 1";
+  t.lat_factor.(idx t ~src ~dst) <- f
 
 let set_latency_factor t f =
   if f < 1.0 then invalid_arg "Channels.set_latency_factor: factor < 1";
-  t.latency_factor <- f
+  Array.fill t.lat_factor 0 (Array.length t.lat_factor) f
 
-let latency_factor t = t.latency_factor
+let link_latency_factor t ~src ~dst = t.lat_factor.(idx t ~src ~dst)
 
-let scale t d =
-  if t.latency_factor = 1.0 then d
-  else Simtime.of_us (int_of_float (float_of_int (Simtime.to_us d) *. t.latency_factor))
+let latency_factor t = Array.fold_left Float.max 1.0 t.lat_factor
+
+let set_link_loss t ~src ~dst p =
+  if p < 0.0 || p >= 1.0 then invalid_arg "Channels.set_link_loss: need 0 <= p < 1";
+  t.loss.(idx t ~src ~dst) <- p;
+  recount_faults t
+
+let set_loss t p =
+  if p < 0.0 || p >= 1.0 then invalid_arg "Channels.set_loss: need 0 <= p < 1";
+  Array.fill t.loss 0 (Array.length t.loss) p;
+  recount_faults t
+
+let link_loss t ~src ~dst = t.loss.(idx t ~src ~dst)
+
+let partition t ~a ~b =
+  if a = b then invalid_arg "Channels.partition: a hive cannot split from itself";
+  t.parted.(idx t ~src:a ~dst:b) <- true;
+  t.parted.(idx t ~src:b ~dst:a) <- true;
+  recount_faults t
+
+let heal t ~a ~b =
+  if a <> b then begin
+    t.parted.(idx t ~src:a ~dst:b) <- false;
+    t.parted.(idx t ~src:b ~dst:a) <- false;
+    recount_faults t
+  end
+
+let heal_all t =
+  Array.fill t.parted 0 (Array.length t.parted) false;
+  recount_faults t
+
+let partitioned t ~src ~dst = t.parted.(idx t ~src ~dst)
+
+let faulty t = t.n_faults > 0
+let losses t = t.n_lost
+let partition_drops t = t.n_parted
 
 let n_hives t = t.n
 
@@ -69,26 +133,60 @@ let hive_of t = function
   | Hive h -> h
   | Switch s -> master_of t s
 
-let transfer t ~src ~dst ~bytes ~now =
+let scale t ~src ~dst d =
+  let f = t.lat_factor.(idx t ~src ~dst) in
+  if f = 1.0 then d
+  else Simtime.of_us (int_of_float (float_of_int (Simtime.to_us d) *. f))
+
+(* Accounts a transmitted message and computes its delivery latency.
+   Factored so [transfer] (reliable accounting charges) and
+   [transfer_result] (failable wire) agree byte-for-byte. *)
+let account t ~src ~dst ~bytes ~now =
   let sh = hive_of t src and dh = hive_of t dst in
   let crosses_switch_link =
     match (src, dst) with Switch _, _ | _, Switch _ -> true | Hive _, Hive _ -> false
   in
   if crosses_switch_link then t.sw_bytes <- t.sw_bytes +. float_of_int bytes;
   if sh = dh then
-    if crosses_switch_link then scale t (Simtime.add t.cfg.switch_latency (ser_delay t bytes))
+    if crosses_switch_link then
+      scale t ~src:sh ~dst:dh (Simtime.add t.cfg.switch_latency (ser_delay t bytes))
     else begin
       (* Intra-hive bee-to-bee message: diagonal of the traffic matrix,
          but not inter-hive channel bandwidth. *)
       Traffic_matrix.add t.matrix ~src:sh ~dst:dh ~bytes;
-      scale t t.cfg.local_latency
+      scale t ~src:sh ~dst:dh t.cfg.local_latency
     end
   else begin
     (* Remote: the message traverses an inter-hive channel. *)
     Traffic_matrix.add t.matrix ~src:sh ~dst:dh ~bytes;
     Series.add t.series ~at:now (float_of_int bytes);
-    let base = if crosses_switch_link then Simtime.add t.cfg.switch_latency t.cfg.hive_latency else t.cfg.hive_latency in
-    scale t (Simtime.add base (ser_delay t bytes))
+    let base =
+      if crosses_switch_link then Simtime.add t.cfg.switch_latency t.cfg.hive_latency
+      else t.cfg.hive_latency
+    in
+    scale t ~src:sh ~dst:dh (Simtime.add base (ser_delay t bytes))
+  end
+
+let transfer t ~src ~dst ~bytes ~now = account t ~src ~dst ~bytes ~now
+
+let transfer_result t ~src ~dst ~bytes ~now =
+  let sh = hive_of t src and dh = hive_of t dst in
+  if sh <> dh && t.parted.(idx t ~src:sh ~dst:dh) then begin
+    (* Severed link: nothing leaves the source, no bytes accounted. *)
+    t.n_parted <- t.n_parted + 1;
+    `Lost
+  end
+  else begin
+    let p = if sh = dh then 0.0 else t.loss.(idx t ~src:sh ~dst:dh) in
+    let lat = account t ~src ~dst ~bytes ~now in
+    if p > 0.0 && Rng.float t.rng 1.0 < p then begin
+      (* Transmitted, then lost in flight: the source link carried the
+         bytes (so retransmission overhead shows in the series), but the
+         destination never sees them. *)
+      t.n_lost <- t.n_lost + 1;
+      `Lost
+    end
+    else `Delivered lat
   end
 
 let matrix t = t.matrix

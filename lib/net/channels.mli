@@ -4,7 +4,14 @@
     inter-controller channels whose consumption Figure 4(d-f) plots) and
     switch-to-hive links (OpenFlow connections). The fabric both computes
     delivery latency and accounts traffic into a {!Traffic_matrix} and a
-    bandwidth {!Series}. *)
+    bandwidth {!Series}.
+
+    Links are failable: each directed hive-to-hive link carries a loss
+    probability and a latency factor, and pairs of hives can be
+    partitioned outright. {!transfer} stays reliable (accounting-only
+    charges such as lock RPCs use it); the failable wire is
+    {!transfer_result}, which {!Transport} builds at-least-once delivery
+    on top of. *)
 
 type endpoint =
   | Hive of int
@@ -28,7 +35,10 @@ val default_config : config
 
 type t
 
-val create : n_hives:int -> config -> t
+val create : ?rng:Beehive_sim.Rng.t -> n_hives:int -> config -> t
+(** [rng] drives the per-message loss draws of {!transfer_result}; pass a
+    stream split from the engine RNG so runs stay deterministic. Defaults
+    to a fixed seed (fine for fault-free fabrics, which never draw). *)
 
 val n_hives : t -> int
 
@@ -46,7 +56,17 @@ val transfer :
     messages on the diagonal, as in the paper's Figure 4 panels); only
     cross-hive traffic consumes the control channel and enters the
     bandwidth series. A switch endpoint is attributed to its master
-    hive. *)
+    hive. Always delivers, regardless of configured faults. *)
+
+val transfer_result :
+  t -> src:endpoint -> dst:endpoint -> bytes:int -> now:Beehive_sim.Simtime.t ->
+  [ `Delivered of Beehive_sim.Simtime.t | `Lost ]
+(** The failable wire. Same accounting and latency as {!transfer}, except:
+    a partitioned src/dst hive pair yields [`Lost] with no bytes accounted
+    (nothing leaves the NIC), and a lossy link yields [`Lost] with the
+    bytes accounted on the source side (the wire carried them, the
+    receiver never saw them — so retransmit overhead is visible in the
+    bandwidth series). Intra-hive messages never fail. *)
 
 val matrix : t -> Traffic_matrix.t
 (** The inter-hive traffic matrix accumulated so far. *)
@@ -61,11 +81,46 @@ val switch_bytes : t -> float
 val reset_accounting : t -> unit
 (** Clears matrix and series (e.g. after a warm-up window). *)
 
+(** {2 Fault injection} *)
+
 val set_latency_factor : t -> float -> unit
-(** Degrades every link: all subsequently computed delivery latencies are
-    multiplied by the factor (>= 1.0). Fault-injection hook: a nemesis
-    uses it to model transient latency spikes. Accounting (bytes,
-    matrix, series) is unaffected. *)
+(** Degrades every link: broadcasts the factor (>= 1.0) to all directed
+    links; subsequently computed delivery latencies are multiplied by it.
+    Accounting (bytes, matrix, series) is unaffected. *)
+
+val set_link_latency_factor : t -> src:int -> dst:int -> float -> unit
+(** Degrades a single directed hive-to-hive link. *)
+
+val link_latency_factor : t -> src:int -> dst:int -> float
 
 val latency_factor : t -> float
-(** Current factor (1.0 = healthy links). *)
+(** Worst factor over all links (1.0 = every link healthy). Kept for
+    monitors that only care whether the fabric is degraded at all. *)
+
+val set_loss : t -> float -> unit
+(** Broadcasts a drop probability [0 <= p < 1] to every directed
+    hive-to-hive link. 0 heals them. *)
+
+val set_link_loss : t -> src:int -> dst:int -> float -> unit
+
+val link_loss : t -> src:int -> dst:int -> float
+
+val partition : t -> a:int -> b:int -> unit
+(** Severs both directed links between hives [a] and [b]. *)
+
+val heal : t -> a:int -> b:int -> unit
+
+val heal_all : t -> unit
+(** Clears every partition (loss probabilities are left alone). *)
+
+val partitioned : t -> src:int -> dst:int -> bool
+
+val faulty : t -> bool
+(** True iff any link is lossy or partitioned. Reliability layers use
+    this to skip sequence/ack bookkeeping on a healthy fabric. *)
+
+val losses : t -> int
+(** Messages dropped in flight by link loss so far. *)
+
+val partition_drops : t -> int
+(** Messages refused at the source by a partition so far. *)

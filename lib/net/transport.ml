@@ -1,0 +1,238 @@
+module Engine = Beehive_sim.Engine
+module Simtime = Beehive_sim.Simtime
+module Rng = Beehive_sim.Rng
+
+let debug_disable_dedup = ref false
+
+type config = {
+  rto_initial : Simtime.t;
+  rto_max : Simtime.t;
+  jitter_frac : float;
+  max_attempts : int;
+  header_bytes : int;
+  ack_bytes : int;
+}
+
+let default_config =
+  {
+    rto_initial = Simtime.of_us 600;
+    rto_max = Simtime.of_us 12_000;
+    jitter_frac = 0.25;
+    max_attempts = 80;
+    header_bytes = 0;
+    ack_bytes = 0;
+  }
+
+type msg = {
+  m_seq : int;
+  m_src : Channels.endpoint;
+  m_dst : Channels.endpoint;
+  m_bytes : int;
+  m_deliver : unit -> unit;
+  m_on_drop : unit -> unit;
+  mutable m_attempts : int;
+  mutable m_timer : Engine.handle option;
+  mutable m_done : bool;  (* acked or exhausted: timers become no-ops *)
+}
+
+(* Per directed hive pair: sender-side sequencing and in-flight window,
+   receiver-side dedup as a contiguous cutoff plus the sparse set of
+   out-of-order seqs above it. *)
+type link = {
+  mutable next_seq : int;
+  inflight : (int, msg) Hashtbl.t;
+  mutable cutoff : int;  (* every seq <= cutoff has been delivered *)
+  above : (int, unit) Hashtbl.t;
+}
+
+type t = {
+  engine : Engine.t;
+  channels : Channels.t;
+  rng : Rng.t;
+  alive : int -> bool;
+  cfg : config;
+  links : (int, link) Hashtbl.t;
+  mutable sent : int;
+  mutable retransmits : int;
+  mutable retransmit_bytes : int;
+  mutable delivered : int;
+  mutable duplicates : int;
+  mutable exhausted : int;
+}
+
+let create ?(config = default_config) ~engine ~rng ~alive channels =
+  {
+    engine;
+    channels;
+    rng;
+    alive;
+    cfg = config;
+    links = Hashtbl.create 32;
+    sent = 0;
+    retransmits = 0;
+    retransmit_bytes = 0;
+    delivered = 0;
+    duplicates = 0;
+    exhausted = 0;
+  }
+
+let link t ~sh ~dh =
+  let key = (sh * Channels.n_hives t.channels) + dh in
+  match Hashtbl.find_opt t.links key with
+  | Some l -> l
+  | None ->
+    let l =
+      { next_seq = 1; inflight = Hashtbl.create 8; cutoff = 0; above = Hashtbl.create 8 }
+    in
+    Hashtbl.replace t.links key l;
+    l
+
+let hive_of t ep =
+  match ep with
+  | Channels.Hive h -> h
+  | Channels.Switch s -> Channels.master_of t.channels s
+
+(* Exponential backoff capped at rto_max, plus uniform jitter so
+   synchronized retries de-correlate. [attempts] is the number already
+   made (>= 1). *)
+let rto t attempts =
+  let base = Simtime.to_us t.cfg.rto_initial in
+  let cap = Simtime.to_us t.cfg.rto_max in
+  let n = min (attempts - 1) 20 in
+  let d = min cap (base * (1 lsl n)) in
+  let jitter_bound = int_of_float (float_of_int d *. t.cfg.jitter_frac) in
+  let jitter = if jitter_bound > 0 then Rng.int t.rng jitter_bound else 0 in
+  Simtime.of_us (d + jitter)
+
+let seen l seq = seq <= l.cutoff || Hashtbl.mem l.above seq
+
+let mark_seen l seq =
+  if seq = l.cutoff + 1 then begin
+    l.cutoff <- seq;
+    (* Absorb any out-of-order arrivals now contiguous with the cutoff. *)
+    let rec absorb () =
+      if Hashtbl.mem l.above (l.cutoff + 1) then begin
+        Hashtbl.remove l.above (l.cutoff + 1);
+        l.cutoff <- l.cutoff + 1;
+        absorb ()
+      end
+    in
+    absorb ()
+  end
+  else if seq > l.cutoff then Hashtbl.replace l.above seq ()
+
+let send_ack t l m =
+  (* Acks ride the reverse link and are just as lossy; a lost ack is what
+     turns a retransmission into a duplicate at the receiver. *)
+  match
+    Channels.transfer_result t.channels ~src:m.m_dst ~dst:m.m_src
+      ~bytes:t.cfg.ack_bytes ~now:(Engine.now t.engine)
+  with
+  | `Lost -> ()
+  | `Delivered lat ->
+    ignore
+      (Engine.schedule_after t.engine lat (fun () ->
+           if not m.m_done then begin
+             m.m_done <- true;
+             (match m.m_timer with
+             | Some h ->
+               ignore (Engine.cancel t.engine h);
+               m.m_timer <- None
+             | None -> ());
+             Hashtbl.remove l.inflight m.m_seq
+           end))
+
+let receive t l m ~dh =
+  if t.alive dh then begin
+    if seen l m.m_seq then begin
+      t.duplicates <- t.duplicates + 1;
+      (* Historical-bug hook for the check harness: without dedup the
+         retransmitted copy is delivered a second time. *)
+      if !debug_disable_dedup then m.m_deliver ()
+    end
+    else begin
+      mark_seen l m.m_seq;
+      t.delivered <- t.delivered + 1;
+      m.m_deliver ()
+    end;
+    send_ack t l m
+  end
+(* else: the destination process is gone; the copy evaporates and the
+   sender's retransmission timer keeps trying until it exhausts or the
+   hive comes back. *)
+
+let rec attempt t l m ~dh =
+  let wire_bytes = m.m_bytes + t.cfg.header_bytes in
+  (match
+     Channels.transfer_result t.channels ~src:m.m_src ~dst:m.m_dst ~bytes:wire_bytes
+       ~now:(Engine.now t.engine)
+   with
+  | `Lost -> ()
+  | `Delivered lat ->
+    ignore (Engine.schedule_after t.engine lat (fun () -> receive t l m ~dh)));
+  arm_timer t l m ~dh
+
+and arm_timer t l m ~dh =
+  let d = rto t m.m_attempts in
+  m.m_timer <-
+    Some
+      (Engine.schedule_after t.engine d (fun () ->
+           if not m.m_done then
+             if m.m_attempts >= t.cfg.max_attempts then begin
+               m.m_done <- true;
+               m.m_timer <- None;
+               Hashtbl.remove l.inflight m.m_seq;
+               t.exhausted <- t.exhausted + 1;
+               m.m_on_drop ()
+             end
+             else begin
+               m.m_attempts <- m.m_attempts + 1;
+               t.retransmits <- t.retransmits + 1;
+               t.retransmit_bytes <- t.retransmit_bytes + m.m_bytes + t.cfg.header_bytes;
+               attempt t l m ~dh
+             end))
+
+let send t ~src ~dst ~bytes ?(on_drop = fun () -> ()) ~deliver () =
+  t.sent <- t.sent + 1;
+  if not (Channels.faulty t.channels) then begin
+    (* Healthy fabric: degenerate to a plain scheduled delivery with no
+       sequencing, acks, or timers — byte accounting and latency are
+       identical to the pre-transport platform. *)
+    match
+      Channels.transfer_result t.channels ~src ~dst ~bytes ~now:(Engine.now t.engine)
+    with
+    | `Lost -> on_drop ()
+    | `Delivered lat ->
+      t.delivered <- t.delivered + 1;
+      ignore (Engine.schedule_after t.engine lat deliver)
+  end
+  else begin
+    let sh = hive_of t src and dh = hive_of t dst in
+    let l = link t ~sh ~dh in
+    let m =
+      {
+        m_seq = l.next_seq;
+        m_src = src;
+        m_dst = dst;
+        m_bytes = bytes;
+        m_deliver = deliver;
+        m_on_drop = on_drop;
+        m_attempts = 1;
+        m_timer = None;
+        m_done = false;
+      }
+    in
+    l.next_seq <- l.next_seq + 1;
+    Hashtbl.replace l.inflight m.m_seq m;
+    attempt t l m ~dh
+  end
+
+let sent t = t.sent
+let retransmits t = t.retransmits
+let retransmit_bytes t = t.retransmit_bytes
+let delivered t = t.delivered
+let duplicates t = t.duplicates
+let exhausted t = t.exhausted
+
+let pending t =
+  Hashtbl.fold (fun _ l acc -> acc + Hashtbl.length l.inflight) t.links 0

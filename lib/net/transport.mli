@@ -1,0 +1,82 @@
+(** At-least-once inter-hive delivery on top of the failable fabric.
+
+    Every cross-hive platform message rides this layer: each directed
+    hive pair carries its own sequence-number stream, receivers ack every
+    copy they see and deduplicate by sequence number (a contiguous cutoff
+    plus the sparse out-of-order set above it), and senders retransmit
+    unacked messages with exponential backoff and jitter until acked or
+    [max_attempts] is exhausted.
+
+    On a healthy fabric ({!Channels.faulty} = false) {!send} degenerates
+    to a single scheduled delivery with no sequencing, acks, or timers,
+    so byte accounting and delivery latency are exactly those of the
+    underlying {!Channels} — fault-free experiments are unaffected by the
+    reliability machinery. *)
+
+type t
+
+type config = {
+  rto_initial : Beehive_sim.Simtime.t;
+      (** first retransmission timeout; should exceed one round trip *)
+  rto_max : Beehive_sim.Simtime.t;  (** backoff cap *)
+  jitter_frac : float;
+      (** uniform jitter added per timeout, as a fraction of it *)
+  max_attempts : int;
+      (** total attempts (first send included) before giving up *)
+  header_bytes : int;
+      (** per-copy framing overhead charged to the fabric *)
+  ack_bytes : int;  (** bytes charged for each ack on the reverse link *)
+}
+
+val default_config : config
+(** 600 us initial RTO doubling to a 12 ms cap with 25% jitter, 80
+    attempts (several hundred ms of persistence, enough to span nemesis
+    partition windows), zero header/ack bytes so default accounting
+    matches the pre-transport platform byte-for-byte. *)
+
+val create :
+  ?config:config ->
+  engine:Beehive_sim.Engine.t ->
+  rng:Beehive_sim.Rng.t ->
+  alive:(int -> bool) ->
+  Channels.t ->
+  t
+(** [alive h] tells the receiver side whether hive [h]'s process is up;
+    copies arriving at a dead hive evaporate (the sender keeps retrying,
+    so a message can outlive a crash-restart of its destination). Pass a
+    stream split from the engine RNG as [rng] (it drives retransmission
+    jitter). *)
+
+val send :
+  t ->
+  src:Channels.endpoint ->
+  dst:Channels.endpoint ->
+  bytes:int ->
+  ?on_drop:(unit -> unit) ->
+  deliver:(unit -> unit) ->
+  unit ->
+  unit
+(** Reliably delivers one message: [deliver] runs exactly once at the
+    simulated arrival instant (duplicates are suppressed at the
+    receiver), or [on_drop] runs if every attempt is lost. *)
+
+(** {2 Counters} *)
+
+val sent : t -> int  (** distinct messages accepted by {!send} *)
+
+val delivered : t -> int  (** distinct messages delivered (first copies) *)
+
+val retransmits : t -> int  (** extra copies sent by timeout *)
+
+val retransmit_bytes : t -> int
+
+val duplicates : t -> int  (** copies suppressed by receiver dedup *)
+
+val exhausted : t -> int  (** messages dropped after [max_attempts] *)
+
+val pending : t -> int  (** unacked messages currently in flight *)
+
+val debug_disable_dedup : bool ref
+(** Fault-injection hook for the check harness ([--inject-bug dedup-off]):
+    when set, receivers deliver duplicate copies instead of suppressing
+    them, which must trip the no-duplication monitor. *)

@@ -87,7 +87,7 @@ let prop_accounting_consistent =
    must pass every applicable monitor. *)
 let prop_nemesis_seeds_pass =
   QCheck.Test.make ~name:"nemesis sweeps pass on every profile" ~count:20
-    QCheck.(pair (int_bound 10_000) (int_bound 3))
+    QCheck.(pair (int_bound 10_000) (int_bound 4))
     (fun (seed, profile_i) ->
       let profile = List.nth Script.all_profiles profile_i in
       let _script, outcome = Runner.run_seed (Runner.make_cfg ~seed profile) in

@@ -1,6 +1,8 @@
 (* The beehive_check harness itself: corpus replay, the forwarding-bug
-   self-test (a deliberately re-introduced historical bug must be caught
-   and shrunk), fail/restart edge cases, and the shrinker. *)
+   and dedup-off self-tests (deliberately re-introduced historical bugs
+   must be caught and shrunk), fail/restart edge cases, the failure
+   detector's eviction/rejoin behavior, partition-profile scripts, and
+   the shrinker. *)
 
 open Helpers
 module Script = Beehive_check.Script
@@ -9,6 +11,8 @@ module Monitor = Beehive_check.Monitor
 module Runner = Beehive_check.Runner
 module Shrink = Beehive_check.Shrink
 module Check = Beehive_check.Check
+module Failure_detector = Beehive_core.Failure_detector
+module Transport = Beehive_net.Transport
 
 (* --- Regression seed corpus ------------------------------------------ *)
 
@@ -76,6 +80,191 @@ let test_catches_forwarding_bug () =
         "violated a delivery monitor" true
         (List.mem f.Check.f_violation.Monitor.v_monitor
            [ "no-loss"; "no-duplication"; "durable-ownership" ]))
+
+(* A disabled receiver dedup (the transport's other half) must equally be
+   caught by the partition profile's lossy windows: a lost ack forces a
+   retransmission whose copy is now applied twice, tripping
+   no-duplication. *)
+let test_catches_dedup_bug () =
+  Transport.debug_disable_dedup := true;
+  Fun.protect
+    ~finally:(fun () -> Transport.debug_disable_dedup := false)
+    (fun () ->
+      let rec sweep first_seed =
+        if first_seed >= 200 then Alcotest.fail "bug not caught within 200 seeds"
+        else
+          let report = Check.run ~first_seed ~seeds:10 Script.Partition in
+          match report.Check.rp_failures with
+          | [] -> sweep (first_seed + 10)
+          | f :: _ -> f
+      in
+      let f = sweep 0 in
+      Alcotest.(check bool)
+        "shrunk to at most 6 events" true
+        (List.length f.Check.f_shrunk <= 6);
+      Alcotest.(check bool)
+        "shrunk trace replays deterministically" true f.Check.f_replays;
+      Alcotest.(check bool)
+        "violated a delivery monitor" true
+        (List.mem f.Check.f_violation.Monitor.v_monitor
+           [ "no-duplication"; "no-loss" ]))
+
+(* --- Failure detector: eviction, failover, rejoin -------------------- *)
+
+(* A genuinely crashed hive is detected by heartbeat silence and failed
+   over without anyone calling fail_hive: the bees of replicated apps
+   reappear on live hives with their state. *)
+let test_detector_fails_over_crashed_hive () =
+  let engine, platform =
+    make_platform ~replication:true ~apps:[ replicated_kv_app () ] ()
+  in
+  let det = Failure_detector.install platform () in
+  for i = 0 to 5 do
+    put platform ~from:(i mod 4) ~key:(Printf.sprintf "k%d" i) ~value:1
+  done;
+  drain engine;
+  let owner = owner_exn platform ~app:"test.kv" "k0" in
+  let hive = (Option.get (Platform.bee_view platform owner)).Platform.view_hive in
+  Platform.crash_hive platform hive;
+  run_for engine 0.02;
+  Alcotest.(check bool) "silence was confirmed" true
+    (Failure_detector.evictions det >= 1);
+  Alcotest.(check bool) "crashed hive is suspected" true
+    (List.mem hive (Failure_detector.suspected det));
+  let owner' = owner_exn platform ~app:"test.kv" "k0" in
+  let hive' = (Option.get (Platform.bee_view platform owner')).Platform.view_hive in
+  Alcotest.(check bool) "owner failed over to a live hive" true
+    (hive' <> hive && Platform.hive_alive platform hive');
+  Alcotest.(check (option int)) "replicated state recovered" (Some 1)
+    (store_value platform ~bee:owner' ~key:"k0");
+  Beehive_core.Registry.check_invariant (Platform.registry platform)
+
+(* A false positive: an isolated-but-running hive gets evicted (its
+   unrecoverable bees fenced in place), then heals back in when its
+   heartbeats get through again — carrying a stale incarnation that is
+   rejected — with no state lost and no bee left paused. *)
+let test_detector_evicts_and_rejoins_isolated_hive () =
+  let engine, platform = durable_platform ~apps:[ kv_app () ] () in
+  let det = Failure_detector.install platform () in
+  for i = 0 to 7 do
+    put platform ~from:(i mod 4) ~key:(Printf.sprintf "k%d" i) ~value:1
+  done;
+  drain engine;
+  (* Remember what the victim hive owns before the network turns on it. *)
+  let victim = 2 in
+  let held_before =
+    List.filter_map
+      (fun i ->
+        let key = Printf.sprintf "k%d" i in
+        let bee = owner_exn platform ~app:"test.kv" key in
+        let v = Option.get (Platform.bee_view platform bee) in
+        if v.Platform.view_hive = victim then Some (key, bee) else None)
+      [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+  in
+  let chans = Platform.channels platform in
+  List.iter
+    (fun p -> if p <> victim then Beehive_net.Channels.partition chans ~a:victim ~b:p)
+    [ 0; 1; 2; 3 ];
+  run_for engine 0.02;
+  Alcotest.(check bool) "victim evicted" true (Platform.hive_fenced platform victim);
+  Alcotest.(check (list int)) "exactly the victim suspected" [ victim ]
+    (Failure_detector.suspected det);
+  Beehive_net.Channels.heal_all chans;
+  run_for engine 0.02;
+  Alcotest.(check bool) "victim rejoined" true (Platform.hive_alive platform victim);
+  Alcotest.(check bool) "detector converged" true (Failure_detector.converged det);
+  Alcotest.(check bool) "stale incarnation claim rejected" true
+    (Failure_detector.stale_claims det >= 1);
+  Alcotest.(check int) "no bee left paused" 0 (Platform.paused_bees platform);
+  List.iter
+    (fun (key, bee) ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "fenced state of %s intact after rejoin" key)
+        (Some 1)
+        (store_value platform ~bee ~key))
+    held_before;
+  Beehive_core.Registry.check_invariant (Platform.registry platform)
+
+(* A symmetric 2-2 split leaves both sides below the majority quorum of
+   the full cluster: nobody may be evicted, and the split just heals. *)
+let test_quorum_blocks_minority_eviction () =
+  let engine, platform = make_platform ~apps:[ kv_app () ] () in
+  let det = Failure_detector.install platform () in
+  put platform ~from:0 ~key:"a" ~value:1;
+  drain engine;
+  let chans = Platform.channels platform in
+  List.iter
+    (fun (a, b) -> Beehive_net.Channels.partition chans ~a ~b)
+    [ (0, 2); (0, 3); (1, 2); (1, 3) ];
+  run_for engine 0.03;
+  Alcotest.(check int) "no eviction below quorum" 0 (Failure_detector.evictions det);
+  for h = 0 to 3 do
+    Alcotest.(check bool)
+      (Printf.sprintf "hive %d still in membership" h)
+      true
+      (Platform.hive_alive platform h)
+  done;
+  Beehive_net.Channels.heal_all chans;
+  run_for engine 0.01;
+  Alcotest.(check bool) "converged after heal" true (Failure_detector.converged det)
+
+(* --- Partition-profile scripts --------------------------------------- *)
+
+let exec_partition ?(seed = 7) script =
+  Runner.execute (Runner.make_cfg ~seed Script.Partition) script
+
+(* Isolate a hive mid-workload, keep writing through the outage, heal:
+   every put must land exactly once (no-loss stays armed — the script is
+   crash-free) and membership must reconverge. *)
+let test_partition_then_heal_script () =
+  let script =
+    [
+      Script.Put { at_us = 1_000; key = 0; from_hive = 0 };
+      Script.Put { at_us = 2_000; key = 1; from_hive = 1 };
+      Script.Put { at_us = 3_000; key = 2; from_hive = 2 };
+      (* Cut hive 1 off from every peer... *)
+      Script.Partition_pair { at_us = 5_000; a = 1; b = 0 };
+      Script.Partition_pair { at_us = 5_000; a = 1; b = 2 };
+      Script.Partition_pair { at_us = 5_000; a = 1; b = 3 };
+      (* ...write into the outage (owners on hive 1 are unreachable;
+         the transport must buffer and retry across the heal)... *)
+      Script.Put { at_us = 8_000; key = 1; from_hive = 2 };
+      Script.Put { at_us = 9_000; key = 0; from_hive = 3 };
+      Script.Put { at_us = 10_000; key = 2; from_hive = 0 };
+      (* ...heal well before the horizon so the detector can walk the
+         evicted hive back in. *)
+      Script.Heal { at_us = 16_000 };
+      Script.Put { at_us = 22_000; key = 1; from_hive = 0 };
+    ]
+  in
+  match exec_partition script with
+  | Runner.Pass s ->
+    Alcotest.(check bool) "transport had to retransmit" true (s.Runner.s_retransmits > 0)
+  | Runner.Fail v -> Alcotest.fail (Format.asprintf "%a" Monitor.pp_violation v)
+
+(* A full-horizon 1% lossy window: the no-loss monitor must still hold,
+   i.e. retransmission — not luck — carries every put through. Checked
+   over several engine seeds (different loss rolls); every run must pass
+   and the loss must actually have bitten in at least one of them. *)
+let test_loss_window_holds_no_loss () =
+  let puts =
+    List.init 200 (fun i ->
+        Script.Put { at_us = 500 + (i * 140); key = i mod 6; from_hive = i mod 4 })
+  in
+  let script =
+    Script.sort_ops
+      (Script.Drop_links { at_us = 400; loss = 0.01; dur_us = 29_000 } :: puts)
+  in
+  let total_retransmits = ref 0 in
+  List.iter
+    (fun seed ->
+      match exec_partition ~seed script with
+      | Runner.Pass s -> total_retransmits := !total_retransmits + s.Runner.s_retransmits
+      | Runner.Fail v ->
+        Alcotest.fail (Format.asprintf "seed %d: %a" seed Monitor.pp_violation v))
+    [ 1; 2; 3 ];
+  Alcotest.(check bool) "loss actually bit (retransmissions happened)" true
+    (!total_retransmits > 0)
 
 (* --- fail_hive / restart_hive edge cases ----------------------------- *)
 
@@ -195,6 +384,18 @@ let suite =
         Alcotest.test_case "seed corpus replays clean" `Quick test_corpus_replays_clean;
         Alcotest.test_case "catches re-introduced forwarding bug" `Quick
           test_catches_forwarding_bug;
+        Alcotest.test_case "catches disabled transport dedup" `Quick
+          test_catches_dedup_bug;
+        Alcotest.test_case "detector fails over a crashed hive" `Quick
+          test_detector_fails_over_crashed_hive;
+        Alcotest.test_case "detector evicts and rejoins an isolated hive" `Quick
+          test_detector_evicts_and_rejoins_isolated_hive;
+        Alcotest.test_case "quorum blocks minority eviction" `Quick
+          test_quorum_blocks_minority_eviction;
+        Alcotest.test_case "partition-then-heal script converges" `Quick
+          test_partition_then_heal_script;
+        Alcotest.test_case "1% loss window holds no-loss" `Quick
+          test_loss_window_holds_no_loss;
         Alcotest.test_case "crash with durability disabled" `Quick
           test_crash_without_durability;
         Alcotest.test_case "double fail_hive is idempotent" `Quick
