@@ -303,6 +303,37 @@ let ablation_durability () =
     (List.fold_left (fun a (_, e) -> a + List.length e) 0 before)
     identical (P.total_fsyncs platform)
 
+let ablation_elastic () =
+  (* Elasticity, measured: how much of the cluster's work the busiest
+     hive carries before and after joining fresh hives, and how long a
+     full drain of the busiest hive takes at increasing cluster sizes. *)
+  let module E = Beehive_harness.Elastic_exp in
+  Format.printf "##### Ablation: elastic scale-out / scale-in #####@.";
+  Format.printf "%-8s %-8s %-14s %-14s %-12s %-14s %-10s@." "hives" "joins"
+    "busy before" "busy after" "rebalances" "drain ms" "checks";
+  let sizes = if full_scale then [ (4, 2); (8, 4); (16, 8) ] else [ (4, 2); (8, 4) ] in
+  let all_ok = ref true in
+  List.iter
+    (fun (hives, joins) ->
+      let report =
+        E.run
+          ~config:
+            { E.default_config with E.e_hives = hives; e_joins = joins; e_keys = 6 * hives }
+          ()
+      in
+      let checks = E.checks report in
+      let ok = List.for_all snd checks in
+      if not ok then all_ok := false;
+      Format.printf "%-8d %-8d %-14s %-14s %-12d %-14.1f %-10s@." hives joins
+        (Printf.sprintf "%.1f%%" (100.0 *. report.E.r_before.E.p_busiest_share))
+        (Printf.sprintf "%.1f%%" (100.0 *. report.E.r_scaled.E.p_busiest_share))
+        report.E.r_rebalance_migrations
+        (float_of_int report.E.r_last_drain_us /. 1000.0)
+        (if ok then "ok" else "FAIL"))
+    sizes;
+  Format.printf "@.";
+  if not !all_ok then exit 1
+
 let ablation_loss () =
   (* Cost of reliability under a degrading fabric: the same cross-hive
      write workload at increasing link-loss rates. Delivered counts stay
@@ -536,6 +567,7 @@ let sections =
     ("replication", ablation_replication);
     ("durability", ablation_durability);
     ("loss", ablation_loss);
+    ("elastic", ablation_elastic);
     ("micro", run_microbenches);
   ]
 
@@ -558,6 +590,7 @@ let () =
     ablation_replication ();
     ablation_durability ();
     ablation_loss ();
+    ablation_elastic ();
     run_microbenches ();
     if not ok then begin
       Format.printf "SHAPE CHECKS FAILED@.";

@@ -127,8 +127,8 @@ let check_cmd =
          & opt (list (conv (parse, print))) Script.all_profiles
          & info [ "profile" ] ~docs
              ~doc:"Fault profile(s): $(b,migration), $(b,durability), $(b,raft), \
-                   $(b,partition), $(b,all), or a comma-separated list. Default: \
-                   every profile.")
+                   $(b,partition), $(b,elastic), $(b,all), or a comma-separated \
+                   list. Default: every profile.")
   in
   let trace_dir =
     Arg.(value & opt (some string) None
@@ -183,6 +183,57 @@ let check_cmd =
     Term.(const run $ seeds $ first_seed $ ticks $ hives $ profile $ trace_dir
           $ inject_bug)
 
+let scale_cmd =
+  let module E = Beehive_harness.Elastic_exp in
+  let doc =
+    "Elastic membership demo: join hives into a loaded cluster (busy share must \
+     drop), then drain and decommission the busiest hive (the drain must complete \
+     with zero cells)."
+  in
+  let docs = "SCALE PARAMETERS" in
+  let hives =
+    Arg.(value & opt int E.default_config.E.e_hives
+         & info [ "hives" ] ~docs ~doc:"Initial cluster size.")
+  in
+  let joins =
+    Arg.(value & opt int E.default_config.E.e_joins
+         & info [ "joins" ] ~docs ~doc:"Hives to join before the second phase.")
+  in
+  let keys =
+    Arg.(value & opt int E.default_config.E.e_keys
+         & info [ "keys" ] ~docs ~doc:"Counter keys in the workload.")
+  in
+  let phase =
+    Arg.(value & opt float 5.0
+         & info [ "phase" ] ~docs ~doc:"Measured seconds per phase (simulated).")
+  in
+  let seed =
+    Arg.(value & opt int E.default_config.E.e_seed
+         & info [ "seed" ] ~docs ~doc:"Deterministic simulation seed.")
+  in
+  let run hives joins keys phase seed =
+    let config =
+      {
+        E.default_config with
+        E.e_hives = hives;
+        e_joins = joins;
+        e_keys = keys;
+        e_phase = Simtime.of_sec phase;
+        e_seed = seed;
+      }
+    in
+    let report = E.run ~config () in
+    Format.printf "%a@." E.render report;
+    let checks = E.checks report in
+    List.iter
+      (fun (label, ok) ->
+        Format.printf "%s %s@." (if ok then "[ok]  " else "[FAIL]") label)
+      checks;
+    if List.exists (fun (_, ok) -> not ok) checks then exit 1
+  in
+  Cmd.v (Cmd.info "scale" ~doc)
+    Term.(const run $ hives $ joins $ keys $ phase $ seed)
+
 let feedback_cmd =
   let doc = "Run the naive TE and print the design-bottleneck feedback (Section 5)." in
   let run cfg =
@@ -204,6 +255,7 @@ let main =
       fig4_all;
       feedback_cmd;
       check_cmd;
+      scale_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -9,6 +9,8 @@ module Value = Beehive_core.Value
 module Raft_replication = Beehive_core.Raft_replication
 module Failure_detector = Beehive_core.Failure_detector
 module Raft = Beehive_raft.Raft
+module Membership = Beehive_elastic.Membership
+module Drain = Beehive_elastic.Drain
 
 type ctx = {
   cx_engine : Engine.t;
@@ -18,6 +20,7 @@ type ctx = {
   cx_puts : (string, int) Hashtbl.t;
   cx_raft : Raft_replication.t option;
   cx_detector : Failure_detector.t option;
+  cx_membership : Membership.t option;
   cx_crashes : bool;
 }
 
@@ -239,7 +242,13 @@ let membership_convergence =
         let n = Platform.n_hives p in
         let dead = ref None in
         for h = 0 to n - 1 do
-          if !dead = None && not (Platform.hive_alive p h) then
+          (* Decommissioned hives left on purpose — they are not members
+             anymore and owe the cluster nothing. *)
+          if
+            !dead = None
+            && (not (Platform.hive_decommissioned p h))
+            && not (Platform.hive_alive p h)
+          then
             dead :=
               Some
                 (Printf.sprintf "hive %d still %s after the final heal" h
@@ -274,6 +283,66 @@ let membership_convergence =
                 (model_keys ctx)));
   }
 
+(* Every drain that started must have run to completion by the time the
+   run quiesces, and completion must mean what it claims: zero cells on
+   the hive, zero in-flight inbound transfers, and — when the drain asked
+   for it — the hive actually decommissioned. The "drain loses nothing"
+   half is covered by no-loss/durable-ownership running alongside. *)
+let drain_completeness =
+  {
+    m_name = "drain-completeness";
+    m_phase = Final;
+    m_check =
+      (fun ctx ->
+        match ctx.cx_membership with
+        | None -> None
+        | Some mem -> (
+          let p = ctx.cx_platform in
+          let reg = Platform.registry p in
+          match Membership.incomplete_drains mem with
+          | h :: _ ->
+            Some
+              (Printf.sprintf
+                 "drain of hive %d never completed (%d cells, %d inbound transfers)"
+                 h
+                 (Registry.cells_on_hive reg ~hive:h)
+                 (Platform.inbound_transfers p h))
+          | [] ->
+            let check_hive h =
+              match Membership.drain_record mem h with
+              | None -> None
+              | Some d ->
+                let cells = Registry.cells_on_hive reg ~hive:h in
+                let inbound = Platform.inbound_transfers p h in
+                if cells > 0 && Platform.hive_decommissioned p h then
+                  Some
+                    (Printf.sprintf "hive %d decommissioned but still owns %d cells"
+                       h cells)
+                else if inbound > 0 && not (Platform.placeable p h) then
+                  Some
+                    (Printf.sprintf
+                       "hive %d finished draining with %d inbound transfers in \
+                        flight"
+                       h inbound)
+                else if
+                  Drain.auto_decommission d
+                  && Drain.state d = Drain.Completed
+                  && not (Platform.hive_decommissioned p h)
+                then
+                  Some
+                    (Printf.sprintf
+                       "hive %d's drain completed with auto-decommission but the \
+                        hive is still %s"
+                       h (Platform.hive_state_label (Platform.hive_state p h)))
+                else None
+            in
+            let rec scan h =
+              if h >= Platform.n_hives p then None
+              else match check_hive h with Some _ as v -> v | None -> scan (h + 1)
+            in
+            scan 0));
+  }
+
 let storm ~budget =
   let last = ref 0 in
   {
@@ -302,4 +371,5 @@ let defaults ~storm_budget =
     no_loss;
     durable_ownership;
     membership_convergence;
+    drain_completeness;
   ]

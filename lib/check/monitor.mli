@@ -13,6 +13,7 @@ module Engine = Beehive_sim.Engine
 module Platform = Beehive_core.Platform
 module Raft_replication = Beehive_core.Raft_replication
 module Failure_detector = Beehive_core.Failure_detector
+module Membership = Beehive_elastic.Membership
 
 type ctx = {
   cx_engine : Engine.t;
@@ -26,6 +27,9 @@ type ctx = {
   cx_detector : Failure_detector.t option;
       (** installed for fabric-fault profiles; lets the convergence
           monitor read residual suspicion *)
+  cx_membership : Membership.t option;
+      (** installed for the elastic profile; lets the drain-completeness
+          monitor read drain records *)
   cx_crashes : bool;  (** the script being executed contains [Fail] ops *)
 }
 
@@ -83,10 +87,17 @@ val raft_prefix : t
     without Raft. *)
 
 val membership_convergence : t
-(** After the final heal and drain: every hive is back in membership, the
-    failure detector (when installed) suspects nobody, no bee is left
-    paused or fenced, and every key's owner lives on an alive hive — a
-    partitioned-then-healed hive has rejoined without double ownership. *)
+(** After the final heal and drain: every non-decommissioned hive is back
+    in membership, the failure detector (when installed) suspects nobody,
+    no bee is left paused or fenced, and every key's owner lives on an
+    alive hive — a partitioned-then-healed hive has rejoined without
+    double ownership. *)
+
+val drain_completeness : t
+(** Every drain that started has completed by quiesce — zero cells on the
+    hive, zero in-flight inbound transfers — and drains that asked for
+    auto-decommission actually removed the hive. Skips itself without an
+    elastic membership manager. *)
 
 val storm : budget:int -> t
 (** Event-storm detector: fails if more than [budget] engine events

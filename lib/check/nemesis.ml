@@ -3,33 +3,37 @@ module Rng = Beehive_sim.Rng
 let n_keys = 6
 
 (* Per-profile fault mix, in cumulative percent. Order: put, read_all,
-   migrate, fail, drop_links, partition, spike (restarts are paired with
-   fails below, heals with partitions). Profiles without a fault kind
-   give its branch zero width. *)
+   migrate, fail, drop_links, partition, elastic, spike (restarts are
+   paired with fails below, heals with partitions). Profiles without a
+   fault kind give its branch zero width. *)
 let weights = function
-  | Script.Migration -> (60, 72, 92, 92, 92, 92, 100)
-  | Script.Durability -> (50, 58, 73, 88, 88, 88, 100)
-  | Script.Raft -> (55, 55, 67, 85, 85, 85, 100)
-  | Script.Partition -> (45, 55, 65, 65, 80, 92, 100)
-  | Script.All -> (45, 55, 70, 85, 91, 96, 100)
+  | Script.Migration -> (60, 72, 92, 92, 92, 92, 92, 100)
+  | Script.Durability -> (50, 58, 73, 88, 88, 88, 88, 100)
+  | Script.Raft -> (55, 55, 67, 85, 85, 85, 85, 100)
+  | Script.Partition -> (45, 55, 65, 65, 80, 92, 92, 100)
+  | Script.Elastic -> (40, 48, 58, 66, 70, 78, 96, 100)
+  | Script.All -> (45, 55, 70, 85, 91, 96, 96, 100)
 
 let generate ~rng ~profile ~n_hives ~ticks =
   if ticks <= 0 then invalid_arg "Nemesis.generate: ticks must be positive";
   let horizon_us = ticks * 1000 in
   let n_ops = 20 + ticks in
-  let p_put, p_read, p_mig, p_fail, p_drop, p_part, _ = weights profile in
+  let p_put, p_read, p_mig, p_fail, p_drop, p_part, p_elastic, _ = weights profile in
+  (* Elastic scripts may target hives that only exist once a mid-run join
+     lands; the runner treats ops aimed at not-yet-joined ids as no-ops. *)
+  let id_space = if profile = Script.Elastic then n_hives + 2 else n_hives in
   let ops = ref [] in
   let push op = ops := op :: !ops in
   for _ = 1 to n_ops do
     let at_us = Rng.int rng horizon_us in
     let roll = Rng.int rng 100 in
     if roll < p_put then
-      push (Script.Put { at_us; key = Rng.int rng n_keys; from_hive = Rng.int rng n_hives })
-    else if roll < p_read then push (Script.Read_all { at_us; from_hive = Rng.int rng n_hives })
+      push (Script.Put { at_us; key = Rng.int rng n_keys; from_hive = Rng.int rng id_space })
+    else if roll < p_read then push (Script.Read_all { at_us; from_hive = Rng.int rng id_space })
     else if roll < p_mig then
-      push (Script.Migrate { at_us; key = Rng.int rng n_keys; to_hive = Rng.int rng n_hives })
+      push (Script.Migrate { at_us; key = Rng.int rng n_keys; to_hive = Rng.int rng id_space })
     else if roll < p_fail then begin
-      let hive = Rng.int rng n_hives in
+      let hive = Rng.int rng id_space in
       push (Script.Fail { at_us; hive });
       (* Usually bring it back while the run is still hot, so recovery
          races against live traffic instead of only against the final
@@ -53,10 +57,12 @@ let generate ~rng ~profile ~n_hives ~ticks =
       if Rng.int rng 10 < 3 then begin
         (* Isolate one hive from every peer, long enough for the
            detector to confirm suspicion, evict it and (after the heal)
-           walk it back in — the false-positive path. *)
-        let hive = Rng.int rng n_hives in
+           walk it back in — the false-positive path. In the elastic
+           profile this can hit a freshly joined hive: isolation right
+           after a join is one of the drain-under-fault corpus shapes. *)
+        let hive = Rng.int rng id_space in
         let dur_us = 4000 + Rng.int rng 10_000 in
-        for p = 0 to n_hives - 1 do
+        for p = 0 to id_space - 1 do
           if p <> hive then push (Script.Partition_pair { at_us; a = hive; b = p })
         done;
         push (Script.Heal { at_us = min horizon_us (at_us + dur_us) })
@@ -64,14 +70,27 @@ let generate ~rng ~profile ~n_hives ~ticks =
       else begin
         (* A pairwise cut: below quorum, so nobody gets evicted and
            traffic between the pair just buffers until the heal. *)
-        let a = Rng.int rng n_hives in
-        let b = Rng.int rng n_hives in
+        let a = Rng.int rng id_space in
+        let b = Rng.int rng id_space in
         if a <> b then begin
           push (Script.Partition_pair { at_us; a; b });
           push
             (Script.Heal { at_us = min horizon_us (at_us + 2000 + Rng.int rng 8000) })
         end
       end
+    end
+    else if roll < p_elastic then begin
+      (* Membership churn. Drains and decommissions aim anywhere in the
+         id space — including hives that join mid-run, and hives that are
+         crashed, already draining, or not yet joined at apply time (the
+         runner and the membership guards turn those into no-ops). *)
+      let sub = Rng.int rng 10 in
+      if sub < 4 then push (Script.Add_hive { at_us })
+      else if sub < 8 then
+        push
+          (Script.Drain_hive
+             { at_us; hive = Rng.int rng id_space; decom = Rng.int rng 2 = 0 })
+      else push (Script.Decommission_hive { at_us; hive = Rng.int rng id_space })
     end
     else if profile = Script.Partition then
       push

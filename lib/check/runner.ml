@@ -13,6 +13,7 @@ module Raft_replication = Beehive_core.Raft_replication
 module Failure_detector = Beehive_core.Failure_detector
 module Transport = Beehive_net.Transport
 module Store = Beehive_store.Store
+module Membership = Beehive_elastic.Membership
 
 type Message.payload +=
   | Ck_put of string
@@ -86,19 +87,31 @@ type outcome =
 
 let with_durability = function
   | Script.Migration -> false
-  | Script.Durability | Script.Raft | Script.Partition | Script.All -> true
+  | Script.Durability | Script.Raft | Script.Partition | Script.Elastic | Script.All
+    -> true
 
 let with_raft = function
-  | Script.Raft | Script.All -> true
+  | Script.Raft | Script.Elastic | Script.All -> true
   | Script.Migration | Script.Durability | Script.Partition -> false
 
-(* The failure detector owns membership only in the fabric-fault profile:
-   there, eviction/rejoin of partitioned hives is the behavior under
-   test. The crash profiles keep driving fail_hive/restart_hive by hand
-   so their scripts stay the sole membership authority. *)
+(* The failure detector owns membership only in the fabric-fault and
+   elastic profiles: there, eviction/rejoin of partitioned hives — and,
+   for elastic, the quorum denominator tracking joins and
+   decommissions — is the behavior under test. The crash profiles keep
+   driving fail_hive/restart_hive by hand so their scripts stay the sole
+   membership authority. *)
 let with_detector = function
-  | Script.Partition -> true
+  | Script.Partition | Script.Elastic -> true
   | Script.Migration | Script.Durability | Script.Raft | Script.All -> false
+
+let with_elastic = function
+  | Script.Elastic -> true
+  | Script.Migration | Script.Durability | Script.Raft | Script.Partition
+  | Script.All -> false
+
+(* Joins are unbounded in scripts; cap actual growth so shrunk traces
+   stay readable and the id space the nemesis draws from stays honest. *)
+let max_joins = 2
 
 let execute cfg ops =
   let engine = Engine.create ~seed:cfg.r_seed () in
@@ -122,6 +135,10 @@ let execute cfg ops =
       Some (Failure_detector.install platform ())
     else None
   in
+  let membership =
+    if with_elastic cfg.r_profile then Some (Membership.create ?raft platform)
+    else None
+  in
   Platform.start platform;
   let puts = Hashtbl.create 16 in
   let n_puts = ref 0 in
@@ -134,6 +151,7 @@ let execute cfg ops =
       cx_puts = puts;
       cx_raft = raft;
       cx_detector = detector;
+      cx_membership = membership;
       cx_crashes = Script.has_crash ops;
     }
   in
@@ -193,7 +211,8 @@ let execute cfg ops =
       | Some bee -> ignore (Platform.migrate_bee platform ~bee ~to_hive ~reason:"nemesis")
       | None -> ())
     | Script.Fail { hive; _ } -> Platform.fail_hive platform hive
-    | Script.Restart { hive; _ } -> do_restart hive
+    | Script.Restart { hive; _ } ->
+      if Platform.hive_crashed platform hive then do_restart hive
     | Script.Spike { factor; dur_us; _ } ->
       Channels.set_latency_factor (Platform.channels platform) factor;
       ignore
@@ -205,7 +224,9 @@ let execute cfg ops =
         (Engine.schedule_after engine (Simtime.of_us dur_us) (fun () ->
              Channels.set_loss (Platform.channels platform) 0.0))
     | Script.Partition_pair { a; b; _ } ->
-      if a <> b then Channels.partition (Platform.channels platform) ~a ~b
+      (* Elastic scripts may aim at ids whose join never landed. *)
+      if a <> b && a < Platform.n_hives platform && b < Platform.n_hives platform
+      then Channels.partition (Platform.channels platform) ~a ~b
     | Script.Heal _ -> Channels.heal_all (Platform.channels platform)
     | Script.Spike_link { src; dst; factor; dur_us; _ } ->
       if src <> dst then begin
@@ -215,6 +236,22 @@ let execute cfg ops =
                Channels.set_link_latency_factor (Platform.channels platform) ~src ~dst
                  1.0))
       end
+    | Script.Add_hive _ -> (
+      match membership with
+      | Some m when Membership.joins m < max_joins -> ignore (Membership.add_hive m)
+      | Some _ | None -> ())
+    | Script.Drain_hive { hive; decom; _ } -> (
+      match membership with
+      | Some m ->
+        (* The drain refuses on its own when the hive is gone, already
+           draining, or too few placeable hives would remain. *)
+        ignore (Membership.drain m ~auto_decommission:decom hive)
+      | None -> ())
+    | Script.Decommission_hive { hive; _ } -> (
+      match membership with
+      | Some m when hive < Platform.n_hives platform ->
+        ignore (Membership.decommission m hive)
+      | Some _ | None -> ())
   in
   List.iter
     (fun op ->
@@ -232,7 +269,7 @@ let execute cfg ops =
        judge. *)
     Channels.heal_all (Platform.channels platform);
     Channels.set_loss (Platform.channels platform) 0.0;
-    for h = 0 to cfg.r_n_hives - 1 do
+    for h = 0 to Platform.n_hives platform - 1 do
       if Platform.hive_crashed platform h then do_restart h
     done;
     Engine.run_until engine (Simtime.add (Engine.now engine) (Simtime.of_sec 2.0));

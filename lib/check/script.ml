@@ -3,6 +3,7 @@ type profile =
   | Durability
   | Raft
   | Partition
+  | Elastic
   | All
 
 let profile_of_string = function
@@ -10,19 +11,22 @@ let profile_of_string = function
   | "durability" -> Ok Durability
   | "raft" -> Ok Raft
   | "partition" -> Ok Partition
+  | "elastic" -> Ok Elastic
   | "all" -> Ok All
   | s ->
     Error
-      (Printf.sprintf "unknown profile %S (migration|durability|raft|partition|all)" s)
+      (Printf.sprintf
+         "unknown profile %S (migration|durability|raft|partition|elastic|all)" s)
 
 let profile_to_string = function
   | Migration -> "migration"
   | Durability -> "durability"
   | Raft -> "raft"
   | Partition -> "partition"
+  | Elastic -> "elastic"
   | All -> "all"
 
-let all_profiles = [ Migration; Durability; Raft; Partition; All ]
+let all_profiles = [ Migration; Durability; Raft; Partition; Elastic; All ]
 
 type op =
   | Put of { at_us : int; key : int; from_hive : int }
@@ -35,6 +39,9 @@ type op =
   | Partition_pair of { at_us : int; a : int; b : int }
   | Heal of { at_us : int }
   | Spike_link of { at_us : int; src : int; dst : int; factor : float; dur_us : int }
+  | Add_hive of { at_us : int }
+  | Drain_hive of { at_us : int; hive : int; decom : bool }
+  | Decommission_hive of { at_us : int; hive : int }
 
 let at_us = function
   | Put { at_us; _ }
@@ -46,7 +53,10 @@ let at_us = function
   | Drop_links { at_us; _ }
   | Partition_pair { at_us; _ }
   | Heal { at_us; _ }
-  | Spike_link { at_us; _ } -> at_us
+  | Spike_link { at_us; _ }
+  | Add_hive { at_us; _ }
+  | Drain_hive { at_us; _ }
+  | Decommission_hive { at_us; _ } -> at_us
 
 let sort_ops ops = List.stable_sort (fun a b -> Int.compare (at_us a) (at_us b)) ops
 
@@ -71,6 +81,11 @@ let pp_op ppf = function
   | Spike_link { src; dst; factor; dur_us; _ } ->
     Format.fprintf ppf "latency spike x%.1f on link %d->%d for %.3fms" factor src dst
       (float_of_int dur_us /. 1000.0)
+  | Add_hive _ -> Format.fprintf ppf "join a new hive"
+  | Drain_hive { hive; decom; _ } ->
+    Format.fprintf ppf "drain hive %d%s" hive
+      (if decom then " (decommission on completion)" else "")
+  | Decommission_hive { hive; _ } -> Format.fprintf ppf "decommission hive %d" hive
 
 let pp_timeline ppf ops =
   List.iteri

@@ -18,6 +18,12 @@ type profile =
           installed. Crash-free by construction, so the exact no-loss
           monitor stays armed: every put must survive the chaos {e because
           of} retransmission, dedup and fence-buffering. *)
+  | Elastic
+      (** runtime membership churn — joins, drains, decommissions —
+          interleaved with crashes, partitions and live traffic; failure
+          detector installed, durability and raft on. The
+          drain-completeness and membership-convergence monitors are the
+          point of this profile. *)
   | All  (** every fault kind at once *)
 
 val profile_of_string : string -> (profile, string) result
@@ -45,6 +51,12 @@ type op =
   | Heal of { at_us : int }  (** remove every pairwise partition *)
   | Spike_link of { at_us : int; src : int; dst : int; factor : float; dur_us : int }
       (** multiply one directed link's latency by [factor] for [dur_us] *)
+  | Add_hive of { at_us : int }  (** join one fresh hive to the running cluster *)
+  | Drain_hive of { at_us : int; hive : int; decom : bool }
+      (** begin draining [hive]; with [decom] it is decommissioned the
+          moment the drain completes *)
+  | Decommission_hive of { at_us : int; hive : int }
+      (** remove [hive] for good — a no-op unless its drain is complete *)
 
 val at_us : op -> int
 

@@ -27,16 +27,20 @@ type t = {
   platform : Platform.t;
   engine : Engine.t;
   cfg : config;
-  n : int;
-  last_heard : Simtime.t array array;  (* [observer].[subject] *)
-  incarnation : int array;
+  mutable n : int;  (* hive id space; grows with the platform *)
+  mutable member : bool array;
+      (* current cluster membership: decommissioned hives leave the
+         quorum denominator for good (a crashed or fenced hive stays a
+         member — it still counts toward what a majority means) *)
+  mutable last_heard : Simtime.t array array;  (* [observer].[subject] *)
+  mutable incarnation : int array;
       (* the cluster's authoritative incarnation per hive; bumped on every
          eviction so claims from a previous life are detectably stale *)
-  believed : int array;
+  mutable believed : int array;
       (* what the hive itself believes its incarnation is — lags the
          authoritative value while the hive is unknowingly deposed *)
-  evicted : bool array;
-  streak : int array;  (* consecutive confirming check ticks per subject *)
+  mutable evicted : bool array;
+  mutable streak : int array;  (* consecutive confirming check ticks per subject *)
   mutable n_evictions : int;
   mutable n_rejoins : int;
   mutable n_stale_claims : int;
@@ -50,6 +54,50 @@ let reset_subject t s =
   t.streak.(s) <- 0;
   t.evicted.(s) <- false;
   t.believed.(s) <- t.incarnation.(s)
+
+let member_count t =
+  let c = ref 0 in
+  for h = 0 to t.n - 1 do
+    if t.member.(h) then incr c
+  done;
+  !c
+
+let grow_array a n v =
+  let b = Array.make n v in
+  Array.blit a 0 b 0 (Array.length a);
+  b
+
+(* A hive joined at runtime: extend every table and give it (and every
+   observer's view of it) a fresh grace period. *)
+let add_subject t h =
+  let n' = h + 1 in
+  if n' > t.n then begin
+    let now = Engine.now t.engine in
+    let heard = Array.init n' (fun _ -> Array.make n' now) in
+    for o = 0 to t.n - 1 do
+      Array.blit t.last_heard.(o) 0 heard.(o) 0 t.n
+    done;
+    t.last_heard <- heard;
+    t.incarnation <- grow_array t.incarnation n' 0;
+    t.believed <- grow_array t.believed n' 0;
+    t.evicted <- grow_array t.evicted n' false;
+    t.streak <- grow_array t.streak n' 0;
+    t.member <- grow_array t.member n' false;
+    t.n <- n'
+  end;
+  t.member.(h) <- true;
+  reset_subject t h
+
+(* A hive left for good: it stops counting toward the quorum denominator
+   (the satellite bug fix — a stale full-cluster quorum would both let a
+   minority evict nobody it should and, worse, block the shrunken
+   majority from ever evicting a genuinely dead member). *)
+let remove_subject t h =
+  if h >= 0 && h < t.n then begin
+    t.member.(h) <- false;
+    t.evicted.(h) <- false;
+    t.streak.(h) <- 0
+  end
 
 (* An observer receives a heartbeat. If the sender was deposed but is
    demonstrably running, its stale claim is rejected (the heartbeat
@@ -72,11 +120,12 @@ let broadcast t =
   let now = Engine.now t.engine in
   for s = 0 to t.n - 1 do
     (* Crashed processes are silent; fenced (deposed-but-running) hives
-       keep gossiping — that is how a false positive heals. *)
-    if not (Platform.hive_crashed t.platform s) then begin
+       keep gossiping — that is how a false positive heals. Decommissioned
+       hives are gone. *)
+    if t.member.(s) && not (Platform.hive_crashed t.platform s) then begin
       let hb_inc = t.believed.(s) in
       for d = 0 to t.n - 1 do
-        if d <> s then
+        if d <> s && t.member.(d) then
           match
             Channels.transfer_result chans ~src:(Channels.Hive s)
               ~dst:(Channels.Hive d) ~bytes:t.cfg.hb_bytes ~now
@@ -90,7 +139,10 @@ let broadcast t =
     end
   done
 
-let quorum t = (t.n / 2) + 1
+(* Majority of *current* membership, not of the initial cluster size:
+   after a 5-hive cluster decommissions down to 3, two silent-on-a-hive
+   observers are a majority again. *)
+let quorum t = (member_count t / 2) + 1
 
 let confirm t s =
   t.evicted.(s) <- true;
@@ -114,14 +166,15 @@ let check t =
     Simtime.to_us now - Simtime.to_us t.last_heard.(o).(s) > timeout
   in
   for s = 0 to t.n - 1 do
-    if not t.evicted.(s) then begin
+    if t.member.(s) && not t.evicted.(s) then begin
       let votes = ref 0 in
       for o = 0 to t.n - 1 do
         (* Only members in good standing vote: a minority partition (its
            hives mute to us but not evicted yet) can still never muster a
-           majority of the full cluster. *)
+           majority of the current membership. *)
         if
           o <> s
+          && t.member.(o)
           && (not t.evicted.(o))
           && (not (Platform.hive_crashed t.platform o))
           && silent_on o s
@@ -145,6 +198,7 @@ let install platform ?(config = default_config) () =
       engine;
       cfg = config;
       n;
+      member = Array.make n true;
       last_heard = Array.init n (fun _ -> Array.make n now);
       incarnation = Array.make n 0;
       believed = Array.make n 0;
@@ -158,6 +212,10 @@ let install platform ?(config = default_config) () =
   (* A restarted hive re-enters membership with the bumped incarnation
      and a fresh grace period. *)
   Platform.on_hive_restart platform (fun h -> reset_subject t h);
+  (* Elastic membership: joined hives enter the quorum denominator,
+     decommissioned hives leave it. *)
+  Platform.on_hive_added platform (fun h -> add_subject t h);
+  Platform.on_hive_decommissioned platform (fun h -> remove_subject t h);
   ignore (Engine.every engine config.hb_period (fun () -> broadcast t));
   ignore (Engine.every engine config.check_period (fun () -> check t));
   t
@@ -165,9 +223,11 @@ let install platform ?(config = default_config) () =
 let suspected t =
   let acc = ref [] in
   for s = t.n - 1 downto 0 do
-    if t.evicted.(s) then acc := s :: !acc
+    if t.member.(s) && t.evicted.(s) then acc := s :: !acc
   done;
   !acc
+
+let is_member t h = h >= 0 && h < t.n && t.member.(h)
 
 let incarnation t h =
   if h < 0 || h >= t.n then invalid_arg "Failure_detector.incarnation: bad hive";

@@ -20,8 +20,12 @@
     {!stale_claims}), the hive adopts the bumped incarnation, and
     {!Platform.rejoin_hive} resumes its fenced bees — nothing is lost.
 
-    The majority quorum means a minority partition can never evict the
-    majority side; a symmetric split below quorum evicts nobody. *)
+    The majority quorum is computed over {e current} membership: hives
+    joined via {!Platform.add_hive} enter the denominator and
+    decommissioned hives leave it (via the platform's membership hooks),
+    so after a 5-to-3 shrink two observers are a majority again, while a
+    2-hive minority of a 5-hive cluster can never evict the other
+    three. *)
 
 type t
 
@@ -41,8 +45,18 @@ val default_config : config
 
 val install : Platform.t -> ?config:config -> unit -> t
 (** Starts the gossip and check loops on the platform's engine and hooks
-    {!Platform.on_hive_restart} so restarted hives re-enter membership
-    cleanly. Install once per platform. *)
+    {!Platform.on_hive_restart} (restarted hives re-enter membership
+    cleanly), {!Platform.on_hive_added} and
+    {!Platform.on_hive_decommissioned} (elastic membership adjusts the
+    quorum denominator). Install once per platform. *)
+
+val quorum : t -> int
+(** Votes needed to confirm a suspicion: a majority of current
+    membership. *)
+
+val member_count : t -> int
+
+val is_member : t -> int -> bool
 
 val suspected : t -> int list
 (** Hives currently evicted (confirmed suspicions not yet healed),

@@ -92,6 +92,48 @@ let load_balance_policy ?(imbalance = 2.0) () : policy =
     end
   end
 
+(* Seeds empty hives: when a placeable hive reports zero load while
+   others are busy, pull the busiest bees onto it, round-robin across all
+   empty hives — the join half of elastic membership. A freshly joined
+   hive has no bees, so neither the greedy-source nor the load-balance
+   policy would ever send anything there on its own. *)
+let scale_out_policy ?(max_moves_per_target = 4) () : policy =
+ fun platform loads ->
+  let n = Platform.n_hives platform in
+  if n < 2 || loads = [] then []
+  else begin
+    let per_hive = Array.make n 0 in
+    List.iter
+      (fun l ->
+        if l.bl_hive >= 0 && l.bl_hive < n then
+          per_hive.(l.bl_hive) <- per_hive.(l.bl_hive) + l.bl_processed)
+      loads;
+    let empty =
+      List.filter
+        (fun h -> Platform.placeable platform h && per_hive.(h) = 0)
+        (List.init n (fun h -> h))
+    in
+    if empty = [] then []
+    else begin
+      let movable =
+        List.filter (fun l -> l.bl_processed > 0) loads
+        |> List.sort (fun a b -> Int.compare b.bl_processed a.bl_processed)
+      in
+      let targets = Array.of_list empty in
+      let budget = max_moves_per_target * Array.length targets in
+      let k = ref 0 in
+      List.filteri (fun i _ -> i < budget) movable
+      |> List.map (fun l ->
+             let dst = targets.(!k mod Array.length targets) in
+             incr k;
+             {
+               d_bee = l.bl_bee;
+               d_to_hive = dst;
+               d_reason = Printf.sprintf "scale-out: seeding empty hive %d" dst;
+             })
+    end
+  end
+
 let combined_policy policies : policy =
  fun platform loads ->
   let seen = Hashtbl.create 16 in

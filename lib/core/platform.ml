@@ -148,10 +148,23 @@ type t = {
   mutable next_bee : int;
   mutable version : int;
   lookup_cache : (int * string * Cell.t, int * int) Hashtbl.t;
-  hive_up : bool array;
-  hive_down_hard : bool array;
+  mutable n : int;
+      (* size of the hive id space; grows on add_hive, never shrinks.
+         Decommissioned hives keep their id forever (it is never reused),
+         so nothing that indexes by hive id needs remapping. *)
+  mutable hive_up : bool array;
+  hive_down_hard : bool array ref;
       (* process actually dead (crash), as opposed to merely evicted from
-         membership by the failure detector (fenced) *)
+         membership by the failure detector (fenced). A ref cell because
+         the transport's [alive] closure is built before the platform
+         record exists and must see growth. *)
+  mutable draining : bool array;
+      (* accepts no new cells and no inbound migrations; bees are being
+         evacuated *)
+  mutable decommissioned : bool array;
+  mutable inbound : int array;
+      (* in-flight migrations whose destination is this hive; drain
+         completion requires zero *)
   pinned_bees : (int, unit) Hashtbl.t;
   endpoints : (Channels.endpoint, Message.t -> unit) Hashtbl.t;
   backups : (int, State.t) Hashtbl.t;
@@ -164,6 +177,8 @@ type t = {
   mutable recovery_providers : (bee:int -> (string * string * Value.t) list option) list;
       (* newest first; first Some wins *)
   mutable failure_hooks : (int -> unit) list;
+  mutable added_hooks : (int -> unit) list;
+  mutable decom_hooks : (int -> unit) list;
   mutable emit_hooks :
     (parent:Message.t option -> child:Message.t -> emitter:(int * string * int) option -> unit)
     list;
@@ -188,7 +203,7 @@ let create engine cfg =
     (Engine.every engine (Simtime.of_sec 4.0) (fun () ->
          if Lock_service.session_alive lock_session then
            Lock_service.keep_alive lock_session));
-  let hive_down_hard = Array.make cfg.n_hives false in
+  let hive_down_hard = ref (Array.make cfg.n_hives false) in
   let chans =
     Channels.create ~rng:(Rng.split (Engine.rng engine)) ~n_hives:cfg.n_hives
       cfg.channel
@@ -196,7 +211,7 @@ let create engine cfg =
   let transport =
     Transport.create ~config:cfg.transport ~engine
       ~rng:(Rng.split (Engine.rng engine))
-      ~alive:(fun h -> not hive_down_hard.(h))
+      ~alive:(fun h -> h >= Array.length !hive_down_hard || not !hive_down_hard.(h))
       chans
   in
   let t =
@@ -215,8 +230,12 @@ let create engine cfg =
     next_bee = 0;
     version = 0;
     lookup_cache = Hashtbl.create 1024;
+    n = cfg.n_hives;
     hive_up = Array.make cfg.n_hives true;
     hive_down_hard;
+    draining = Array.make cfg.n_hives false;
+    decommissioned = Array.make cfg.n_hives false;
+    inbound = Array.make cfg.n_hives 0;
     pinned_bees = Hashtbl.create 64;
     endpoints = Hashtbl.create 64;
     backups = Hashtbl.create 64;
@@ -227,6 +246,8 @@ let create engine cfg =
     commit_hooks = [];
     recovery_providers = [];
     failure_hooks = [];
+    added_hooks = [];
+    decom_hooks = [];
     emit_hooks = [];
     started = false;
     n_processed = 0;
@@ -269,16 +290,49 @@ let channels t = t.chans
 let transport t = t.transport
 let registry t = t.reg
 let config t = t.cfg
-let n_hives t = t.cfg.n_hives
+let n_hives t = t.n
 let now t = Engine.now t.engine
-let hive_alive t h = h >= 0 && h < t.cfg.n_hives && t.hive_up.(h)
-let hive_crashed t h = h >= 0 && h < t.cfg.n_hives && t.hive_down_hard.(h)
+let hive_alive t h = h >= 0 && h < t.n && t.hive_up.(h)
+let hive_crashed t h = h >= 0 && h < t.n && !(t.hive_down_hard).(h)
+let hive_draining t h = h >= 0 && h < t.n && t.draining.(h)
+let hive_decommissioned t h = h >= 0 && h < t.n && t.decommissioned.(h)
 
 (* Evicted from membership by the failure detector, but the process is
    (possibly) still running: its bees pause, its endpoints and transport
    links keep working, and a rejoin resumes it with state intact. *)
 let hive_fenced t h =
-  h >= 0 && h < t.cfg.n_hives && (not t.hive_up.(h)) && not t.hive_down_hard.(h)
+  h >= 0 && h < t.n
+  && (not t.hive_up.(h))
+  && (not !(t.hive_down_hard).(h))
+  && not t.decommissioned.(h)
+
+let hive_state t h =
+  if h < 0 || h >= t.n then invalid_arg "Platform.hive_state: bad hive";
+  if t.decommissioned.(h) then `Decommissioned
+  else if !(t.hive_down_hard).(h) then `Crashed
+  else if not t.hive_up.(h) then `Fenced
+  else if t.draining.(h) then `Draining
+  else `Alive
+
+let hive_state_label = function
+  | `Alive -> "alive"
+  | `Draining -> "draining"
+  | `Fenced -> "fenced"
+  | `Crashed -> "crashed"
+  | `Decommissioned -> "decommissioned"
+
+(* Hives still part of the cluster (any state but decommissioned). *)
+let members t =
+  let acc = ref [] in
+  for h = t.n - 1 downto 0 do
+    if not t.decommissioned.(h) then acc := h :: !acc
+  done;
+  !acc
+
+let member_count t = List.length (members t)
+
+(* Hives that can host new cells and accept migrations. *)
+let placeable t h = hive_alive t h && not t.draining.(h)
 
 let drop t reason =
   let i = drop_reason_index reason in
@@ -407,8 +461,12 @@ let local_bee_of t ~(app : App.t) ~hive =
 (* ------------------------------------------------------------------ *)
 
 let backup_hive t h =
-  let n = t.cfg.n_hives in
-  let rec pick k = if k = n then h else if t.hive_up.((h + k) mod n) then (h + k) mod n else pick (k + 1) in
+  let n = t.n in
+  let rec pick k =
+    if k = n then h
+    else if placeable t ((h + k) mod n) then (h + k) mod n
+    else pick (k + 1)
+  in
   pick 1
 
 let replicate_commit t (b : bee) pending =
@@ -567,6 +625,10 @@ and start_transfer t (b : bee) dst reason =
     (* Registry update: one lock-service round trip from each side. *)
     let l_rpc = charge_lock_rpc t ~hive:src_hive in
     let inc = b.incarnation in
+    (* Count the in-flight transfer against the destination so a drain of
+       either endpoint can wait for it to settle. *)
+    t.inbound.(dst) <- t.inbound.(dst) + 1;
+    let inbound_done () = t.inbound.(dst) <- max 0 (t.inbound.(dst) - 1) in
     let resume_in_place () =
       (* The source still owns the bee; resume in place (the registry
          never changed, so there is exactly one owner throughout). A
@@ -577,7 +639,11 @@ and start_transfer t (b : bee) dst reason =
       end
     in
     transmit t ~src_ep:(Channels.Hive src_hive) ~dst_hive:dst ~bytes ~extra:l_rpc
-      ~on_drop:resume_in_place (fun () ->
+      ~on_drop:(fun () ->
+        inbound_done ();
+        resume_in_place ())
+      (fun () ->
+        inbound_done ();
         if b.status = `Paused && b.incarnation = inc && not (hive_alive t dst) then
           (* Destination died mid-transfer. *)
           resume_in_place ()
@@ -732,6 +798,26 @@ and transmit t ~src_ep ~dst_hive ~bytes ?(extra = Simtime.zero)
     | `Delivered lat -> ignore (Engine.schedule_after t.engine (Simtime.add lat extra) k)
   end
 
+(* Where a new cell group lands. Normally the origin hive (the locality
+   heuristic of the paper); a draining or decommissioned origin redirects
+   to the least-loaded placeable hive so no new cells anchor on a hive
+   that is leaving. *)
+and placement_hive t ~origin =
+  if placeable t origin then origin
+  else begin
+    let best = ref (-1) and best_cells = ref max_int in
+    for h = 0 to t.n - 1 do
+      if placeable t h then begin
+        let c = Registry.cells_on_hive t.reg ~hive:h in
+        if c < !best_cells then begin
+          best := h;
+          best_cells := c
+        end
+      end
+    done;
+    if !best >= 0 then !best else origin
+  end
+
 and route_cells t ~(app : App.t) ~(handler : App.handler) ~src_ep ~origin cs msg =
   let src_hive, src_bee = resolve_src t msg in
   let extra = ref Simtime.zero in
@@ -739,8 +825,9 @@ and route_cells t ~(app : App.t) ~(handler : App.handler) ~src_ep ~origin cs msg
     match Registry.owners t.reg ~app:app.App.name cs with
     | [] ->
       (* No owner: the local hive creates a new bee and claims the cells. *)
-      let b = new_bee t ~app ~hive:origin ~is_local:false in
-      if hive_fenced t origin then begin
+      let home = placement_hive t ~origin in
+      let b = new_bee t ~app ~hive:home ~is_local:false in
+      if hive_fenced t home then begin
         (* A fenced hive still serves its side of a partition, but its
            new bees pause until the hive rejoins. *)
         b.fenced <- true;
@@ -883,7 +970,7 @@ and route_local t ~(app : App.t) ~(handler : App.handler) ~src_ep ~origin msg =
      ordinary messages only on their origin hive. *)
   match msg.Message.src with
   | Message.From_system ->
-    for h = 0 to t.cfg.n_hives - 1 do
+    for h = 0 to t.n - 1 do
       deliver_on h
     done
   | Message.From_bee _ | Message.From_endpoint _ -> deliver_on origin
@@ -1039,7 +1126,7 @@ let migrate_bee t ~bee ~to_hive ~reason =
       || Hashtbl.mem t.pinned_bees bee
       || b.pending_migration <> None
       || to_hive = b.hive
-      || not (hive_alive t to_hive)
+      || not (placeable t to_hive)
     then false
     else begin
       let cells = Cell.Set.cardinal (Registry.bee t.reg bee).Registry.bee_cells in
@@ -1111,10 +1198,11 @@ let failover_bee t (b : bee) ~from_hive entries =
    classic {!fail_hive}) or when the failure detector confirms the
    death. *)
 let crash_hive t h =
-  if h < 0 || h >= t.cfg.n_hives then invalid_arg "Platform.crash_hive: bad hive";
-  if not t.hive_down_hard.(h) then begin
+  if h < 0 || h >= t.n then invalid_arg "Platform.crash_hive: bad hive";
+  if t.decommissioned.(h) then ()
+  else if not !(t.hive_down_hard).(h) then begin
     t.hive_up.(h) <- false;
-    t.hive_down_hard.(h) <- true;
+    !(t.hive_down_hard).(h) <- true;
     t.version <- t.version + 1;
     List.iter (fun f -> f h) t.failure_hooks;
     (* Batches not yet group-committed die with the hive. *)
@@ -1203,11 +1291,11 @@ let rejoin_hive t h =
   end
 
 let restart_hive t h =
-  if h < 0 || h >= t.cfg.n_hives then invalid_arg "Platform.restart_hive: bad hive";
-  if not t.hive_up.(h) then begin
-    let was_crashed = t.hive_down_hard.(h) in
+  if h < 0 || h >= t.n then invalid_arg "Platform.restart_hive: bad hive";
+  if (not t.hive_up.(h)) && not t.decommissioned.(h) then begin
+    let was_crashed = !(t.hive_down_hard).(h) in
     t.hive_up.(h) <- true;
-    t.hive_down_hard.(h) <- false;
+    !(t.hive_down_hard).(h) <- false;
     t.version <- t.version + 1;
     List.iter (fun f -> f h) t.restart_hooks;
     (* Restarting a merely-fenced hive is just a rejoin. *)
@@ -1225,6 +1313,89 @@ let restart_hive t h =
             Log.info (fun m -> m "bee %d recovered on restarted hive %d" b.id h);
             maybe_process t b)
           (bees_on t h ~pred:(fun b -> b.status = `Crashed))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Elastic membership: join, drain, decommission                       *)
+(* ------------------------------------------------------------------ *)
+
+let grow_array a n v =
+  let b = Array.make n v in
+  Array.blit a 0 b 0 (Array.length a);
+  b
+
+let on_hive_added t f = t.added_hooks <- f :: t.added_hooks
+let on_hive_decommissioned t f = t.decom_hooks <- f :: t.decom_hooks
+
+(* Joins a fresh hive at runtime: the fabric grows a row/column of
+   healthy links, the hive id space extends by one, and subscribers
+   (failure detector, raft replication, rebalancer) hear about it via
+   {!on_hive_added}. The new hive starts alive and empty; placement and
+   rebalancing fill it. *)
+let add_hive t =
+  let id = Channels.add_hive t.chans in
+  let n' = id + 1 in
+  t.hive_up <- grow_array t.hive_up n' true;
+  t.hive_down_hard := grow_array !(t.hive_down_hard) n' false;
+  t.draining <- grow_array t.draining n' false;
+  t.decommissioned <- grow_array t.decommissioned n' false;
+  t.inbound <- grow_array t.inbound n' 0;
+  t.n <- n';
+  t.version <- t.version + 1;
+  List.iter (fun f -> f id) t.added_hooks;
+  Log.info (fun m -> m "hive %d joined (cluster size %d)" id n');
+  id
+
+let set_draining t h flag =
+  if h < 0 || h >= t.n then invalid_arg "Platform.set_draining: bad hive";
+  if t.decommissioned.(h) then invalid_arg "Platform.set_draining: hive decommissioned";
+  if t.draining.(h) <> flag then begin
+    t.draining.(h) <- flag;
+    t.version <- t.version + 1;
+    Log.info (fun m -> m "hive %d %s" h (if flag then "draining" else "drain cancelled"))
+  end
+
+let inbound_transfers t h = if h >= 0 && h < t.n then t.inbound.(h) else 0
+
+(* A drain is complete when the hive owns no cells, hosts no live
+   non-local bee, and no migration is still in flight toward it. Crashed
+   durable bees count as residents: their cells must be recovered (via
+   restart) before the hive can leave. *)
+let drain_complete t h =
+  h >= 0 && h < t.n
+  && Registry.cells_on_hive t.reg ~hive:h = 0
+  && t.inbound.(h) = 0
+  && bees_on t h ~pred:(fun b ->
+         (not b.is_local) && (match b.status with `Dead -> false | _ -> true))
+     = []
+
+(* Removes a fully-drained hive from the cluster: local bees die, links
+   are torn down, endpoints freed, and the id is retired for good. The
+   failure detector drops it from the quorum denominator via the
+   {!on_hive_decommissioned} hook. Returns false (and does nothing) if
+   the hive still hosts cells or transfers. *)
+let decommission_hive t h =
+  if h < 0 || h >= t.n then invalid_arg "Platform.decommission_hive: bad hive";
+  if t.decommissioned.(h) then true
+  else if not (drain_complete t h) then false
+  else begin
+    List.iter
+      (fun (b : bee) ->
+        if b.is_local then begin
+          b.status <- `Dead;
+          Hashtbl.remove t.local_bees (b.app.App.name, h);
+          Registry.unassign_bee t.reg ~bee:b.id
+        end)
+      (bees_on t h ~pred:(fun b -> b.status <> `Dead));
+    t.decommissioned.(h) <- true;
+    t.draining.(h) <- false;
+    t.hive_up.(h) <- false;
+    t.version <- t.version + 1;
+    Transport.close_hive t.transport h;
+    Hashtbl.remove t.endpoints (Channels.Hive h);
+    List.iter (fun f -> f h) t.decom_hooks;
+    Log.info (fun m -> m "hive %d decommissioned (cluster size %d)" h (member_count t));
+    true
   end
 
 (* ------------------------------------------------------------------ *)
@@ -1257,6 +1428,20 @@ let stats t =
   Stats.set_gauge t.pstats "transport.duplicates" (Transport.duplicates t.transport);
   Stats.set_gauge t.pstats "transport.exhausted" (Transport.exhausted t.transport);
   Stats.set_gauge t.pstats "transport.pending" (Transport.pending t.transport);
+  let count state = ref 0, state in
+  let alive = count `Alive and draining = count `Draining and fenced = count `Fenced in
+  let crashed = count `Crashed and decom = count `Decommissioned in
+  for h = 0 to t.n - 1 do
+    let s = hive_state t h in
+    List.iter
+      (fun (r, st) -> if s = st then incr r)
+      [ alive; draining; fenced; crashed; decom ]
+  done;
+  Stats.set_gauge t.pstats "membership.hives" (t.n - !(fst decom));
+  List.iter
+    (fun (r, st) ->
+      Stats.set_gauge t.pstats ("membership." ^ hive_state_label st) !r)
+    [ alive; draining; fenced; crashed; decom ];
   t.pstats
 
 let message_latency_percentile t p =

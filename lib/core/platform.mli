@@ -258,6 +258,60 @@ val hive_fenced : t -> int -> bool
 (** Evicted by the failure detector but not crashed: still running,
     outside membership. *)
 
+(** {2 Elastic membership}
+
+    Runtime join / drain / decommission (the [Beehive_elastic] subsystem
+    drives these). Hive ids are never reused: a decommissioned hive keeps
+    its id, so per-hive indexing stays stable while {!n_hives} only
+    grows. *)
+
+val add_hive : t -> int
+(** Joins a fresh hive: grows the fabric with healthy links, extends
+    every per-hive table, fires {!on_hive_added}, and returns the new
+    hive's id. The hive starts alive, empty, and placeable. *)
+
+val set_draining : t -> int -> bool -> unit
+(** Marks (or unmarks) a hive as draining: it accepts no new cells —
+    placement redirects to the least-loaded placeable hive — no inbound
+    migrations, and is skipped as a backup target. Existing bees keep
+    processing until evacuated. *)
+
+val hive_draining : t -> int -> bool
+
+val hive_decommissioned : t -> int -> bool
+
+val drain_complete : t -> int -> bool
+(** True when the hive owns zero cells, hosts no live non-local bee, and
+    no migration is in flight toward it. *)
+
+val inbound_transfers : t -> int -> int
+(** Migrations currently in flight toward the hive. *)
+
+val decommission_hive : t -> int -> bool
+(** Retires a fully-drained hive: kills its local bees, tears down its
+    transport links and endpoints, and removes it from membership (the
+    failure detector hears via {!on_hive_decommissioned} and shrinks its
+    quorum denominator). Returns [false] without side effects if the
+    drain is not complete; [true] if retired (idempotent). *)
+
+val hive_state :
+  t -> int -> [ `Alive | `Draining | `Fenced | `Crashed | `Decommissioned ]
+
+val hive_state_label :
+  [ `Alive | `Draining | `Fenced | `Crashed | `Decommissioned ] -> string
+
+val members : t -> int list
+(** Hive ids still in the cluster (every state but decommissioned). *)
+
+val member_count : t -> int
+
+val placeable : t -> int -> bool
+(** Alive and not draining: can host new cells and accept migrations. *)
+
+val on_hive_added : t -> (int -> unit) -> unit
+
+val on_hive_decommissioned : t -> (int -> unit) -> unit
+
 (** {2 Counters} *)
 
 val total_processed : t -> int
@@ -288,7 +342,8 @@ val paused_bees : t -> int
 
 val stats : t -> Stats.t
 (** Platform-wide gauges, refreshed on each call: the per-reason
-    [dropped.*] breakdown and the [transport.*] reliability counters. *)
+    [dropped.*] breakdown, the [transport.*] reliability counters, and
+    the [membership.*] gauges (hive count plus per-state breakdown). *)
 
 (** {2 Debug fault injection}
 

@@ -5,7 +5,7 @@ module Raft = Beehive_raft.Raft
 
 type group = {
   g_anchor : int;
-  g_members : int list;
+  mutable g_members : int list;
   g_nodes : (int, Raft.t) Hashtbl.t;  (* member hive -> node *)
   g_replicas : (int, (int, State.t) Hashtbl.t) Hashtbl.t;
       (* member hive -> (bee -> replica) *)
@@ -14,6 +14,7 @@ type group = {
 
 type t = {
   platform : Platform.t;
+  engine : Engine.t;
   size : int;
   compact_every : int;
   mutable groups : group array;
@@ -94,20 +95,14 @@ let flush_queue t g =
     in
     go (List.rev g.g_queue)
 
-let make_group t engine ~anchor ~members =
-  let g =
-    {
-      g_anchor = anchor;
-      g_members = members;
-      g_nodes = Hashtbl.create 4;
-      g_replicas = Hashtbl.create 4;
-      g_queue = [];
-    }
-  in
-  List.iter
-    (fun member ->
-      let peers = List.filter (fun m -> m <> member) members in
-      let send ~dst rpc =
+(* Creates and starts [member]'s node in [g], peered with the group's
+   current membership. Factored out of group creation so a drain handoff
+   can spawn a fresh replacement node at runtime (its empty log catches
+   up through AppendEntries backoff or Install_snapshot). *)
+let spawn_member t g ~member =
+  let engine = t.engine in
+  let peers = List.filter (fun m -> m <> member) g.g_members in
+  let send ~dst rpc =
         (* Raft RPCs ride the raw failable wire: the protocol already
            tolerates loss (retries, elections), so a lost AppendEntries
            just surfaces as Raft-level retransmission. *)
@@ -183,9 +178,86 @@ let make_group t engine ~anchor ~members =
       let node = Raft.create engine ~id:member ~peers ~install ~send ~apply () in
       node_ref := Some node;
       Hashtbl.add g.g_nodes member node;
-      Raft.start node)
-    members;
+      Raft.start node
+
+let make_group t ~anchor ~members =
+  let g =
+    {
+      g_anchor = anchor;
+      g_members = members;
+      g_nodes = Hashtbl.create 4;
+      g_replicas = Hashtbl.create 4;
+      g_queue = [];
+    }
+  in
+  List.iter (fun member -> spawn_member t g ~member) members;
   g
+
+(* ------------------------------------------------------------------ *)
+(* Elastic membership                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Replaces a departing (draining) member in every group it belongs to
+   with a live placeable hive outside the group. The replacement node
+   starts with an empty log and catches up from the leader through the
+   usual backoff / Install_snapshot path; the departing member's node is
+   crashed and dropped. Returns the number of groups re-anchored. *)
+let handoff_hive t ~hive =
+  let n = Platform.n_hives t.platform in
+  let moved = ref 0 in
+  Array.iter
+    (fun g ->
+      if List.mem hive g.g_members then begin
+        let candidate =
+          let rec scan k =
+            if k >= n then None
+            else
+              let h = (g.g_anchor + k) mod n in
+              if Platform.placeable t.platform h && not (List.mem h g.g_members) then
+                Some h
+              else scan (k + 1)
+          in
+          scan 0
+        in
+        g.g_members <- List.filter (fun m -> m <> hive) g.g_members;
+        (match Hashtbl.find_opt g.g_nodes hive with
+        | Some node ->
+          Raft.crash node;
+          Hashtbl.remove g.g_nodes hive
+        | None -> ());
+        (match candidate with
+        | Some r -> g.g_members <- g.g_members @ [ r ]
+        | None ->
+          (* Nowhere to hand off: the group just narrows (a shrunken
+             cluster may be smaller than the configured group size). *)
+          ());
+        Hashtbl.iter (fun _ node -> Raft.set_peers node g.g_members) g.g_nodes;
+        (match candidate with
+        | Some r -> spawn_member t g ~member:r
+        | None -> ());
+        incr moved
+      end)
+    t.groups;
+  !moved
+
+(* A hive joined at runtime: it gets its own group (anchored at its id,
+   so the [ci_hive mod groups] anchor assignment stays the identity) made
+   of the hive plus its placeable successors. *)
+let on_hive_added t h =
+  let n = Platform.n_hives t.platform in
+  let members =
+    let rec collect k acc =
+      if List.length acc >= t.size || k >= n then List.rev acc
+      else
+        let c = (h + k) mod n in
+        if c = h || (Platform.placeable t.platform c && not (List.mem c acc)) then
+          collect (k + 1) (c :: acc)
+        else collect (k + 1) acc
+    in
+    collect 0 []
+  in
+  let g = make_group t ~anchor:h ~members in
+  t.groups <- Array.append t.groups [| g |]
 
 let on_commit t (ci : Platform.commit_info) =
   (* A bee's replication group is anchored at its first commit's hive;
@@ -260,6 +332,7 @@ let install platform ?(group_size = 3) ?(compact_every = 64) () =
   let t =
     {
       platform;
+      engine;
       size;
       compact_every = max 1 compact_every;
       groups = [||];
@@ -276,11 +349,16 @@ let install platform ?(group_size = 3) ?(compact_every = 64) () =
   t.groups <-
     Array.init n (fun anchor ->
         let members = List.init size (fun k -> (anchor + k) mod n) in
-        make_group t engine ~anchor ~members);
+        make_group t ~anchor ~members);
   Platform.on_commit platform (fun ci -> on_commit t ci);
   Platform.set_recovery_provider platform (fun ~bee -> recovery_provider t ~bee);
   Platform.on_hive_failure platform (fun h -> on_hive_failure t h);
   Platform.on_hive_restart platform (fun h -> on_hive_restart t h);
+  Platform.on_hive_added platform (fun h -> on_hive_added t h);
+  (* Decommission safety net: a drain normally hands groups off first,
+     but a direct decommission must still leave no group referencing the
+     retired hive. *)
+  Platform.on_hive_decommissioned platform (fun h -> ignore (handoff_hive t ~hive:h));
   (* Retry queued proposals until a leader exists. *)
   ignore
     (Engine.every engine (Simtime.of_ms 100) (fun () ->

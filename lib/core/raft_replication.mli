@@ -38,6 +38,14 @@ val group_members : t -> hive:int -> int list
 val group_leader : t -> hive:int -> int option
 (** The group's current leader hive, if elected. *)
 
+val handoff_hive : t -> hive:int -> int
+(** Replaces [hive] in every group it belongs to with a live placeable
+    hive outside the group (the drain path of elastic membership). The
+    replacement node starts empty and catches up from the leader via
+    AppendEntries backoff or Install_snapshot; the departing node is
+    crashed and dropped. Returns the number of groups re-anchored.
+    Also run automatically on {!Platform.on_hive_decommissioned}. *)
+
 val replicated_commands : t -> int
 (** Write sets committed through consensus so far. *)
 

@@ -1,0 +1,48 @@
+module Simtime = Beehive_sim.Simtime
+
+type state =
+  | Draining
+  | Completed
+
+type t = {
+  d_hive : int;
+  d_started : Simtime.t;
+  d_auto_decommission : bool;
+  mutable d_state : state;
+  mutable d_finished : Simtime.t option;
+  mutable d_on_complete : (unit -> unit) list;
+}
+
+let start ~hive ~now ~auto_decommission ?on_complete () =
+  {
+    d_hive = hive;
+    d_started = now;
+    d_auto_decommission = auto_decommission;
+    d_state = Draining;
+    d_finished = None;
+    d_on_complete = (match on_complete with Some f -> [ f ] | None -> []);
+  }
+
+let hive t = t.d_hive
+let state t = t.d_state
+let started_at t = t.d_started
+let auto_decommission t = t.d_auto_decommission
+
+let on_complete t f =
+  match t.d_state with
+  | Completed -> f ()
+  | Draining -> t.d_on_complete <- f :: t.d_on_complete
+
+let complete t ~now =
+  if t.d_state = Draining then begin
+    t.d_state <- Completed;
+    t.d_finished <- Some now;
+    let callbacks = List.rev t.d_on_complete in
+    t.d_on_complete <- [];
+    List.iter (fun f -> f ()) callbacks
+  end
+
+let duration_us t =
+  match t.d_finished with
+  | Some fin -> Some (Simtime.to_us fin - Simtime.to_us t.d_started)
+  | None -> None

@@ -1,0 +1,41 @@
+(** Per-hive drain record: the [alive -> draining -> decommissioned]
+    state machine's middle leg.
+
+    A drain starts when {!Membership.drain} marks the hive, and completes
+    (exactly once) when the hive owns zero cells, hosts no live non-local
+    bee, and has no migration in flight toward it — the evacuation pump
+    in {!Membership} decides when, this module just records it and runs
+    the completion callbacks. *)
+
+type state =
+  | Draining
+  | Completed
+
+type t
+
+val start :
+  hive:int ->
+  now:Beehive_sim.Simtime.t ->
+  auto_decommission:bool ->
+  ?on_complete:(unit -> unit) ->
+  unit ->
+  t
+
+val hive : t -> int
+val state : t -> state
+val started_at : t -> Beehive_sim.Simtime.t
+
+val auto_decommission : t -> bool
+(** Whether {!Membership} should decommission the hive as soon as the
+    drain completes. *)
+
+val on_complete : t -> (unit -> unit) -> unit
+(** Runs [f] when the drain completes; immediately if it already has. *)
+
+val complete : t -> now:Beehive_sim.Simtime.t -> unit
+(** Transitions to [Completed] and fires callbacks in registration
+    order. Idempotent. *)
+
+val duration_us : t -> int option
+(** Simulated microseconds from drain start to completion; [None] while
+    still draining. *)

@@ -1,0 +1,202 @@
+module Engine = Beehive_sim.Engine
+module Simtime = Beehive_sim.Simtime
+module Platform = Beehive_core.Platform
+module Stats = Beehive_core.Stats
+module Raft_replication = Beehive_core.Raft_replication
+
+let src = Logs.Src.create "beehive.elastic" ~doc:"Beehive elastic membership"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type config = {
+  pump_period : Simtime.t;
+  min_placeable : int;
+}
+
+let default_config = { pump_period = Simtime.of_ms 5; min_placeable = 2 }
+
+type t = {
+  platform : Platform.t;
+  engine : Engine.t;
+  cfg : config;
+  raft : Raft_replication.t option;
+  drains : (int, Drain.t) Hashtbl.t;  (* hive -> newest drain record *)
+  mutable n_joins : int;
+  mutable n_drains_started : int;
+  mutable n_drains_completed : int;
+  mutable n_decommissions : int;
+  mutable n_rebalance_migrations : int;
+  mutable last_drain_us : int;
+}
+
+(* Publishes the elastic counters as [membership.*] gauges on the
+   platform's stats record, next to the per-state breakdown the platform
+   computes itself, so Summary and dashboards read one source. *)
+let publish t =
+  let st = Platform.stats t.platform in
+  Stats.set_gauge st "membership.joins" t.n_joins;
+  Stats.set_gauge st "membership.drains_started" t.n_drains_started;
+  Stats.set_gauge st "membership.drains_completed" t.n_drains_completed;
+  Stats.set_gauge st "membership.decommissions" t.n_decommissions;
+  Stats.set_gauge st "membership.rebalance_migrations" t.n_rebalance_migrations;
+  Stats.set_gauge st "membership.last_drain_us" t.last_drain_us
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.equal (String.sub s 0 (String.length prefix)) prefix
+
+let drain_reason hive = Printf.sprintf "drain: evacuating hive %d" hive
+
+(* ------------------------------------------------------------------ *)
+(* Decommission                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let decommission t hive =
+  if Platform.hive_decommissioned t.platform hive then true
+  else if Platform.decommission_hive t.platform hive then begin
+    t.n_decommissions <- t.n_decommissions + 1;
+    publish t;
+    true
+  end
+  else false
+
+(* ------------------------------------------------------------------ *)
+(* The evacuation pump                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let pump_drain t (d : Drain.t) =
+  let hive = Drain.hive d in
+  if Drain.state d = Drain.Draining then begin
+    (* A crashed draining hive stalls here: its crashed bees still own
+       cells, so the drain resumes only after a restart revives them. *)
+    if Platform.hive_alive t.platform hive then
+      ignore (Rebalancer.evacuate_step t.platform ~hive ~reason:(drain_reason hive));
+    if Platform.drain_complete t.platform hive then begin
+      Drain.complete d ~now:(Engine.now t.engine);
+      t.n_drains_completed <- t.n_drains_completed + 1;
+      (match Drain.duration_us d with
+      | Some us -> t.last_drain_us <- us
+      | None -> ());
+      Log.info (fun m ->
+          m "hive %d drained in %d us" hive
+            (Option.value ~default:0 (Drain.duration_us d)));
+      if Drain.auto_decommission d then ignore (decommission t hive);
+      publish t
+    end
+  end
+
+let pump t = Hashtbl.iter (fun _ d -> pump_drain t d) t.drains
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let create ?(config = default_config) ?raft platform =
+  let engine = Platform.engine platform in
+  let t =
+    {
+      platform;
+      engine;
+      cfg = config;
+      raft;
+      drains = Hashtbl.create 8;
+      n_joins = 0;
+      n_drains_started = 0;
+      n_drains_completed = 0;
+      n_decommissions = 0;
+      n_rebalance_migrations = 0;
+      last_drain_us = 0;
+    }
+  in
+  Platform.on_migration platform (fun (mig : Platform.migration) ->
+      if
+        has_prefix ~prefix:"drain:" mig.Platform.mig_reason
+        || has_prefix ~prefix:"scale-out:" mig.Platform.mig_reason
+      then begin
+        t.n_rebalance_migrations <- t.n_rebalance_migrations + 1;
+        publish t
+      end);
+  ignore (Engine.every engine config.pump_period (fun () -> pump t));
+  publish t;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Join                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let add_hive t =
+  (* The platform hook fan-out does the real work: channels grow a
+     row/column, the failure detector widens its quorum denominator, and
+     raft replication anchors a group at the new hive. *)
+  let id = Platform.add_hive t.platform in
+  t.n_joins <- t.n_joins + 1;
+  publish t;
+  id
+
+(* ------------------------------------------------------------------ *)
+(* Drain                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let placeable_without t hive =
+  List.length
+    (List.filter
+       (fun h -> h <> hive && Platform.placeable t.platform h)
+       (Platform.members t.platform))
+
+let drain t ?(auto_decommission = false) ?on_complete hive =
+  if
+    (not (Platform.hive_alive t.platform hive))
+    || Platform.hive_draining t.platform hive
+    || Platform.hive_decommissioned t.platform hive
+    || placeable_without t hive < t.cfg.min_placeable
+  then false
+  else begin
+    Platform.set_draining t.platform hive true;
+    let d =
+      Drain.start ~hive ~now:(Engine.now t.engine) ~auto_decommission ?on_complete ()
+    in
+    Hashtbl.replace t.drains hive d;
+    t.n_drains_started <- t.n_drains_started + 1;
+    (* Hand this hive's Raft group memberships off right away: the
+       replacements' fresh nodes catch up (Install_snapshot) while the
+       bees evacuate. *)
+    (match t.raft with
+    | Some r ->
+      let moved = Raft_replication.handoff_hive r ~hive in
+      if moved > 0 then
+        Log.info (fun m -> m "hive %d: handed off %d raft group memberships" hive moved)
+    | None -> ());
+    ignore (Rebalancer.evacuate_step t.platform ~hive ~reason:(drain_reason hive));
+    publish t;
+    true
+  end
+
+let cancel_drain t hive =
+  match Hashtbl.find_opt t.drains hive with
+  | Some d when Drain.state d = Drain.Draining ->
+    Hashtbl.remove t.drains hive;
+    Platform.set_draining t.platform hive false;
+    publish t;
+    true
+  | Some _ | None -> false
+
+(* ------------------------------------------------------------------ *)
+(* Introspection                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let drain_record t hive = Hashtbl.find_opt t.drains hive
+
+let draining t =
+  Hashtbl.fold
+    (fun hive d acc -> if Drain.state d = Drain.Draining then hive :: acc else acc)
+    t.drains []
+  |> List.sort Int.compare
+
+let incomplete_drains t = draining t
+
+let joins t = t.n_joins
+let drains_started t = t.n_drains_started
+let drains_completed t = t.n_drains_completed
+let decommissions t = t.n_decommissions
+let rebalance_migrations t = t.n_rebalance_migrations
+let last_drain_us t = t.last_drain_us

@@ -1,0 +1,87 @@
+(** Runtime hive membership: join, drain, decommission.
+
+    The orchestrator of the elastic subsystem. A [Membership.t] wraps a
+    running {!Beehive_core.Platform.t} and drives the per-hive lifecycle
+
+    {v alive -> draining -> decommissioned v}
+
+    - {b join} ({!add_hive}) — the platform grows its channel matrix and
+      transport endpoints, the failure detector widens its quorum
+      denominator, and raft replication (when installed) anchors a fresh
+      group at the new hive. Pair with
+      {!Beehive_core.Instrumentation.scale_out_policy} to pull load onto
+      the newcomer.
+    - {b drain} ({!drain}) — the hive stops accepting new cells
+      (placement redirects elsewhere), its raft group memberships are
+      handed off, and an evacuation pump live-migrates its bees out until
+      the hive owns zero cells with zero in-flight inbound transfers.
+    - {b decommission} ({!decommission}) — only legal once the drain is
+      complete: the hive leaves the failure-detector membership, its
+      links close, and its id is retired (never reused). *)
+
+type config = {
+  pump_period : Beehive_sim.Simtime.t;
+      (** How often the evacuation pump retries stuck migrations and
+          checks drain completion. *)
+  min_placeable : int;
+      (** A drain is refused unless at least this many placeable hives
+          would remain to absorb the evacuees. *)
+}
+
+val default_config : config
+(** 5 ms pump, [min_placeable = 2]. *)
+
+type t
+
+val create :
+  ?config:config -> ?raft:Beehive_core.Raft_replication.t -> Beehive_core.Platform.t -> t
+(** Installs the evacuation pump on the platform's engine and a
+    migration hook that counts rebalance moves. Pass [raft] so drains
+    hand off group memberships before evacuating bees. Publishes
+    [membership.*] gauges into {!Beehive_core.Platform.stats}. *)
+
+val add_hive : t -> int
+(** Joins one new hive and returns its id (= previous hive count). *)
+
+val drain :
+  t -> ?auto_decommission:bool -> ?on_complete:(unit -> unit) -> int -> bool
+(** [drain t h] begins draining hive [h]. Returns [false] (and does
+    nothing) if [h] is not alive, is already draining or decommissioned,
+    or too few placeable hives would remain. With
+    [~auto_decommission:true] the hive is decommissioned the moment the
+    drain completes. *)
+
+val cancel_drain : t -> int -> bool
+(** Aborts an in-progress drain, returning the hive to placeable.
+    Already-migrated bees stay where they landed. [false] if [hive] has
+    no active drain. *)
+
+val decommission : t -> int -> bool
+(** Permanently removes a fully drained hive (see
+    {!Beehive_core.Platform.decommission_hive}). [true] if the hive is
+    now (or already was) decommissioned; [false] if its drain is
+    incomplete. *)
+
+val drain_record : t -> int -> Drain.t option
+(** Newest drain record for [hive], if any. *)
+
+val draining : t -> int list
+(** Hives with an active (incomplete) drain, ascending. *)
+
+val incomplete_drains : t -> int list
+(** Alias of {!draining}, for monitor code that reads better with it. *)
+
+(** {1 Counters} (also published as [membership.*] gauges) *)
+
+val joins : t -> int
+val drains_started : t -> int
+val drains_completed : t -> int
+val decommissions : t -> int
+
+val rebalance_migrations : t -> int
+(** Migrations attributed to elasticity: reasons prefixed ["drain:"] or
+    ["scale-out:"]. *)
+
+val last_drain_us : t -> int
+(** Duration of the most recently completed drain, in simulated
+    microseconds; [0] before any drain completes. *)

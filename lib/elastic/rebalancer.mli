@@ -1,0 +1,26 @@
+(** Placement decisions for elastic membership.
+
+    The drain half of the rebalancer: picks destinations for bees
+    leaving a draining hive (respecting [hive_capacity]) and drives the
+    evacuation, one {!Beehive_core.Platform.migrate_bee} per bee per
+    step. The join half — pulling bees {e onto} a freshly joined empty
+    hive — is traffic-driven and lives in
+    {!Beehive_core.Instrumentation.scale_out_policy}. *)
+
+val pick_destination :
+  Beehive_core.Platform.t -> ?exclude:int list -> ?cells:int -> unit -> int option
+(** Least-loaded (fewest registry cells) placeable hive able to absorb
+    [cells] more without exceeding [hive_capacity], excluding [exclude].
+    [None] when no hive qualifies. *)
+
+val evacuate_step :
+  Beehive_core.Platform.t -> hive:int -> reason:string -> int
+(** Attempts to live-migrate every movable non-local bee off [hive] to
+    its {!pick_destination}; returns the number of migrations started.
+    Busy or mid-migration bees are skipped this step and retried on the
+    next — call repeatedly (the {!Membership} pump does) until
+    {!Beehive_core.Platform.drain_complete}. *)
+
+val stranded : Beehive_core.Platform.t -> hive:int -> int list
+(** Live non-local bees on [hive] that can never be evacuated (pinned):
+    a drain of this hive will not complete until they are unpinned. *)

@@ -16,6 +16,7 @@ type t = {
   s_live_bees : int;
   s_p50_us : int;
   s_p99_us : int;
+  s_membership : (string * int) list;
 }
 
 let measure matrix series platform =
@@ -39,6 +40,10 @@ let measure matrix series platform =
     s_live_bees = List.length (Platform.live_bees platform);
     s_p50_us = Option.value ~default:0 (Platform.message_latency_percentile platform 0.5);
     s_p99_us = Option.value ~default:0 (Platform.message_latency_percentile platform 0.99);
+    s_membership =
+      List.filter
+        (fun (k, _) -> String.starts_with ~prefix:"membership." k)
+        (Beehive_core.Stats.gauges (Platform.stats platform));
   }
 
 let of_scenario sc =
@@ -55,8 +60,10 @@ let pp fmt s =
      lock-service RPCs         : %d@,\
      messages processed        : %d@,\
      live bees                 : %d@,\
-     message latency           : p50 <= %d us, p99 <= %d us@]"
+     message latency           : p50 <= %d us, p99 <= %d us"
     (100.0 *. s.s_locality) s.s_hotspot_hive
     (100.0 *. s.s_hotspot_share)
     s.s_total_inter_kb s.s_mean_kbps s.s_peak_kbps s.s_migrations s.s_merges
-    s.s_lock_rpcs s.s_processed s.s_live_bees s.s_p50_us s.s_p99_us
+    s.s_lock_rpcs s.s_processed s.s_live_bees s.s_p50_us s.s_p99_us;
+  List.iter (fun (k, v) -> Format.fprintf fmt "@,%-26s: %d" k v) s.s_membership;
+  Format.fprintf fmt "@]"

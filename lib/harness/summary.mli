@@ -21,6 +21,10 @@ type t = {
   s_live_bees : int;
   s_p50_us : int;  (** median emission-to-handler latency, microseconds *)
   s_p99_us : int;
+  s_membership : (string * int) list;
+      (** the platform's [membership.*] gauges — hive count and per-state
+          breakdown, plus (when an elastic {!Beehive_elastic.Membership}
+          manager is running) join/drain/rebalance counters *)
 }
 
 val measure :

@@ -23,16 +23,16 @@ let default_config =
   }
 
 type t = {
-  n : int;
+  mutable n : int;
   cfg : config;
   rng : Rng.t;
   masters : (int, int) Hashtbl.t;
   matrix : Traffic_matrix.t;
   mutable series : Series.t;
   mutable sw_bytes : float;
-  lat_factor : float array;  (* n*n, directed: src*n + dst *)
-  loss : float array;  (* n*n drop probability per directed link *)
-  parted : bool array;  (* n*n severed directed links *)
+  mutable lat_factor : float array;  (* n*n, directed: src*n + dst *)
+  mutable loss : float array;  (* n*n drop probability per directed link *)
+  mutable parted : bool array;  (* n*n severed directed links *)
   mutable n_faults : int;
       (* lossy or severed directed links; 0 = the fabric is healthy and
          reliability machinery above can take its fast path *)
@@ -62,6 +62,27 @@ let idx t ~src ~dst =
   if src < 0 || src >= t.n || dst < 0 || dst >= t.n then
     invalid_arg "Channels: hive out of range";
   (src * t.n) + dst
+
+(* Grows the fabric to host one more hive. The flat n*n link arrays are
+   re-laid out at the new stride with the old directed-link state
+   preserved; the new hive's links start healthy. Returns the new hive's
+   id. *)
+let add_hive t =
+  let n = t.n and n' = t.n + 1 in
+  let lat = Array.make (n' * n') 1.0 in
+  let loss = Array.make (n' * n') 0.0 in
+  let parted = Array.make (n' * n') false in
+  for src = 0 to n - 1 do
+    Array.blit t.lat_factor (src * n) lat (src * n') n;
+    Array.blit t.loss (src * n) loss (src * n') n;
+    Array.blit t.parted (src * n) parted (src * n') n
+  done;
+  t.lat_factor <- lat;
+  t.loss <- loss;
+  t.parted <- parted;
+  t.n <- n';
+  Traffic_matrix.grow t.matrix n';
+  n
 
 let recount_faults t =
   let n = ref 0 in

@@ -42,6 +42,11 @@ val create : ?rng:Beehive_sim.Rng.t -> n_hives:int -> config -> t
 
 val n_hives : t -> int
 
+val add_hive : t -> int
+(** Grows the fabric by one hive and returns its id ([n_hives] before the
+    call). Existing directed-link faults are preserved; every link touching
+    the new hive starts healthy. *)
+
 val master_of : t -> int -> int
 (** [master_of t sw] is the hive that owns switch [sw]'s OpenFlow
     connection. Set by {!assign_switch}; defaults to hive 0. *)

@@ -1,7 +1,7 @@
 type t = {
-  n : int;
-  msgs : int array array;
-  byts : float array array;
+  mutable n : int;
+  mutable msgs : int array array;
+  mutable byts : float array array;
 }
 
 let create n =
@@ -9,6 +9,20 @@ let create n =
   { n; msgs = Array.make_matrix n n 0; byts = Array.make_matrix n n 0.0 }
 
 let size t = t.n
+
+let grow t n' =
+  if n' < t.n then invalid_arg "Traffic_matrix.grow: matrices never shrink";
+  if n' > t.n then begin
+    let msgs = Array.make_matrix n' n' 0 in
+    let byts = Array.make_matrix n' n' 0.0 in
+    for i = 0 to t.n - 1 do
+      Array.blit t.msgs.(i) 0 msgs.(i) 0 t.n;
+      Array.blit t.byts.(i) 0 byts.(i) 0 t.n
+    done;
+    t.n <- n';
+    t.msgs <- msgs;
+    t.byts <- byts
+  end
 
 let check t i =
   if i < 0 || i >= t.n then invalid_arg "Traffic_matrix: hive index out of range"

@@ -8,6 +8,10 @@ type t
 val create : int -> t
 val size : t -> int
 
+val grow : t -> int -> unit
+(** [grow t n] widens the matrix to [n] hives, preserving accumulated
+    counts. No-op if already that size; matrices never shrink. *)
+
 val add : t -> src:int -> dst:int -> bytes:int -> unit
 (** Accounts one message of [bytes] bytes from [src] to [dst]. *)
 

@@ -51,7 +51,7 @@ type t = {
   rng : Rng.t;
   alive : int -> bool;
   cfg : config;
-  links : (int, link) Hashtbl.t;
+  links : (int * int, link) Hashtbl.t;  (* keyed (sh, dh): stable across membership growth *)
   mutable sent : int;
   mutable retransmits : int;
   mutable retransmit_bytes : int;
@@ -77,7 +77,7 @@ let create ?(config = default_config) ~engine ~rng ~alive channels =
   }
 
 let link t ~sh ~dh =
-  let key = (sh * Channels.n_hives t.channels) + dh in
+  let key = (sh, dh) in
   match Hashtbl.find_opt t.links key with
   | Some l -> l
   | None ->
@@ -226,6 +226,30 @@ let send t ~src ~dst ~bytes ?(on_drop = fun () -> ()) ~deliver () =
     Hashtbl.replace l.inflight m.m_seq m;
     attempt t l m ~dh
   end
+
+(* Tears down every directed link touching hive [h]: in-flight messages
+   are abandoned (timers cancelled, no on_drop — the hive is leaving the
+   cluster, not failing) and sequencing state is freed so a future hive
+   reusing the id would start fresh. *)
+let close_hive t h =
+  let doomed =
+    Hashtbl.fold
+      (fun ((sh, dh) as key) l acc -> if sh = h || dh = h then (key, l) :: acc else acc)
+      t.links []
+  in
+  List.iter
+    (fun (key, l) ->
+      Hashtbl.iter
+        (fun _ m ->
+          m.m_done <- true;
+          match m.m_timer with
+          | Some hd ->
+            ignore (Engine.cancel t.engine hd);
+            m.m_timer <- None
+          | None -> ())
+        l.inflight;
+      Hashtbl.remove t.links key)
+    doomed
 
 let sent t = t.sent
 let retransmits t = t.retransmits

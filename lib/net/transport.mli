@@ -60,6 +60,12 @@ val send :
     simulated arrival instant (duplicates are suppressed at the
     receiver), or [on_drop] runs if every attempt is lost. *)
 
+val close_hive : t -> int -> unit
+(** Frees every directed link touching the hive: pending retransmission
+    timers are cancelled and sequencing state discarded. Used when a hive
+    is decommissioned — unacked messages to or from it are abandoned
+    without firing [on_drop]. *)
+
 (** {2 Counters} *)
 
 val sent : t -> int  (** distinct messages accepted by {!send} *)

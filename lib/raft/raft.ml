@@ -70,7 +70,7 @@ type role =
 type t = {
   engine : Engine.t;
   node_id : int;
-  peers : int list;
+  mutable peers : int list;
   cfg : config;
   send : dst:int -> rpc -> unit;
   apply_fn : entry -> unit;
@@ -517,6 +517,23 @@ let crash t =
     t.commit <- t.snap_index;
     t.applied <- t.snap_index
   end
+
+let peers t = t.peers
+
+let set_peers t peers =
+  let peers = List.filter (fun p -> p <> t.node_id) peers in
+  t.peers <- peers;
+  if t.node_role = Leader then
+    (* New peers start with an empty replication cursor; next_index at
+       the log tail triggers the usual backoff (or a snapshot ship) to
+       bring them up from nothing. *)
+    List.iter
+      (fun peer ->
+        if not (Hashtbl.mem t.next_index peer) then begin
+          Hashtbl.replace t.next_index peer (last_log_index t + 1);
+          Hashtbl.replace t.match_index peer 0
+        end)
+      peers
 
 let restart t =
   if not t.up then begin

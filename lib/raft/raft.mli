@@ -112,6 +112,18 @@ val is_up : t -> bool
 val log_entries : t -> entry list
 (** The un-compacted log tail (tests only). *)
 
+(** {2 Membership} *)
+
+val peers : t -> int list
+
+val set_peers : t -> int list -> unit
+(** Replaces the peer set (the node's own id is filtered out). On a
+    leader, replication cursors for newly added peers start at the log
+    tail, so a fresh (empty-log) member is caught up through the normal
+    backoff / {!rpc.Install_snapshot} path. Simplified single-step
+    reconfiguration: the caller is responsible for changing one member at
+    a time across the group. *)
+
 (** {2 Log compaction} *)
 
 val compact : t -> upto:int -> ?data_size:int -> data:string -> unit -> unit

@@ -1,0 +1,292 @@
+(* Elastic membership: join, drain, decommission (lib/elastic).
+
+   Covers the runtime lifecycle alive -> draining -> decommissioned, the
+   evacuation pump's no-loss guarantee, the placement redirect while
+   draining, raft group handoff at drain start, and — the quorum
+   regression — the failure detector recomputing its majority over
+   *current* membership, so a 5-to-3 shrink makes two observers a
+   majority again while a 2-hive minority of 5 can never evict the other
+   three. *)
+
+open Helpers
+module Membership = Beehive_elastic.Membership
+module Failure_detector = Beehive_core.Failure_detector
+module Raft_replication = Beehive_core.Raft_replication
+module Channels = Beehive_net.Channels
+
+let hive_of platform bee =
+  (Option.get (Platform.bee_view platform bee)).Platform.view_hive
+
+let keys n = List.init n (fun i -> Printf.sprintf "k%d" i)
+
+(* Runs the pump until [hive]'s drain record completes (2 s of simulated
+   time at most). *)
+let await_drain engine membership hive =
+  let deadline = Simtime.add (Engine.now engine) (Simtime.of_sec 2.0) in
+  let rec go () =
+    if List.mem hive (Membership.draining membership) then begin
+      if Simtime.(Engine.now engine > deadline) then
+        Alcotest.fail (Printf.sprintf "drain of hive %d never completed" hive);
+      Engine.run_until engine (Simtime.add (Engine.now engine) (Simtime.of_ms 10));
+      go ()
+    end
+  in
+  go ()
+
+(* --- join ------------------------------------------------------------ *)
+
+(* add_hive widens everything at runtime: platform membership, the
+   channel/transport fabric (a message injected at the newcomer reaches
+   an owner elsewhere), and the failure detector's quorum denominator. *)
+let test_add_hive_grows_cluster () =
+  let engine, platform = make_platform ~n_hives:3 ~apps:[ kv_app () ] () in
+  let det = Failure_detector.install platform () in
+  let membership = Membership.create platform in
+  Alcotest.(check int) "initial quorum of 3" 2 (Failure_detector.quorum det);
+  let joined = Membership.add_hive membership in
+  Alcotest.(check int) "new id is the old count" 3 joined;
+  Alcotest.(check int) "platform grew" 4 (Platform.n_hives platform);
+  Alcotest.(check (list int)) "members" [ 0; 1; 2; 3 ] (Platform.members platform);
+  Alcotest.(check bool) "newcomer placeable" true (Platform.placeable platform joined);
+  Alcotest.(check int) "detector follows the join" 4
+    (Failure_detector.member_count det);
+  Alcotest.(check int) "quorum of 4" 3 (Failure_detector.quorum det);
+  Alcotest.(check int) "one join counted" 1 (Membership.joins membership);
+  (* The widened fabric carries traffic injected at the newcomer. *)
+  put platform ~from:joined ~key:"via-newcomer" ~value:7;
+  drain engine;
+  let owner = owner_exn platform ~app:"test.kv" "via-newcomer" in
+  Alcotest.(check (option int)) "put via new hive landed" (Some 7)
+    (store_value platform ~bee:owner ~key:"via-newcomer");
+  Beehive_core.Registry.check_invariant (Platform.registry platform)
+
+(* --- drain ----------------------------------------------------------- *)
+
+(* Draining a hive live-migrates every bee out, loses no state, redirects
+   new placements elsewhere, and completes at zero cells owned. *)
+let test_drain_evacuates_without_loss () =
+  let engine, platform = durable_platform ~apps:[ kv_app () ] () in
+  let membership = Membership.create platform in
+  List.iteri (fun i k -> put platform ~from:(i mod 4) ~key:k ~value:1) (keys 8);
+  drain engine;
+  let victim = hive_of platform (owner_exn platform ~app:"test.kv" "k0") in
+  Alcotest.(check bool) "drain accepted" true (Membership.drain membership victim);
+  Alcotest.(check bool) "no longer placeable" false (Platform.placeable platform victim);
+  Alcotest.(check bool) "second drain refused" false (Membership.drain membership victim);
+  (* A key injected mid-drain must home somewhere else. *)
+  put platform ~from:victim ~key:"late" ~value:5;
+  await_drain engine membership victim;
+  Alcotest.(check bool) "hive owns nothing" true (Platform.drain_complete platform victim);
+  Alcotest.(check bool) "still alive (not yet decommissioned)" true
+    (Platform.hive_alive platform victim);
+  List.iter
+    (fun k ->
+      let owner = owner_exn platform ~app:"test.kv" k in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s moved off the drained hive" k)
+        true
+        (hive_of platform owner <> victim);
+      Alcotest.(check (option int))
+        (Printf.sprintf "counter of %s intact" k)
+        (Some 1)
+        (store_value platform ~bee:owner ~key:k))
+    (keys 8);
+  Alcotest.(check bool) "late put avoided the draining hive" true
+    (hive_of platform (owner_exn platform ~app:"test.kv" "late") <> victim);
+  Alcotest.(check int) "one drain started" 1 (Membership.drains_started membership);
+  Alcotest.(check int) "one drain completed" 1 (Membership.drains_completed membership);
+  Alcotest.(check bool) "evacuation counted as rebalance migrations" true
+    (Membership.rebalance_migrations membership >= 1);
+  Alcotest.(check bool) "drain duration recorded" true
+    (Membership.last_drain_us membership > 0);
+  Beehive_core.Registry.check_invariant (Platform.registry platform)
+
+(* A drain that would leave fewer than min_placeable hives to absorb the
+   evacuees is refused outright. *)
+let test_drain_refused_below_min_placeable () =
+  let _engine, platform = make_platform ~n_hives:3 ~apps:[ kv_app () ] () in
+  let membership = Membership.create platform in
+  Alcotest.(check bool) "first drain fits" true (Membership.drain membership 0);
+  Alcotest.(check bool) "second would leave one placeable hive" false
+    (Membership.drain membership 1);
+  Alcotest.(check int) "only one drain started" 1
+    (Membership.drains_started membership);
+  Alcotest.(check (list int)) "only hive 0 draining" [ 0 ]
+    (Membership.draining membership)
+
+(* cancel_drain returns the hive to placeable; bees already moved stay
+   where they landed. *)
+let test_cancel_drain_restores_placeability () =
+  let engine, platform = durable_platform ~apps:[ kv_app () ] () in
+  let membership = Membership.create platform in
+  List.iteri (fun i k -> put platform ~from:(i mod 4) ~key:k ~value:1) (keys 4);
+  drain engine;
+  Alcotest.(check bool) "drain accepted" true (Membership.drain membership 1);
+  Alcotest.(check bool) "cancelled" true (Membership.cancel_drain membership 1);
+  Alcotest.(check bool) "placeable again" true (Platform.placeable platform 1);
+  Alcotest.(check bool) "cancel of idle hive refused" false
+    (Membership.cancel_drain membership 1);
+  run_for engine 0.1;
+  Alcotest.(check bool) "still alive" true (Platform.hive_alive platform 1);
+  Alcotest.(check int) "cancelled drain never completes" 0
+    (Membership.drains_completed membership);
+  List.iter
+    (fun k ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "counter of %s intact" k)
+        (Some 1)
+        (store_value platform ~bee:(owner_exn platform ~app:"test.kv" k) ~key:k))
+    (keys 4);
+  Beehive_core.Registry.check_invariant (Platform.registry platform)
+
+(* --- decommission ---------------------------------------------------- *)
+
+(* Decommission is refused while the hive still owns cells; after the
+   drain completes it retires the id for good (restart is a no-op on it),
+   and auto_decommission + on_complete fire from the pump. *)
+let test_decommission_requires_complete_drain () =
+  let engine, platform = durable_platform ~apps:[ kv_app () ] () in
+  let membership = Membership.create platform in
+  List.iteri (fun i k -> put platform ~from:(i mod 4) ~key:k ~value:1) (keys 8);
+  drain engine;
+  let victim = hive_of platform (owner_exn platform ~app:"test.kv" "k0") in
+  Alcotest.(check bool) "refused while it owns cells" false
+    (Membership.decommission membership victim);
+  let completed = ref false in
+  Alcotest.(check bool) "drain accepted" true
+    (Membership.drain membership ~auto_decommission:true
+       ~on_complete:(fun () -> completed := true)
+       victim);
+  await_drain engine membership victim;
+  run_for engine 0.05;
+  Alcotest.(check bool) "on_complete fired" true !completed;
+  Alcotest.(check bool) "auto-decommissioned" true
+    (Platform.hive_decommissioned platform victim);
+  Alcotest.(check bool) "decommission idempotent" true
+    (Membership.decommission membership victim);
+  Alcotest.(check bool) "out of membership" false
+    (List.mem victim (Platform.members platform));
+  Alcotest.(check int) "member count shrank" 3 (Platform.member_count platform);
+  Platform.restart_hive platform victim;
+  Alcotest.(check bool) "restart cannot resurrect it" true
+    (Platform.hive_decommissioned platform victim);
+  (* The shrunken cluster still serves writes. *)
+  let survivor = List.hd (Platform.members platform) in
+  put platform ~from:survivor ~key:"after-shrink" ~value:3;
+  drain engine;
+  Alcotest.(check (option int)) "write after shrink" (Some 3)
+    (store_value platform
+       ~bee:(owner_exn platform ~app:"test.kv" "after-shrink")
+       ~key:"after-shrink");
+  Beehive_core.Registry.check_invariant (Platform.registry platform)
+
+(* --- raft handoff ---------------------------------------------------- *)
+
+(* Draining with raft replication installed re-anchors the drained
+   hive's group memberships onto live hives before the bees leave. *)
+let test_drain_hands_off_raft_groups () =
+  let engine, platform =
+    make_platform ~n_hives:5 ~replication:true ~apps:[ replicated_kv_app () ] ()
+  in
+  let rep = Raft_replication.install platform ~group_size:3 () in
+  let membership = Membership.create ~raft:rep platform in
+  List.iteri (fun i k -> put platform ~from:(i mod 5) ~key:k ~value:1) (keys 8);
+  drain engine;
+  let victim = hive_of platform (owner_exn platform ~app:"test.kv" "k0") in
+  Alcotest.(check bool) "drain accepted" true (Membership.drain membership victim);
+  await_drain engine membership victim;
+  List.iter
+    (fun h ->
+      Alcotest.(check bool)
+        (Printf.sprintf "group at %d excludes the drained hive" h)
+        false
+        (List.mem victim (Raft_replication.group_members rep ~hive:h)))
+    (List.filter (fun h -> h <> victim) (Platform.members platform));
+  List.iter
+    (fun k ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "replicated counter of %s intact" k)
+        (Some 1)
+        (store_value platform ~bee:(owner_exn platform ~app:"test.kv" k) ~key:k))
+    (keys 8);
+  Beehive_core.Registry.check_invariant (Platform.registry platform)
+
+(* --- quorum over live membership (satellite regression) -------------- *)
+
+(* The 5-to-3 shrink regression. Before the shrink, a 2-hive minority of
+   the 5 can never confirm a suspicion against the other three (2 votes
+   < quorum 3). After draining and decommissioning two hives the
+   denominator follows membership — 3 members, quorum 2 — so the two
+   surviving observers of a genuine crash are a majority again. With a
+   stale denominator of 5 they never would be, and the crashed hive
+   would sit undetected forever. *)
+let test_quorum_follows_membership_on_shrink () =
+  let engine, platform = durable_platform ~n_hives:5 ~apps:[ kv_app () ] () in
+  let det = Failure_detector.install platform () in
+  let membership = Membership.create platform in
+  Alcotest.(check int) "quorum of 5" 3 (Failure_detector.quorum det);
+  List.iteri (fun i k -> put platform ~from:(i mod 5) ~key:k ~value:1) (keys 10);
+  drain engine;
+  (* A {3,4} | {0,1,2} split: the 2-hive side hears nothing from the
+     majority, but its 2 votes stay below quorum — hives 0..2 must
+     survive untouched. *)
+  let chans = Platform.channels platform in
+  List.iter
+    (fun (a, b) -> Channels.partition chans ~a ~b)
+    [ (3, 0); (3, 1); (3, 2); (4, 0); (4, 1); (4, 2) ];
+  run_for engine 0.03;
+  List.iter
+    (fun h ->
+      Alcotest.(check bool)
+        (Printf.sprintf "majority hive %d not evicted by the minority" h)
+        true
+        (Platform.hive_alive platform h))
+    [ 0; 1; 2 ];
+  Channels.heal_all chans;
+  run_for engine 0.03;
+  Alcotest.(check bool) "converged after heal" true (Failure_detector.converged det);
+  (* Shrink 5 -> 3: drain and decommission hives 3 and 4. *)
+  List.iter
+    (fun h ->
+      Alcotest.(check bool)
+        (Printf.sprintf "drain of %d accepted" h)
+        true
+        (Membership.drain membership ~auto_decommission:true h);
+      await_drain engine membership h)
+    [ 3; 4 ];
+  run_for engine 0.05;
+  Alcotest.(check int) "detector follows the shrink" 3
+    (Failure_detector.member_count det);
+  Alcotest.(check int) "quorum of 3" 2 (Failure_detector.quorum det);
+  Alcotest.(check bool) "decommissioned hive left membership" false
+    (Failure_detector.is_member det 4);
+  (* Two observers are now a majority: a genuine crash is confirmed. *)
+  let evictions_before = Failure_detector.evictions det in
+  Platform.crash_hive platform 2;
+  run_for engine 0.03;
+  Alcotest.(check bool) "two observers confirmed the crash" true
+    (Failure_detector.evictions det > evictions_before);
+  Alcotest.(check bool) "crashed hive suspected" true
+    (List.mem 2 (Failure_detector.suspected det));
+  Beehive_core.Registry.check_invariant (Platform.registry platform)
+
+let suite =
+  [
+    ( "elastic",
+      [
+        Alcotest.test_case "add_hive grows the cluster at runtime" `Quick
+          test_add_hive_grows_cluster;
+        Alcotest.test_case "drain evacuates every bee without loss" `Quick
+          test_drain_evacuates_without_loss;
+        Alcotest.test_case "drain refused below min_placeable" `Quick
+          test_drain_refused_below_min_placeable;
+        Alcotest.test_case "cancel_drain restores placeability" `Quick
+          test_cancel_drain_restores_placeability;
+        Alcotest.test_case "decommission requires a complete drain" `Quick
+          test_decommission_requires_complete_drain;
+        Alcotest.test_case "drain hands off raft groups" `Quick
+          test_drain_hands_off_raft_groups;
+        Alcotest.test_case "quorum follows membership across a 5->3 shrink"
+          `Quick test_quorum_follows_membership_on_shrink;
+      ] );
+  ]
