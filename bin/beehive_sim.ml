@@ -136,27 +136,42 @@ let check_cmd =
              ~doc:"Directory to write one shrunk failure trace per failing seed \
                    (created if missing); what the CI soak job uploads.")
   in
+  let lin =
+    Arg.(value & flag
+         & info [ "lin" ] ~docs
+             ~doc:"Also run the client-history linearizability workload on every \
+                   seed: logical clients issue get/put/delete and transactional \
+                   ops against a dictionary app while the nemesis runs, and the \
+                   recorded history is checked at run end (monitor \
+                   $(b,linearizability)); violations shrink to a minimal script \
+                   plus a minimal sub-history.")
+  in
   let inject_bug =
     Arg.(value & opt (some string) None
          & info [ "inject-bug" ] ~docs
              ~doc:"Deliberately re-introduce a historical bug before checking \
                    ($(b,forwarding) disables in-flight message forwarding after \
                    bee merges; $(b,dedup-off) disables the transport's \
-                   receiver-side duplicate suppression). The sweep should then \
-                   fail — a self-test of the checker.")
+                   receiver-side duplicate suppression; $(b,stale-read) makes \
+                   freshly-migrated bees serve reads from their pre-transfer \
+                   snapshot — only visible to $(b,--lin)). The sweep should \
+                   then fail — a self-test of the checker.")
   in
-  let run seeds first_seed ticks hives profiles trace_dir inject_bug =
+  let run seeds first_seed ticks hives profiles trace_dir lin inject_bug =
     (match inject_bug with
     | None -> ()
     | Some "forwarding" -> Beehive_core.Platform.debug_disable_forwarding := true
     | Some "dedup-off" -> Beehive_net.Transport.debug_disable_dedup := true
+    | Some "stale-read" -> Beehive_core.Platform.debug_stale_reads := true
     | Some other ->
-      Format.eprintf "unknown --inject-bug %S (known: forwarding, dedup-off)@." other;
+      Format.eprintf
+        "unknown --inject-bug %S (known: forwarding, dedup-off, stale-read)@."
+        other;
       exit 2);
     let n_failures = ref 0 in
     List.iter
       (fun profile ->
-        let report = Check.run ~n_hives:hives ~ticks ~first_seed ~seeds profile in
+        let report = Check.run ~n_hives:hives ~ticks ~lin ~first_seed ~seeds profile in
         Format.printf "%a" Check.pp_report report;
         List.iter
           (fun f ->
@@ -181,7 +196,7 @@ let check_cmd =
   in
   Cmd.v (Cmd.info "check" ~doc)
     Term.(const run $ seeds $ first_seed $ ticks $ hives $ profile $ trace_dir
-          $ inject_bug)
+          $ lin $ inject_bug)
 
 let scale_cmd =
   let module E = Beehive_harness.Elastic_exp in

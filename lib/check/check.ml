@@ -15,6 +15,8 @@ type report = {
   rp_ticks : int;
   rp_passed : int;
   rp_failures : failure list;
+  rp_lin_ops : int;
+  rp_lin_checked : int;
 }
 
 let shrink_failure cfg script (v : Monitor.violation) =
@@ -27,14 +29,19 @@ let shrink_failure cfg script (v : Monitor.violation) =
   let replays = still_fails shrunk in
   (shrunk, replays)
 
-let run ?(n_hives = 4) ?(ticks = 30) ?(storm_budget = 5000) ?(first_seed = 0) ~seeds
-    profile =
+let run ?(n_hives = 4) ?(ticks = 30) ?(storm_budget = 5000) ?(lin = false)
+    ?(first_seed = 0) ~seeds profile =
   let passed = ref 0 in
   let failures = ref [] in
+  let lin_ops = ref 0 in
+  let lin_checked = ref 0 in
   for seed = first_seed to first_seed + seeds - 1 do
-    let cfg = Runner.make_cfg ~n_hives ~ticks ~storm_budget ~seed profile in
+    let cfg = Runner.make_cfg ~n_hives ~ticks ~storm_budget ~lin ~seed profile in
     match Runner.run_seed cfg with
-    | _, Runner.Pass _ -> incr passed
+    | _, Runner.Pass s ->
+      incr passed;
+      lin_ops := !lin_ops + s.Runner.s_lin_ops;
+      lin_checked := !lin_checked + s.Runner.s_lin_checked
     | script, Runner.Fail v ->
       let shrunk, replays = shrink_failure cfg script v in
       failures :=
@@ -56,10 +63,12 @@ let run ?(n_hives = 4) ?(ticks = 30) ?(storm_budget = 5000) ?(first_seed = 0) ~s
     rp_ticks = ticks;
     rp_passed = !passed;
     rp_failures = List.rev !failures;
+    rp_lin_ops = !lin_ops;
+    rp_lin_checked = !lin_checked;
   }
 
-let replay ?n_hives ?ticks ?storm_budget ~seed profile =
-  Runner.run_seed (Runner.make_cfg ?n_hives ?ticks ?storm_budget ~seed profile)
+let replay ?n_hives ?ticks ?storm_budget ?lin ~seed profile =
+  Runner.run_seed (Runner.make_cfg ?n_hives ?ticks ?storm_budget ?lin ~seed profile)
 
 let pp_failure ppf f =
   Format.fprintf ppf "FAIL profile=%s seed=%d ticks=%d@."
@@ -81,6 +90,10 @@ let pp_report ppf r =
     (r.rp_first_seed + r.rp_seeds - 1)
     r.rp_ticks r.rp_passed
     (List.length r.rp_failures);
+  if r.rp_lin_checked > 0 then
+    Format.fprintf ppf
+      "  lin: %d client ops recorded, %d per-key histories checked linearizable@."
+      r.rp_lin_ops r.rp_lin_checked;
   List.iter (fun f -> Format.fprintf ppf "%a" pp_failure f) r.rp_failures
 
 let failure_to_string f = Format.asprintf "%a" pp_failure f

@@ -27,19 +27,29 @@ type report = {
   rp_ticks : int;
   rp_passed : int;
   rp_failures : failure list;
+  rp_lin_ops : int;
+      (** client ops the lin workload recorded across passing seeds
+          (0 unless [run ~lin:true]) *)
+  rp_lin_checked : int;
+      (** per-key histories checked linearizable across passing seeds *)
 }
 
 val run :
   ?n_hives:int ->
   ?ticks:int ->
   ?storm_budget:int ->
+  ?lin:bool ->
   ?first_seed:int ->
   seeds:int ->
   Script.profile ->
   report
+(** [~lin:true] arms {!Runner}'s linearizability workload and final
+    monitor on every seed (shrinking included: the lin workload re-runs
+    under each candidate script, so a minimized script is one that still
+    produces a non-linearizable history). *)
 
-val replay : ?n_hives:int -> ?ticks:int -> ?storm_budget:int -> seed:int ->
-  Script.profile -> Script.op list * Runner.outcome
+val replay : ?n_hives:int -> ?ticks:int -> ?storm_budget:int -> ?lin:bool ->
+  seed:int -> Script.profile -> Script.op list * Runner.outcome
 (** Regenerates and re-executes one seed — the reproduction command
     behind "replay: ... --seed N". *)
 

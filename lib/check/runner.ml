@@ -14,10 +14,12 @@ module Failure_detector = Beehive_core.Failure_detector
 module Transport = Beehive_net.Transport
 module Store = Beehive_store.Store
 module Membership = Beehive_elastic.Membership
+module Stats = Beehive_core.Stats
 
 type Message.payload +=
   | Ck_put of string
   | Ck_read_all
+  | Lk_op of { lk_id : int; lk_call : History.call }
 
 let k_put = "check.put"
 let k_read = "check.read_all"
@@ -59,9 +61,11 @@ type cfg = {
   r_ticks : int;
   r_seed : int;
   r_storm_budget : int;
+  r_lin : bool;
 }
 
-let make_cfg ?(n_hives = 4) ?(ticks = 30) ?(storm_budget = 5000) ~seed profile =
+let make_cfg ?(n_hives = 4) ?(ticks = 30) ?(storm_budget = 5000) ?(lin = false)
+    ~seed profile =
   if n_hives <= 0 then invalid_arg "Runner.make_cfg: need at least one hive";
   {
     r_profile = profile;
@@ -69,6 +73,7 @@ let make_cfg ?(n_hives = 4) ?(ticks = 30) ?(storm_budget = 5000) ~seed profile =
     r_ticks = ticks;
     r_seed = seed;
     r_storm_budget = storm_budget;
+    r_lin = lin;
   }
 
 type stats = {
@@ -79,6 +84,8 @@ type stats = {
   s_dropped : int;
   s_retransmits : int;
   s_puts : int;
+  s_lin_ops : int;
+  s_lin_checked : int;
 }
 
 type outcome =
@@ -113,6 +120,206 @@ let with_elastic = function
    stay readable and the id space the nemesis draws from stays honest. *)
 let max_joins = 2
 
+(* --- Linearizability workload ---------------------------------------- *)
+
+let lin_app_name = "check.lin"
+let lin_dict = "reg"
+let k_lin = "check.lin.op"
+let lin_n_keys = 4
+let lin_clients = 4
+let lin_key i = Printf.sprintf "x%d" i
+
+(* Client pacing, microseconds: think time between ops and how long a
+   client waits before giving up on an answer and moving on (the op then
+   stays open — an Info entry whose interval extends to infinity). *)
+let lin_think_min = 100
+let lin_think_spread = 300
+let lin_patience = 2500
+
+(* Spawns the recorder, the dictionary app the clients talk to, and
+   [lin_clients] closed-loop clients issuing get/put/del and two-key
+   transactional swaps through the normal bee path (so the ops ride
+   migrations, merges, crashes and partitions like any app traffic).
+
+   The acknowledgement boundary is chosen so that a fault-free-looking
+   completion really is one. With durability on, a handler commit is
+   only in-memory until the next group commit — a crash inside that
+   window rolls the WAL batch back (Store.drop_pending), so acking at
+   commit would let the nemesis manufacture genuine-but-unwanted
+   violations. Instead every op that wrote, or whose read observed
+   un-fsynced writes, queues on its hive and completes at that hive's
+   next fsync; a crash of the hive clears its queue (those ops stay
+   Info — their effects are gone, which is exactly what Info means).
+   Without durability the only profile in play is crash-free Migration,
+   where the commit itself is a safe acknowledgement point.
+
+   The app is deliberately unreplicated: under Raft a failover may
+   legitimately recover the quorum-committed prefix rather than the
+   local WAL, a divergence owned by the raft monitors, not by this
+   workload's fsync-based acknowledgements. *)
+let install_lin cfg engine platform =
+  let recorder = History.create () in
+  let durable = with_durability cfg.r_profile in
+  let acks : (int, (int * History.outcome) list ref) Hashtbl.t = Hashtbl.create 8 in
+  let ack_queue hive =
+    match Hashtbl.find_opt acks hive with
+    | Some q -> q
+    | None ->
+      let q = ref [] in
+      Hashtbl.add acks hive q;
+      q
+  in
+  if durable then begin
+    Platform.on_fsync platform (fun hive ->
+        let q = ack_queue hive in
+        let ready = List.rev !q in
+        q := [];
+        List.iter
+          (fun (id, outcome) ->
+            History.complete_ok recorder ~id ~now:(Engine.now engine) outcome)
+          ready);
+    Platform.on_hive_failure platform (fun hive ->
+        match Hashtbl.find_opt acks hive with
+        | Some q -> q := []
+        | None -> ())
+  end;
+  let as_int = function Some (Value.V_int n) -> Some n | Some _ | None -> None in
+  let handler =
+    App.handler ~kind:k_lin
+      ~map:(fun msg ->
+        match msg.Message.payload with
+        | Lk_op { lk_call; _ } -> (
+          match lk_call with
+          | History.Get k | History.Del k -> Mapping.with_key lin_dict k
+          | History.Put (k, _) -> Mapping.with_key lin_dict k
+          | History.Txn kvs ->
+            Mapping.with_keys (List.map (fun (k, _) -> (lin_dict, k)) kvs))
+        | _ -> Mapping.Drop)
+      (fun ctx msg ->
+        match msg.Message.payload with
+        | Lk_op { lk_id; lk_call } ->
+          let outcome =
+            match lk_call with
+            | History.Get k ->
+              History.Got (as_int (Context.get ctx ~dict:lin_dict ~key:k))
+            | History.Put (k, v) ->
+              Context.set ctx ~dict:lin_dict ~key:k (Value.V_int v);
+              History.Done
+            | History.Del k ->
+              Context.del ctx ~dict:lin_dict ~key:k;
+              History.Done
+            | History.Txn kvs ->
+              let olds =
+                List.map
+                  (fun (k, _) -> as_int (Context.get ctx ~dict:lin_dict ~key:k))
+                  kvs
+              in
+              List.iter
+                (fun (k, v) -> Context.set ctx ~dict:lin_dict ~key:k (Value.V_int v))
+                kvs;
+              History.Old olds
+          in
+          let ack_now () =
+            History.complete_ok recorder ~id:lk_id ~now:(Context.now ctx) outcome
+          in
+          if durable then begin
+            let writes =
+              match lk_call with History.Get _ -> false | _ -> true
+            in
+            let observed_pending =
+              match Platform.store platform with
+              | Some s -> Store.pending_writes s ~bee:(Context.bee_id ctx) > 0
+              | None -> false
+            in
+            if writes || observed_pending then begin
+              let q = ack_queue (Context.hive_id ctx) in
+              q := (lk_id, outcome) :: !q
+            end
+            else ack_now ()
+          end
+          else ack_now ()
+        | _ -> ())
+  in
+  Platform.register_app platform
+    (App.create ~name:lin_app_name ~dicts:[ lin_dict ] ~replicated:false
+       [ handler ]);
+  let vals = ref 0 in
+  let horizon = Simtime.of_us (cfg.r_ticks * 1000) in
+  for c = 0 to lin_clients - 1 do
+    let crng = Rng.split (Engine.rng engine) in
+    let fresh_val () =
+      (* Ids double as written values, unique across the whole run —
+         what gives the checker its discriminating power. *)
+      incr vals;
+      !vals
+    in
+    let fresh_key () = lin_key (Rng.int crng lin_n_keys) in
+    let draw_call () =
+      let roll = Rng.int crng 100 in
+      if roll < 40 then History.Get (fresh_key ())
+      else if roll < 70 then History.Put (fresh_key (), fresh_val ())
+      else if roll < 80 then History.Del (fresh_key ())
+      else begin
+        let a = Rng.int crng lin_n_keys in
+        let b = (a + 1 + Rng.int crng (lin_n_keys - 1)) mod lin_n_keys in
+        History.Txn [ (lin_key a, fresh_val ()); (lin_key b, fresh_val ()) ]
+      end
+    in
+    let rec issue () =
+      if Simtime.(Engine.now engine < horizon) then begin
+        match List.filter (Platform.hive_alive platform) (Platform.members platform)
+        with
+        | [] -> ignore (Engine.schedule_after engine (Simtime.of_us 500) issue)
+        | hives ->
+          let from = List.nth hives (Rng.int crng (List.length hives)) in
+          let call = draw_call () in
+          let id = History.invoke recorder ~client:c ~now:(Engine.now engine) call in
+          Platform.inject platform ~from:(Channels.Hive from) ~kind:k_lin
+            (Lk_op { lk_id = id; lk_call = call });
+          let moved = ref false in
+          let next () =
+            if not !moved then begin
+              moved := true;
+              ignore
+                (Engine.schedule_after engine
+                   (Simtime.of_us (lin_think_min + Rng.int crng lin_think_spread))
+                   issue)
+            end
+          in
+          History.on_complete recorder ~id next;
+          ignore (Engine.schedule_after engine (Simtime.of_us lin_patience) next)
+      end
+    in
+    ignore (Engine.schedule_at engine (Simtime.of_us (50 + (37 * c))) issue)
+  done;
+  recorder
+
+let lin_monitor recorder last_report =
+  {
+    Monitor.m_name = "linearizability";
+    m_phase = Monitor.Final;
+    m_check =
+      (fun ctx ->
+        let ops = History.ops recorder in
+        let r = Lin.check_report ops in
+        last_report := Some r;
+        let ps = Platform.stats ctx.Monitor.cx_platform in
+        Stats.set_gauge ps "lin.ops_recorded" (History.n_invoked recorder);
+        Stats.set_gauge ps "lin.histories_checked" r.Lin.r_components;
+        match r.Lin.r_verdict with
+        | Lin.Linearizable -> None
+        | Lin.Unknown _ ->
+          (* Degraded, not failed: an exhausted budget is a coverage gap
+             (surfaced via the gauge), never a verdict. *)
+          Stats.set_gauge ps "lin.unknown" 1;
+          None
+        | Lin.Non_linearizable witness ->
+          Some
+            (Format.asprintf
+               "@[<v>history of %d ops is not linearizable; minimal sub-history (%d ops):@,%a@]"
+               (List.length ops) (List.length witness) History.pp_ops witness))
+  }
+
 let execute cfg ops =
   let engine = Engine.create ~seed:cfg.r_seed () in
   let durability =
@@ -125,6 +332,8 @@ let execute cfg ops =
   let platform = Platform.create engine pcfg in
   let replicated = with_raft cfg.r_profile in
   Platform.register_app platform (kv_app ~replicated);
+  let lin_rec = if cfg.r_lin then Some (install_lin cfg engine platform) else None in
+  let lin_report = ref None in
   let raft =
     if replicated then
       Some (Raft_replication.install platform ~group_size:3 ~compact_every:8 ())
@@ -155,7 +364,16 @@ let execute cfg ops =
       cx_crashes = Script.has_crash ops;
     }
   in
-  let monitors = Monitor.defaults ~storm_budget:cfg.r_storm_budget in
+  let monitors =
+    Monitor.defaults ~storm_budget:cfg.r_storm_budget
+    @
+    match lin_rec with
+    | Some recorder ->
+      (* Last, so a structural finding (which implies the lin one) is
+         reported in preference to its client-visible symptom. *)
+      [ lin_monitor recorder lin_report ]
+    | None -> []
+  in
   let continuous =
     List.filter (fun m -> m.Monitor.m_phase = Monitor.Continuous) monitors
   in
@@ -206,10 +424,21 @@ let execute cfg ops =
     | Script.Read_all { from_hive; _ } ->
       if Platform.hive_alive platform from_hive then
         Platform.inject platform ~from:(Channels.Hive from_hive) ~kind:k_read Ck_read_all
-    | Script.Migrate { key; to_hive; _ } -> (
-      match Platform.find_owner platform ~app:app_name (Cell.cell dict (key_name key)) with
+    | Script.Migrate { key; to_hive; _ } ->
+      (match Platform.find_owner platform ~app:app_name (Cell.cell dict (key_name key)) with
       | Some bee -> ignore (Platform.migrate_bee platform ~bee ~to_hive ~reason:"nemesis")
-      | None -> ())
+      | None -> ());
+      (* With the lin workload on, the nemesis also migrates the lin
+         bees — as a script op, so a migration-triggered violation
+         shrinks down to the Migrate that opened the window. *)
+      if cfg.r_lin then (
+        match
+          Platform.find_owner platform ~app:lin_app_name
+            (Cell.cell lin_dict (lin_key (key mod lin_n_keys)))
+        with
+        | Some bee ->
+          ignore (Platform.migrate_bee platform ~bee ~to_hive ~reason:"nemesis-lin")
+        | None -> ())
     | Script.Fail { hive; _ } -> Platform.fail_hive platform hive
     | Script.Restart { hive; _ } ->
       if Platform.hive_crashed platform hive then do_restart hive
@@ -285,6 +514,12 @@ let execute cfg ops =
         s_dropped = Platform.total_dropped platform;
         s_retransmits = Transport.retransmits (Platform.transport platform);
         s_puts = !n_puts;
+        s_lin_ops =
+          (match lin_rec with Some r -> History.n_invoked r | None -> 0);
+        s_lin_checked =
+          (match !lin_report with
+          | Some r -> r.Lin.r_components
+          | None -> 0);
       }
   | exception Monitor.Violation v -> Fail v
   | exception exn ->

@@ -17,11 +17,24 @@ type cfg = {
   r_ticks : int;  (** fault-injection horizon, simulated ms *)
   r_seed : int;  (** engine seed (bee RNGs, Raft timeouts, ...) *)
   r_storm_budget : int;  (** max engine events per 1 ms monitor tick *)
+  r_lin : bool;
+      (** also run the client-history linearizability workload: logical
+          clients issue get/put/del and two-key transactions against a
+          dedicated dictionary app through the normal bee path, the
+          recorded {!History} is checked by {!Lin} as a final monitor
+          (name ["linearizability"]), and script [Migrate] ops
+          additionally target the lin bees *)
 }
 
 val make_cfg :
-  ?n_hives:int -> ?ticks:int -> ?storm_budget:int -> seed:int -> Script.profile -> cfg
-(** Defaults: 4 hives, 30 ticks, 5000-event storm budget. *)
+  ?n_hives:int ->
+  ?ticks:int ->
+  ?storm_budget:int ->
+  ?lin:bool ->
+  seed:int ->
+  Script.profile ->
+  cfg
+(** Defaults: 4 hives, 30 ticks, 5000-event storm budget, [lin] off. *)
 
 type stats = {
   s_events : int;
@@ -33,6 +46,8 @@ type stats = {
       (** transport-level retransmissions — how hard the at-least-once
           layer had to work to mask the fabric faults *)
   s_puts : int;  (** puts counted into the model (origin hive alive) *)
+  s_lin_ops : int;  (** client operations the lin workload invoked *)
+  s_lin_checked : int;  (** per-key histories (components) checked *)
 }
 
 type outcome =
@@ -57,3 +72,11 @@ val dict : string
 
 val key_name : int -> string
 (** [key_name 3 = "k3"], the dictionary key of script key index 3. *)
+
+val lin_app_name : string
+val lin_dict : string
+val lin_n_keys : int
+
+val lin_key : int -> string
+(** [lin_key 2 = "x2"], a key of the linearizability workload's
+    dictionary. *)

@@ -8,13 +8,27 @@ type t = {
   rng : Beehive_sim.Rng.t;
   allowed : Cell.Set.t;
   tx : State.tx;
+  read_shadow : (string * string * Value.t) list option;
+      (* when set, pure reads are served from this snapshot instead of
+         the transaction — the platform's stale-read fault injection *)
   emit_fn : ?size:int -> kind:string -> Message.payload -> unit;
   to_endpoint_fn :
     Beehive_net.Channels.endpoint -> ?size:int -> kind:string -> Message.payload -> unit;
 }
 
-let make ~app ~bee ~hive ~now ~rng ~allowed ~tx ~emit ~to_endpoint =
-  { app; bee; hive; now; rng; allowed; tx; emit_fn = emit; to_endpoint_fn = to_endpoint }
+let make ?read_shadow ~app ~bee ~hive ~now ~rng ~allowed ~tx ~emit ~to_endpoint () =
+  {
+    app;
+    bee;
+    hive;
+    now;
+    rng;
+    allowed;
+    tx;
+    read_shadow;
+    emit_fn = emit;
+    to_endpoint_fn = to_endpoint;
+  }
 
 let app t = t.app
 let bee_id t = t.bee
@@ -32,13 +46,26 @@ let check_dict t ~dict =
   if not (Cell.Set.exists (fun a -> String.equal a.Cell.dict dict) t.allowed) then
     raise (Access_violation { app = t.app; dict; key = "*" })
 
+let shadow_get t ~dict ~key =
+  Option.map
+    (fun entries ->
+      List.find_map
+        (fun (d, k, v) ->
+          if String.equal d dict && String.equal k key then Some v else None)
+        entries)
+    t.read_shadow
+
 let get t ~dict ~key =
   check t ~dict ~key;
-  State.tx_get t.tx ~dict ~key
+  match shadow_get t ~dict ~key with
+  | Some v -> v
+  | None -> State.tx_get t.tx ~dict ~key
 
 let mem t ~dict ~key =
   check t ~dict ~key;
-  State.tx_mem t.tx ~dict ~key
+  match shadow_get t ~dict ~key with
+  | Some v -> Option.is_some v
+  | None -> State.tx_mem t.tx ~dict ~key
 
 let set t ~dict ~key v =
   check t ~dict ~key;
@@ -60,7 +87,13 @@ let visible t ~dict key =
 
 let iter_dict t ~dict f =
   check_dict t ~dict;
-  State.tx_iter t.tx ~dict (fun k v -> if visible t ~dict k then f k v)
+  match t.read_shadow with
+  | Some entries ->
+    List.iter
+      (fun (d, k, v) ->
+        if String.equal d dict && visible t ~dict k then f k v)
+      entries
+  | None -> State.tx_iter t.tx ~dict (fun k v -> if visible t ~dict k then f k v)
 
 let dict_keys t ~dict =
   let acc = ref [] in

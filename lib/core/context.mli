@@ -11,6 +11,7 @@ exception Access_violation of { app : string; dict : string; key : string }
 type t
 
 val make :
+  ?read_shadow:(string * string * Value.t) list ->
   app:string ->
   bee:int ->
   hive:int ->
@@ -21,8 +22,13 @@ val make :
   emit:(?size:int -> kind:string -> Message.payload -> unit) ->
   to_endpoint:
     (Beehive_net.Channels.endpoint -> ?size:int -> kind:string -> Message.payload -> unit) ->
+  unit ->
   t
-(** Used by the platform (and by tests that drive handlers directly). *)
+(** Used by the platform (and by tests that drive handlers directly).
+    [read_shadow], when given, serves all {e pure} reads ({!get}, {!mem},
+    {!iter_dict}, {!dict_keys}) from the snapshot instead of the
+    transaction — the hook behind {!Platform.debug_stale_reads}. Writes
+    and {!update}'s read-modify-write are never shadowed. *)
 
 val app : t -> string
 val bee_id : t -> int

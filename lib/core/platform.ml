@@ -11,6 +11,11 @@ let src = Logs.Src.create "beehive.platform" ~doc:"Beehive control platform"
 module Log = (val Logs.src_log src : Logs.LOG)
 
 let debug_disable_forwarding = ref false
+let debug_stale_reads = ref false
+
+(* How long a freshly-landed migration keeps serving reads from its
+   pre-transfer snapshot when [debug_stale_reads] is set. *)
+let stale_read_window = Simtime.of_ms 3
 
 type config = {
   n_hives : int;
@@ -103,6 +108,10 @@ type bee = {
          used by merge to wait for losers to quiesce *)
   mutable forwarded_to : bee option;
       (* set when this bee was merged away: in-flight messages follow *)
+  mutable stale_shadow : (string * string * Value.t) list option;
+      (* [debug_stale_reads] only: the pre-migration snapshot a
+         freshly-landed bee wrongly keeps serving reads from *)
+  mutable stale_until : Simtime.t;
 }
 
 type migration = {
@@ -177,6 +186,8 @@ type t = {
   mutable recovery_providers : (bee:int -> (string * string * Value.t) list option) list;
       (* newest first; first Some wins *)
   mutable failure_hooks : (int -> unit) list;
+  mutable fsync_hooks : (int -> unit) list;
+      (* run after each per-hive group commit becomes durable *)
   mutable added_hooks : (int -> unit) list;
   mutable decom_hooks : (int -> unit) list;
   mutable emit_hooks :
@@ -246,6 +257,7 @@ let create engine cfg =
     commit_hooks = [];
     recovery_providers = [];
     failure_hooks = [];
+    fsync_hooks = [];
     added_hooks = [];
     decom_hooks = [];
     emit_hooks = [];
@@ -270,7 +282,8 @@ let create engine cfg =
     let on_fsync ~hive ~bytes ~records:_ =
       ignore
         (Channels.transfer t.chans ~src:(Channels.Hive hive) ~dst:(Channels.Hive hive)
-           ~bytes ~now:(Engine.now engine))
+           ~bytes ~now:(Engine.now engine));
+      List.iter (fun f -> f hive) t.fsync_hooks
     in
     let on_compaction ~bee ~dropped_records:_ ~dropped_bytes:_ ~snapshot_bytes:_ =
       match Hashtbl.find_opt t.bees bee with
@@ -429,6 +442,8 @@ let new_bee t ~(app : App.t) ~hive ~is_local =
       pending_migration = None;
       on_idle = [];
       forwarded_to = None;
+      stale_shadow = None;
+      stale_until = Simtime.zero;
     }
   in
   Hashtbl.add t.bees id b;
@@ -565,10 +580,17 @@ and process t (b : bee) d cost =
     | None -> drop t Missing_endpoint
     | Some cb -> ignore (Engine.schedule_after t.engine lat (fun () -> cb m))
   in
+  let read_shadow =
+    match b.stale_shadow with
+    | Some _ when (not !debug_stale_reads) || Simtime.(now t >= b.stale_until) ->
+      b.stale_shadow <- None;
+      None
+    | shadow -> shadow
+  in
   let ctx =
-    Context.make ~app:b.app.App.name ~bee:b.id ~hive:b.hive
+    Context.make ?read_shadow ~app:b.app.App.name ~bee:b.id ~hive:b.hive
       ~now:(fun () -> now t)
-      ~rng:b.rng ~allowed ~tx ~emit ~to_endpoint
+      ~rng:b.rng ~allowed ~tx ~emit ~to_endpoint ()
   in
   (match d.d_handler.App.rcv ctx msg with
   | () ->
@@ -614,6 +636,13 @@ and start_transfer t (b : bee) dst reason =
   if b.status = `Active && hive_alive t dst && dst <> b.hive then begin
     b.status <- `Paused;
     let src_hive = b.hive in
+    (* The stale-read bug: remember what the bee's dictionaries looked
+       like when the transfer left the source, to (wrongly) serve reads
+       from after landing. *)
+    let stale_snapshot =
+      if !debug_stale_reads && not b.is_local then Some (State.snapshot b.state)
+      else None
+    in
     let bytes =
       (* With the storage engine, migration ships a compacted snapshot
          plus the WAL tail (forcing a group commit first) rather than an
@@ -650,6 +679,11 @@ and start_transfer t (b : bee) dst reason =
         else if b.status = `Paused && b.incarnation = inc then begin
           b.hive <- dst;
           b.fenced <- false;
+          (match stale_snapshot with
+          | Some snap when !debug_stale_reads ->
+            b.stale_shadow <- Some snap;
+            b.stale_until <- Simtime.add (now t) stale_read_window
+          | Some _ | None -> ());
           Registry.set_hive t.reg ~bee:b.id ~hive:dst;
           t.version <- t.version + 1;
           b.status <- `Active;
@@ -707,10 +741,15 @@ and merge_bees t ~(winner : bee) ~(losers : bee list) ~k =
     State.insert winner.state all_entries;
     (match t.store with
     | Some s when not winner.is_local ->
-      (* The winner's log absorbs the loser's cell set as one write set;
-         the loser's log is gone (its cells now live under the winner). *)
+      (* The winner's log absorbs the loser's cell set as one write set.
+         That write set must be durable *before* the loser's log is
+         forgotten: the loser's copy was already fsynced, so dropping it
+         while the winner's copy still sits in an un-committed batch
+         would turn a crash of the winner's hive inside the group-commit
+         window into silent loss of acknowledged writes. *)
       Store.append s ~bee:winner.id ~hive:winner.hive
         (List.map (fun (d, k, v) -> (d, k, Some v)) all_entries);
+      Store.flush_bee s ~bee:winner.id;
       Store.forget s ~bee:l.id
     | Some _ | None -> ());
     let bytes =
@@ -1144,6 +1183,7 @@ let on_hive_restart t f = t.restart_hooks <- f :: t.restart_hooks
 let on_commit t f = t.commit_hooks <- f :: t.commit_hooks
 let set_recovery_provider t f = t.recovery_providers <- f :: t.recovery_providers
 let on_hive_failure t f = t.failure_hooks <- f :: t.failure_hooks
+let on_fsync t f = t.fsync_hooks <- f :: t.fsync_hooks
 let on_emit t f = t.emit_hooks <- f :: t.emit_hooks
 
 let recover_entries t ~bee =

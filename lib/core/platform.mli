@@ -123,6 +123,12 @@ val durable_bee_entries : t -> int -> (string * string * Value.t) list
 val flush_durability : t -> unit
 (** Forces a group commit (tests and controlled shutdowns). *)
 
+val on_fsync : t -> (int -> unit) -> unit
+(** Called with the hive id after each per-hive group commit becomes
+    durable — the boundary at which a client acknowledgement of that
+    hive's writes is crash-safe (see {!Beehive_check}'s linearizability
+    workload). Never called without durability. *)
+
 val total_fsyncs : t -> int
 
 val restart_hive : t -> int -> unit
@@ -354,6 +360,14 @@ val debug_disable_forwarding : bool ref
 (** When set, messages in flight to a bee that was merged away are
     dropped instead of following its forwarding pointer to the surviving
     bee — the original in-flight-forwarding bug. Default [false]. *)
+
+val debug_stale_reads : bool ref
+(** When set, a bee that completes a live migration keeps serving {e pure
+    reads} from its pre-transfer snapshot for a few milliseconds after
+    landing (writes and read-modify-write stay correct, so only
+    client-visible semantics break — structural invariants cannot see
+    it). The stale-read bug {!Beehive_check}'s linearizability checker
+    exists to catch. Default [false]. *)
 
 val message_latency_percentile : t -> float -> int option
 (** Cluster-wide percentile (in microseconds) of the emission-to-handler

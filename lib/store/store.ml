@@ -173,53 +173,69 @@ let compact_log t bl =
   | Some f -> f ~bee:bl.bl_bee ~dropped_records ~dropped_bytes ~snapshot_bytes:snap_bytes
   | None -> ()
 
+(* Moves a log's pending batches into its durable WAL, accumulating the
+   per-hive fsync charges into [by_hive]. True if anything moved. *)
+let commit_pending t bl by_hive =
+  match bl.bl_pending with
+  | [] -> false
+  | pending ->
+    List.iter
+      (fun (hive, writes, bytes) ->
+        let r =
+          {
+            r_lsn = bl.bl_next_lsn;
+            r_at = Engine.now t.engine;
+            r_writes = writes;
+            r_bytes = bytes;
+          }
+        in
+        bl.bl_next_lsn <- bl.bl_next_lsn + 1;
+        bl.bl_wal <- r :: bl.bl_wal;
+        bl.bl_wal_bytes <- bl.bl_wal_bytes + bytes;
+        bl.bl_wal_records <- bl.bl_wal_records + 1;
+        t.wal_bytes_written <- t.wal_bytes_written + bytes;
+        let b, n = Option.value ~default:(0, 0) (Hashtbl.find_opt by_hive hive) in
+        Hashtbl.replace by_hive hive (b + bytes, n + 1))
+      (List.rev pending);
+    bl.bl_pending <- [];
+    true
+
+let fire_fsyncs t by_hive =
+  let hives =
+    Hashtbl.fold (fun h v acc -> (h, v) :: acc) by_hive []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  List.iter
+    (fun (hive, (bytes, records)) ->
+      t.n_fsyncs <- t.n_fsyncs + 1;
+      match t.on_fsync with Some f -> f ~hive ~bytes ~records | None -> ())
+    hives
+
 let flush t =
   let by_hive = Hashtbl.create 8 in
-  let dirty = ref false in
-  List.iter
-    (fun bl ->
-      match bl.bl_pending with
-      | [] -> ()
-      | pending ->
-        dirty := true;
-        List.iter
-          (fun (hive, writes, bytes) ->
-            let r =
-              {
-                r_lsn = bl.bl_next_lsn;
-                r_at = Engine.now t.engine;
-                r_writes = writes;
-                r_bytes = bytes;
-              }
-            in
-            bl.bl_next_lsn <- bl.bl_next_lsn + 1;
-            bl.bl_wal <- r :: bl.bl_wal;
-            bl.bl_wal_bytes <- bl.bl_wal_bytes + bytes;
-            bl.bl_wal_records <- bl.bl_wal_records + 1;
-            t.wal_bytes_written <- t.wal_bytes_written + bytes;
-            let b, n =
-              Option.value ~default:(0, 0) (Hashtbl.find_opt by_hive hive)
-            in
-            Hashtbl.replace by_hive hive (b + bytes, n + 1))
-          (List.rev pending);
-        bl.bl_pending <- [])
-    (sorted_logs t);
-  if !dirty then begin
-    let hives =
-      Hashtbl.fold (fun h v acc -> (h, v) :: acc) by_hive []
-      |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
-    in
-    List.iter
-      (fun (hive, (bytes, records)) ->
-        t.n_fsyncs <- t.n_fsyncs + 1;
-        match t.on_fsync with Some f -> f ~hive ~bytes ~records | None -> ())
-      hives;
+  let dirty =
+    List.fold_left
+      (fun acc bl -> commit_pending t bl by_hive || acc)
+      false (sorted_logs t)
+  in
+  if dirty then begin
+    fire_fsyncs t by_hive;
     (* Compact any bee whose durable log outgrew the threshold. *)
     List.iter
       (fun bl ->
         if bl.bl_wal_bytes > t.cfg.snapshot_threshold_bytes then compact_log t bl)
       (sorted_logs t)
   end
+
+let flush_bee t ~bee =
+  match Hashtbl.find_opt t.logs bee with
+  | None -> ()
+  | Some bl ->
+    let by_hive = Hashtbl.create 4 in
+    if commit_pending t bl by_hive then begin
+      fire_fsyncs t by_hive;
+      if bl.bl_wal_bytes > t.cfg.snapshot_threshold_bytes then compact_log t bl
+    end
 
 let create engine ?(config = default_config) ~size_of ?on_fsync ?on_compaction () =
   if config.wal_group_commit_ticks < 1 then

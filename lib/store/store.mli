@@ -83,6 +83,13 @@ val flush : 'v t -> unit
     does this every [wal_group_commit_ticks] ms). Runs compaction on any
     bee whose durable WAL exceeds the snapshot threshold. *)
 
+val flush_bee : 'v t -> bee:int -> unit
+(** Group-commits just this bee's pending batches (other logs keep
+    theirs). Used when one bee's writes must be durable {e now} without
+    forcing a cluster-wide flush — e.g. a merge making the absorbed
+    loser entries durable under the winner before the loser's log is
+    forgotten. *)
+
 val compact : 'v t -> bee:int -> unit
 (** Forces snapshot + log truncation for one bee (flushes it first). *)
 

@@ -26,9 +26,11 @@ let parse_corpus path =
       if line = "" || line.[0] = '#' then go acc (n + 1)
       else
         (match String.split_on_char ' ' line |> List.filter (( <> ) "") with
-        | [ profile; seed; ticks ] ->
+        | [ profile; seed; ticks ] | [ profile; seed; ticks; "lin" ] as fields ->
+          let lin = List.length fields = 4 in
           (match Script.profile_of_string profile with
-          | Ok p -> go ((p, int_of_string seed, int_of_string ticks) :: acc) (n + 1)
+          | Ok p ->
+            go ((p, int_of_string seed, int_of_string ticks, lin) :: acc) (n + 1)
           | Error e -> Alcotest.fail (Printf.sprintf "seeds.corpus:%d: %s" n e))
         | _ -> Alcotest.fail (Printf.sprintf "seeds.corpus:%d: malformed line" n))
   in
@@ -40,8 +42,8 @@ let test_corpus_replays_clean () =
   let entries = parse_corpus "seeds.corpus" in
   Alcotest.(check bool) "corpus is not empty" true (List.length entries >= 10);
   List.iter
-    (fun (profile, seed, ticks) ->
-      match Check.replay ~ticks ~seed profile with
+    (fun (profile, seed, ticks, lin) ->
+      match Check.replay ~ticks ~lin ~seed profile with
       | _, Runner.Pass _ -> ()
       | _, Runner.Fail v ->
         Alcotest.fail
