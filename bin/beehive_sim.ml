@@ -146,6 +146,16 @@ let check_cmd =
                    $(b,linearizability)); violations shrink to a minimal script \
                    plus a minimal sub-history.")
   in
+  let outbox =
+    Arg.(value & flag
+         & info [ "outbox" ] ~docs
+             ~doc:"Also run the transactional-outbox workload on every seed: \
+                   puts enter through a forwarding app that journals them and \
+                   re-emits them inside the same transaction, and the run is \
+                   judged by the $(b,exactly-once) and \
+                   $(b,quarantine-accounting) monitors on top of the usual \
+                   invariants.")
+  in
   let inject_bug =
     Arg.(value & opt (some string) None
          & info [ "inject-bug" ] ~docs
@@ -154,24 +164,32 @@ let check_cmd =
                    bee merges; $(b,dedup-off) disables the transport's \
                    receiver-side duplicate suppression; $(b,stale-read) makes \
                    freshly-migrated bees serve reads from their pre-transfer \
-                   snapshot — only visible to $(b,--lin)). The sweep should \
-                   then fail — a self-test of the checker.")
+                   snapshot — only visible to $(b,--lin); $(b,lost-outbox) \
+                   skips outbox replay on restart and $(b,replay-dup) wipes the \
+                   durable inbox before replay — both only visible to \
+                   $(b,--outbox)). The sweep should then fail — a self-test of \
+                   the checker.")
   in
-  let run seeds first_seed ticks hives profiles trace_dir lin inject_bug =
+  let run seeds first_seed ticks hives profiles trace_dir lin outbox inject_bug =
     (match inject_bug with
     | None -> ()
     | Some "forwarding" -> Beehive_core.Platform.debug_disable_forwarding := true
     | Some "dedup-off" -> Beehive_net.Transport.debug_disable_dedup := true
     | Some "stale-read" -> Beehive_core.Platform.debug_stale_reads := true
+    | Some "lost-outbox" -> Beehive_core.Platform.debug_skip_outbox_replay := true
+    | Some "replay-dup" -> Beehive_core.Platform.debug_forget_inbox := true
     | Some other ->
       Format.eprintf
-        "unknown --inject-bug %S (known: forwarding, dedup-off, stale-read)@."
+        "unknown --inject-bug %S (known: forwarding, dedup-off, stale-read, \
+         lost-outbox, replay-dup)@."
         other;
       exit 2);
     let n_failures = ref 0 in
     List.iter
       (fun profile ->
-        let report = Check.run ~n_hives:hives ~ticks ~lin ~first_seed ~seeds profile in
+        let report =
+          Check.run ~n_hives:hives ~ticks ~lin ~outbox ~first_seed ~seeds profile
+        in
         Format.printf "%a" Check.pp_report report;
         List.iter
           (fun f ->
@@ -196,7 +214,7 @@ let check_cmd =
   in
   Cmd.v (Cmd.info "check" ~doc)
     Term.(const run $ seeds $ first_seed $ ticks $ hives $ profile $ trace_dir
-          $ lin $ inject_bug)
+          $ lin $ outbox $ inject_bug)
 
 let scale_cmd =
   let module E = Beehive_harness.Elastic_exp in

@@ -2,6 +2,7 @@ type failure = {
   f_profile : Script.profile;
   f_seed : int;
   f_ticks : int;
+  f_outbox : bool;
   f_violation : Monitor.violation;
   f_script : Script.op list;
   f_shrunk : Script.op list;
@@ -30,13 +31,13 @@ let shrink_failure cfg script (v : Monitor.violation) =
   (shrunk, replays)
 
 let run ?(n_hives = 4) ?(ticks = 30) ?(storm_budget = 5000) ?(lin = false)
-    ?(first_seed = 0) ~seeds profile =
+    ?(outbox = false) ?(first_seed = 0) ~seeds profile =
   let passed = ref 0 in
   let failures = ref [] in
   let lin_ops = ref 0 in
   let lin_checked = ref 0 in
   for seed = first_seed to first_seed + seeds - 1 do
-    let cfg = Runner.make_cfg ~n_hives ~ticks ~storm_budget ~lin ~seed profile in
+    let cfg = Runner.make_cfg ~n_hives ~ticks ~storm_budget ~lin ~outbox ~seed profile in
     match Runner.run_seed cfg with
     | _, Runner.Pass s ->
       incr passed;
@@ -49,6 +50,7 @@ let run ?(n_hives = 4) ?(ticks = 30) ?(storm_budget = 5000) ?(lin = false)
           f_profile = profile;
           f_seed = seed;
           f_ticks = ticks;
+          f_outbox = outbox;
           f_violation = v;
           f_script = script;
           f_shrunk = shrunk;
@@ -67,17 +69,20 @@ let run ?(n_hives = 4) ?(ticks = 30) ?(storm_budget = 5000) ?(lin = false)
     rp_lin_checked = !lin_checked;
   }
 
-let replay ?n_hives ?ticks ?storm_budget ?lin ~seed profile =
-  Runner.run_seed (Runner.make_cfg ?n_hives ?ticks ?storm_budget ?lin ~seed profile)
+let replay ?n_hives ?ticks ?storm_budget ?lin ?outbox ~seed profile =
+  Runner.run_seed
+    (Runner.make_cfg ?n_hives ?ticks ?storm_budget ?lin ?outbox ~seed profile)
 
 let pp_failure ppf f =
   Format.fprintf ppf "FAIL profile=%s seed=%d ticks=%d@."
     (Script.profile_to_string f.f_profile)
     f.f_seed f.f_ticks;
   Format.fprintf ppf "  %a@." Monitor.pp_violation f.f_violation;
-  Format.fprintf ppf "  replay: beehive_sim check --profile %s --first-seed %d --seeds 1 --ticks %d@."
+  Format.fprintf ppf
+    "  replay: beehive_sim check --profile %s --first-seed %d --seeds 1 --ticks %d%s@."
     (Script.profile_to_string f.f_profile)
-    f.f_seed f.f_ticks;
+    f.f_seed f.f_ticks
+    (if f.f_outbox then " --outbox" else "");
   Format.fprintf ppf "  script: %d events, shrunk to %d (%s)@."
     (List.length f.f_script) (List.length f.f_shrunk)
     (if f.f_replays then "replays deterministically" else "REPLAY DIVERGED");

@@ -12,6 +12,7 @@ type failure = {
   f_profile : Script.profile;
   f_seed : int;
   f_ticks : int;
+  f_outbox : bool;  (** the outbox workload was armed for this run *)
   f_violation : Monitor.violation;
   f_script : Script.op list;  (** the full generated script *)
   f_shrunk : Script.op list;  (** 1-minimal failing subsequence *)
@@ -39,6 +40,7 @@ val run :
   ?ticks:int ->
   ?storm_budget:int ->
   ?lin:bool ->
+  ?outbox:bool ->
   ?first_seed:int ->
   seeds:int ->
   Script.profile ->
@@ -46,10 +48,12 @@ val run :
 (** [~lin:true] arms {!Runner}'s linearizability workload and final
     monitor on every seed (shrinking included: the lin workload re-runs
     under each candidate script, so a minimized script is one that still
-    produces a non-linearizable history). *)
+    produces a non-linearizable history). [~outbox:true] routes puts
+    through the forwarding pipeline and arms the exactly-once and
+    quarantine-accounting monitors the same way. *)
 
 val replay : ?n_hives:int -> ?ticks:int -> ?storm_budget:int -> ?lin:bool ->
-  seed:int -> Script.profile -> Script.op list * Runner.outcome
+  ?outbox:bool -> seed:int -> Script.profile -> Script.op list * Runner.outcome
 (** Regenerates and re-executes one seed — the reproduction command
     behind "replay: ... --seed N". *)
 

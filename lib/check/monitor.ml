@@ -22,6 +22,9 @@ type ctx = {
   cx_detector : Failure_detector.t option;
   cx_membership : Membership.t option;
   cx_crashes : bool;
+  cx_fwd : (string * string) option;
+      (* outbox workload: forwarding app name and its journal dict *)
+  cx_poisons : int ref;  (* poison injections accepted by the workload *)
 }
 
 type violation = {
@@ -53,22 +56,24 @@ let check m ctx =
       (Violation
          { v_monitor = m.m_name; v_detail = detail; v_at = Engine.now ctx.cx_engine })
 
-(* The counter a key's owner currently holds, or [None] when the key has
-   no registered owner. *)
-let observed ctx key =
-  match Platform.find_owner ctx.cx_platform ~app:ctx.cx_app (Cell.cell ctx.cx_dict key) with
+(* The counter a key's owner currently holds in [app]'s [dict], or
+   [None] when the key has no registered owner. *)
+let observed_in ctx ~app ~dict key =
+  match Platform.find_owner ctx.cx_platform ~app (Cell.cell dict key) with
   | None -> None
   | Some bee ->
     let n =
       List.fold_left
         (fun acc (d, k, v) ->
-          if String.equal d ctx.cx_dict && String.equal k key then
+          if String.equal d dict && String.equal k key then
             match v with Value.V_int n -> n | _ -> acc
           else acc)
         0
         (Platform.bee_state_entries ctx.cx_platform bee)
     in
     Some (bee, n)
+
+let observed ctx key = observed_in ctx ~app:ctx.cx_app ~dict:ctx.cx_dict key
 
 let model_keys ctx =
   Hashtbl.fold (fun k n acc -> (k, n) :: acc) ctx.cx_puts [] |> List.sort compare
@@ -155,9 +160,26 @@ let durable_ownership =
             (fun (key, puts) ->
               match observed ctx key with
               | None ->
-                Some
-                  (Printf.sprintf
-                     "key %s lost its owner despite durability (%d puts)" key puts)
+                (* With the outbox workload a put is only *accepted* once
+                   the forwarding stage journals it: a put whose ingress
+                   transaction died un-fsynced with its hive never
+                   happened (the client saw no ack), so the kv side owing
+                   nothing is correct crash semantics. The journal is the
+                   acceptance ground truth; journaled-but-ownerless keys
+                   still fire (and exactly-once reports them too). *)
+                let accepted =
+                  match ctx.cx_fwd with
+                  | None -> true
+                  | Some (fwd_app, journal) -> (
+                    match observed_in ctx ~app:fwd_app ~dict:journal key with
+                    | Some (_, j) -> j > 0
+                    | None -> false)
+                in
+                if accepted then
+                  Some
+                    (Printf.sprintf
+                       "key %s lost its owner despite durability (%d puts)" key puts)
+                else None
               | Some _ -> None)
             (model_keys ctx));
   }
@@ -343,6 +365,71 @@ let drain_completeness =
             scan 0));
   }
 
+(* End-to-end exactly-once over the outbox workload: every journaled
+   forward at the first app emitted exactly one put, and that put applied
+   exactly once at the kv app. J(k) = C(k) catches both sides — a lost
+   committed emit (C < J, e.g. replay skipped after restart) and a
+   double-applied replay (C > J, e.g. the durable inbox forgotten).
+   Quarantined poisons never journal and never emit, so they cancel out
+   of both sides by construction. *)
+let exactly_once =
+  {
+    m_name = "exactly-once";
+    m_phase = Final;
+    m_check =
+      (fun ctx ->
+        match ctx.cx_fwd with
+        | None -> None
+        | Some (fwd_app, journal) ->
+          List.find_map
+            (fun (key, _) ->
+              match observed_in ctx ~app:fwd_app ~dict:journal key with
+              | None -> None (* never forwarded: nothing to compare *)
+              | Some (fbee, j) -> (
+                match observed ctx key with
+                | None when j > 0 ->
+                  Some
+                    (Printf.sprintf
+                       "key %s: bee %d journaled %d forwards but the put side has \
+                        no owner"
+                       key fbee j)
+                | Some (bee, c) when c <> j ->
+                  Some
+                    (Printf.sprintf
+                       "key %s: %d journaled forwards but bee %d applied %d puts \
+                        (%s)"
+                       key j bee c
+                       (if c < j then "committed emit lost" else "replay applied twice"))
+                | Some _ | None -> None))
+            (model_keys ctx));
+  }
+
+(* Poison containment bookkeeping: on a crash-free run every accepted
+   poison — and nothing else — must end in quarantine. Crashes can lose a
+   poison before its retries exhaust (it was never durable), so only the
+   crash-free equality is exact, mirroring no-loss. *)
+let quarantine_accounting =
+  {
+    m_name = "quarantine-accounting";
+    m_phase = Final;
+    m_check =
+      (fun ctx ->
+        match ctx.cx_fwd with
+        | None -> None
+        | Some _ ->
+          if ctx.cx_crashes then None
+          else
+            let q = Platform.total_quarantined ctx.cx_platform in
+            let p = !(ctx.cx_poisons) in
+            if q <> p then
+              Some
+                (Printf.sprintf
+                   "%d messages quarantined but %d poisons injected (%s)" q p
+                   (if q < p then "a poison escaped containment"
+                    else "a healthy message was quarantined"))
+            else None);
+  }
+
 let storm ~budget =
   let last = ref 0 in
   {
@@ -372,4 +459,6 @@ let defaults ~storm_budget =
     durable_ownership;
     membership_convergence;
     drain_completeness;
+    exactly_once;
+    quarantine_accounting;
   ]

@@ -31,6 +31,13 @@ type ctx = {
       (** installed for the elastic profile; lets the drain-completeness
           monitor read drain records *)
   cx_crashes : bool;  (** the script being executed contains [Fail] ops *)
+  cx_fwd : (string * string) option;
+      (** the outbox workload's forwarding app and its journal dict, when
+          that workload is running; arms the exactly-once and
+          quarantine-accounting monitors *)
+  cx_poisons : int ref;
+      (** model: poison injections accepted while the origin hive was
+          alive (each must end in quarantine, not in state) *)
 }
 
 type violation = {
@@ -98,6 +105,20 @@ val drain_completeness : t
     hive, zero in-flight inbound transfers — and drains that asked for
     auto-decommission actually removed the hive. Skips itself without an
     elastic membership manager. *)
+
+val exactly_once : t
+(** End-to-end exactly-once over the outbox workload: for every key, the
+    forwarding app's journal count equals the kv app's counter — each
+    journaled forward emitted one put inside its transaction and that put
+    applied exactly once. [C < J] is a lost committed emit (the
+    lost-outbox bug); [C > J] is a double-applied replay (the replay-dup
+    bug). Skips itself when the outbox workload is not running. *)
+
+val quarantine_accounting : t
+(** On a crash-free run, every accepted poison injection — and nothing
+    else — ends in quarantine. Crashes can legitimately lose a
+    not-yet-durable poison mid-retry, so like {!no_loss} it skips itself
+    when [cx_crashes]. *)
 
 val storm : budget:int -> t
 (** Event-storm detector: fails if more than [budget] engine events

@@ -19,12 +19,18 @@ module Stats = Beehive_core.Stats
 type Message.payload +=
   | Ck_put of string
   | Ck_read_all
+  | Ck_fwd of string
+  | Ck_poison of string
   | Lk_op of { lk_id : int; lk_call : History.call }
 
 let k_put = "check.put"
 let k_read = "check.read_all"
+let k_fwd = "check.fwd"
+let k_poison = "check.poison"
 let app_name = "check.kv"
 let dict = "store"
+let fwd_app_name = "check.fwd"
+let fwd_dict = "journal"
 let key_name k = Printf.sprintf "k%d" k
 
 (* The check workload: a key-sharded counter plus the centralizing
@@ -55,6 +61,49 @@ let kv_app ~replicated =
   in
   App.create ~name:app_name ~dicts:[ dict ] ~replicated [ on_put; on_read_all ]
 
+(* The outbox workload's first pipeline stage: journal the forward and
+   emit the kv put inside the same transaction. End-to-end exactly-once
+   is then a per-key equality between the journal and the kv counter —
+   the emit either rode the commit or never happened, and must apply
+   exactly once downstream, across any crash/partition/migration mix.
+   The poison handler always raises: containment means it burns its
+   retry budget into quarantine while everything else stays green. *)
+exception Poisoned of string
+
+let fwd_app ~replicated =
+  let on_fwd =
+    App.handler ~kind:k_fwd
+      ~map:(fun msg ->
+        match msg.Message.payload with
+        | Ck_fwd key -> Mapping.with_key fwd_dict key
+        | _ -> Mapping.Drop)
+      (fun ctx msg ->
+        match msg.Message.payload with
+        | Ck_fwd key ->
+          Context.update ctx ~dict:fwd_dict ~key (function
+            | Some (Value.V_int n) -> Some (Value.V_int (n + 1))
+            | _ -> Some (Value.V_int 1));
+          Context.emit ctx ~kind:k_put (Ck_put key)
+        | _ -> ())
+  in
+  let on_poison =
+    App.handler ~kind:k_poison
+      ~map:(fun msg ->
+        match msg.Message.payload with
+        | Ck_poison key -> Mapping.with_key fwd_dict key
+        | _ -> Mapping.Drop)
+      (fun ctx msg ->
+        match msg.Message.payload with
+        | Ck_poison key ->
+          (* A half-done write and emit that must roll back, together,
+             with every attempt. *)
+          Context.set ctx ~dict:fwd_dict ~key (Value.V_int 999_999);
+          Context.emit ctx ~kind:k_put (Ck_put key);
+          raise (Poisoned key)
+        | _ -> ())
+  in
+  App.create ~name:fwd_app_name ~dicts:[ fwd_dict ] ~replicated [ on_fwd; on_poison ]
+
 type cfg = {
   r_profile : Script.profile;
   r_n_hives : int;
@@ -62,10 +111,11 @@ type cfg = {
   r_seed : int;
   r_storm_budget : int;
   r_lin : bool;
+  r_outbox : bool;
 }
 
 let make_cfg ?(n_hives = 4) ?(ticks = 30) ?(storm_budget = 5000) ?(lin = false)
-    ~seed profile =
+    ?(outbox = false) ~seed profile =
   if n_hives <= 0 then invalid_arg "Runner.make_cfg: need at least one hive";
   {
     r_profile = profile;
@@ -74,6 +124,7 @@ let make_cfg ?(n_hives = 4) ?(ticks = 30) ?(storm_budget = 5000) ?(lin = false)
     r_seed = seed;
     r_storm_budget = storm_budget;
     r_lin = lin;
+    r_outbox = outbox;
   }
 
 type stats = {
@@ -328,10 +379,24 @@ let execute cfg ops =
       Some { Store.default_config with Store.snapshot_threshold_bytes = 2048 }
     else None
   in
-  let pcfg = { (Platform.default_config ~n_hives:cfg.r_n_hives) with Platform.durability } in
+  let pcfg =
+    {
+      (Platform.default_config ~n_hives:cfg.r_n_hives) with
+      Platform.durability;
+      (* The dedup-off self-test pins the historical transport bug; the
+         platform's durable inbox would mask it, so that check runs on
+         the pre-outbox platform it was written against. *)
+      outbox = not !Transport.debug_disable_dedup;
+    }
+  in
   let platform = Platform.create engine pcfg in
-  let replicated = with_raft cfg.r_profile in
+  (* Under Raft a failover legitimately recovers the quorum-committed
+     prefix rather than the local WAL, which breaks the outbox workload's
+     per-key journal = counter equality; raft-failover outbox recovery is
+     covered by its own unit tests instead. *)
+  let replicated = with_raft cfg.r_profile && not cfg.r_outbox in
   Platform.register_app platform (kv_app ~replicated);
+  if cfg.r_outbox then Platform.register_app platform (fwd_app ~replicated);
   let lin_rec = if cfg.r_lin then Some (install_lin cfg engine platform) else None in
   let lin_report = ref None in
   let raft =
@@ -351,6 +416,7 @@ let execute cfg ops =
   Platform.start platform;
   let puts = Hashtbl.create 16 in
   let n_puts = ref 0 in
+  let poisons = ref 0 in
   let ctx =
     {
       Monitor.cx_engine = engine;
@@ -362,6 +428,8 @@ let execute cfg ops =
       cx_detector = detector;
       cx_membership = membership;
       cx_crashes = Script.has_crash ops;
+      cx_fwd = (if cfg.r_outbox then Some (fwd_app_name, fwd_dict) else None);
+      cx_poisons = poisons;
     }
   in
   let monitors =
@@ -419,7 +487,20 @@ let execute cfg ops =
         let key = key_name key in
         Hashtbl.replace puts key (1 + Option.value ~default:0 (Hashtbl.find_opt puts key));
         incr n_puts;
-        Platform.inject platform ~from:(Channels.Hive from_hive) ~kind:k_put (Ck_put key)
+        (* With the outbox workload, puts enter through the forwarding
+           stage so every counted put crosses the journal -> emit -> kv
+           pipeline the exactly-once monitor audits. *)
+        if cfg.r_outbox then
+          Platform.inject platform ~from:(Channels.Hive from_hive) ~kind:k_fwd
+            (Ck_fwd key)
+        else
+          Platform.inject platform ~from:(Channels.Hive from_hive) ~kind:k_put (Ck_put key)
+      end
+    | Script.Poison { key; from_hive; _ } ->
+      if cfg.r_outbox && Platform.hive_alive platform from_hive then begin
+        incr poisons;
+        Platform.inject platform ~from:(Channels.Hive from_hive) ~kind:k_poison
+          (Ck_poison (key_name key))
       end
     | Script.Read_all { from_hive; _ } ->
       if Platform.hive_alive platform from_hive then

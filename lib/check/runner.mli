@@ -24,6 +24,14 @@ type cfg = {
           recorded {!History} is checked by {!Lin} as a final monitor
           (name ["linearizability"]), and script [Migrate] ops
           additionally target the lin bees *)
+  r_outbox : bool;
+      (** run the transactional-outbox workload: [Put] ops enter through
+          a forwarding app that journals the put and re-emits it inside
+          the same transaction, arming the exactly-once and
+          quarantine-accounting monitors; [Poison] ops inject
+          always-raising messages that must end in quarantine. The kv and
+          forwarding apps run unreplicated (a Raft failover legitimately
+          recovers the quorum prefix, not the local journal). *)
 }
 
 val make_cfg :
@@ -31,10 +39,12 @@ val make_cfg :
   ?ticks:int ->
   ?storm_budget:int ->
   ?lin:bool ->
+  ?outbox:bool ->
   seed:int ->
   Script.profile ->
   cfg
-(** Defaults: 4 hives, 30 ticks, 5000-event storm budget, [lin] off. *)
+(** Defaults: 4 hives, 30 ticks, 5000-event storm budget, [lin] and
+    [outbox] off. *)
 
 type stats = {
   s_events : int;
@@ -72,6 +82,12 @@ val dict : string
 
 val key_name : int -> string
 (** [key_name 3 = "k3"], the dictionary key of script key index 3. *)
+
+val fwd_app_name : string
+(** The outbox workload's forwarding app ("check.fwd"). *)
+
+val fwd_dict : string
+(** Its journal dictionary ("journal"). *)
 
 val lin_app_name : string
 val lin_dict : string

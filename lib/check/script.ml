@@ -30,6 +30,7 @@ let all_profiles = [ Migration; Durability; Raft; Partition; Elastic; All ]
 
 type op =
   | Put of { at_us : int; key : int; from_hive : int }
+  | Poison of { at_us : int; key : int; from_hive : int }
   | Read_all of { at_us : int; from_hive : int }
   | Migrate of { at_us : int; key : int; to_hive : int }
   | Fail of { at_us : int; hive : int }
@@ -45,6 +46,7 @@ type op =
 
 let at_us = function
   | Put { at_us; _ }
+  | Poison { at_us; _ }
   | Read_all { at_us; _ }
   | Migrate { at_us; _ }
   | Fail { at_us; _ }
@@ -64,6 +66,8 @@ let has_crash ops = List.exists (function Fail _ -> true | _ -> false) ops
 
 let pp_op ppf = function
   | Put { key; from_hive; _ } -> Format.fprintf ppf "put k%d from hive %d" key from_hive
+  | Poison { key; from_hive; _ } ->
+    Format.fprintf ppf "poison k%d from hive %d (handler always raises)" key from_hive
   | Read_all { from_hive; _ } ->
     Format.fprintf ppf "read-all from hive %d (whole-dict merge trigger)" from_hive
   | Migrate { key; to_hive; _ } ->

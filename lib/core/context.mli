@@ -60,9 +60,20 @@ val dict_keys : t -> dict:string -> string list
 
 val emit : t -> ?size:int -> kind:string -> Message.payload -> unit
 (** Emits an asynchronous message into the platform; it is dispatched to
-    every application with a handler for [kind]. *)
+    every application with a handler for [kind].
+
+    With the platform's transactional outbox (the default), an emit made
+    while the handler is running buffers in the open transaction and only
+    takes effect at commit: if the handler raises, the state delta and
+    every buffered emit are discarded together, and on a durable platform
+    the emits are fsynced in the same group-commit record as the write
+    set before transport sees them. An emit made from an asynchronous
+    continuation that outlives the handler (e.g. an external-store RPC
+    callback) cannot ride the closed transaction and dispatches
+    immediately, with none of those guarantees. *)
 
 val send_to :
   t -> Beehive_net.Channels.endpoint -> ?size:int -> kind:string ->
   Message.payload -> unit
-(** Sends over an IO channel (e.g. driver-to-switch wire messages). *)
+(** Sends over an IO channel (e.g. driver-to-switch wire messages).
+    Buffered transactionally exactly like {!emit}. *)

@@ -27,6 +27,12 @@ type config = {
   durability : Store.config option;
   reliable_transport : bool;
   transport : Transport.config;
+  outbox : bool;
+      (* transactional exactly-once messaging: emits buffer in the open
+         transaction, become durable with the state delta, and replay
+         against receiver-side durable dedup; handler failures abort the
+         transaction and retry up to [outbox_retry_budget] before the
+         message is quarantined *)
 }
 
 let default_config ~n_hives =
@@ -40,7 +46,21 @@ let default_config ~n_hives =
     durability = None;
     reliable_transport = true;
     transport = Transport.default_config;
+    outbox = true;
   }
+
+(* Handler-failure containment: attempts per message before quarantine,
+   and the sim-time backoff between them (200 us doubling). *)
+let outbox_retry_budget = 3
+let outbox_retry_backoff_us = 200
+
+(* Replay pacing for durable un-acked outbox entries: 2 ms doubling to a
+   16 ms cap between re-dispatches of the same entry. *)
+let outbox_replay_backoff_us = 2_000
+let outbox_replay_backoff_cap_us = 16_000
+
+let debug_skip_outbox_replay = ref false
+let debug_forget_inbox = ref false
 
 type drop_reason =
   | Dead_target
@@ -77,6 +97,12 @@ type delivery = {
   d_allowed : allowed_spec;
   d_src_hive : int option;
   d_src_bee : int option;
+  d_outbox : (int * int) option;
+      (* (sender bee, outbox seq) when the message rides the exactly-once
+         path: the receiver dedups against its durable inbox and acks the
+         sender once its own mark is durable. Sender -1 marks a virtual
+         id given to injected/system messages — deduped but never acked. *)
+  mutable d_attempts : int;  (* handler attempts already failed *)
 }
 
 type bee = {
@@ -130,6 +156,26 @@ type commit_info = {
   ci_hive : int;
   ci_writes : (string * string * Value.t option) list;
   ci_bytes : int;
+  ci_emits : (int * Message.t) list;
+      (* outbox entries committed by this transaction, (seq, message) —
+         replicated so a failover can re-seed the new primary's outbox *)
+  ci_inbox : (int * int) list;  (* inbox dedup marks consumed, (sender, seq) *)
+}
+
+(* One emitted-but-not-yet-fully-acknowledged message. The durable half
+   (seq and payload bytes) lives in the store's per-bee WAL; the platform
+   keeps the message itself plus delivery bookkeeping, the sim's stand-in
+   for deserializing the payload back out of the log on replay. *)
+type outbox_entry = {
+  oe_sender : int;
+  oe_seq : int;
+  oe_msg : Message.t;
+  mutable oe_required : int;
+      (* receiver legs counted at the latest dispatch; -1 before the first *)
+  oe_ackers : (int, unit) Hashtbl.t;  (* receiver bees durably applied *)
+  mutable oe_attempts : int;
+  mutable oe_last_attempt : Simtime.t;
+  mutable oe_durable : bool;
 }
 
 type bee_view = {
@@ -201,7 +247,33 @@ type t = {
   mutable n_merges : int;
   dropped : int array;  (* indexed by drop_reason_index *)
   pstats : Stats.t;
+  outbox_entries : (int * int, outbox_entry) Hashtbl.t;  (* keyed (sender, seq) *)
+  outbox_acks : (int, (int * int * int) list ref) Hashtbl.t;
+      (* per receiver hive, newest first: (sender, seq, receiver bee) acks
+         waiting for the receiver's inbox mark to be fsynced *)
+  quarantine : (int, (Message.t * string) list ref) Hashtbl.t;
+      (* per bee, newest first: messages whose retry budget is exhausted,
+         with the exception that killed the last attempt *)
+  mutable n_quarantined : int;
+  mutable n_outbox_dups : int;  (* deliveries suppressed by the durable inbox *)
+  mutable n_handler_faults : int;
+      (* exceptions contained at the dispatch boundary: map/cost/timer/
+         endpoint callbacks that raised *)
+  mutable virtual_out_seq : int;
+      (* seq allocator for virtual (sender -1) exactly-once ids given to
+         injected and system messages *)
+  mutable outbox_ack_hooks : (bee:int -> seq:int -> unit) list;
+  mutable outbox_recovery_providers :
+    (bee:int -> ((int * Message.t) list * (int * int) list) option) list;
+      (* newest first; first Some wins: the replicated outbox + inbox a
+         failover re-seeds the new primary's log with *)
 }
+
+(* Forward references into the processing loop (defined below [create],
+   which must hand closures over them to the store): outbox dispatch on
+   fsync and the receiver-side ack drain. *)
+let outbox_durable_impl : (t -> (int * int) list -> unit) ref = ref (fun _ _ -> ())
+let outbox_drain_acks_impl : (t -> int -> unit) ref = ref (fun _ _ -> ())
 
 let create engine cfg =
   if cfg.n_hives <= 0 then invalid_arg "Platform.create: need at least one hive";
@@ -267,6 +339,15 @@ let create engine cfg =
     n_merges = 0;
     dropped = Array.make (List.length all_drop_reasons) 0;
     pstats = Stats.create ();
+    outbox_entries = Hashtbl.create 64;
+    outbox_acks = Hashtbl.create 8;
+    quarantine = Hashtbl.create 8;
+    n_quarantined = 0;
+    n_outbox_dups = 0;
+    n_handler_faults = 0;
+    virtual_out_seq = 0;
+    outbox_ack_hooks = [];
+    outbox_recovery_providers = [];
   }
   in
   (match cfg.durability with
@@ -283,7 +364,11 @@ let create engine cfg =
       ignore
         (Channels.transfer t.chans ~src:(Channels.Hive hive) ~dst:(Channels.Hive hive)
            ~bytes ~now:(Engine.now engine));
+      if cfg.outbox then !outbox_drain_acks_impl t hive;
       List.iter (fun f -> f hive) t.fsync_hooks
+    in
+    let on_outbox_durable ~hive:_ entries =
+      if cfg.outbox then !outbox_durable_impl t entries
     in
     let on_compaction ~bee ~dropped_records:_ ~dropped_bytes:_ ~snapshot_bytes:_ =
       match Hashtbl.find_opt t.bees bee with
@@ -295,7 +380,10 @@ let create engine cfg =
           Stats.set_gauge b.stats "snapshots" (Store.snapshot_count s ~bee)
         | None -> ())
     in
-    t.store <- Some (Store.create engine ~config:store_cfg ~size_of ~on_fsync ~on_compaction ()));
+    t.store <-
+      Some
+        (Store.create engine ~config:store_cfg ~size_of ~on_fsync ~on_outbox_durable
+           ~on_compaction ()));
   t
 
 let engine t = t.engine
@@ -458,6 +546,13 @@ let kill_bee t b =
   Registry.unassign_bee t.reg ~bee:b.id;
   Hashtbl.remove t.pinned_bees b.id;
   Hashtbl.remove t.backups b.id;
+  (* The bee is gone for good: its un-acked emits die with it. *)
+  let doomed =
+    Hashtbl.fold
+      (fun ((sender, _) as key) _ acc -> if sender = b.id then key :: acc else acc)
+      t.outbox_entries []
+  in
+  List.iter (Hashtbl.remove t.outbox_entries) (List.sort compare doomed);
   match t.store with Some s -> Store.forget s ~bee:b.id | None -> ()
 
 let local_bee_of t ~(app : App.t) ~hive =
@@ -517,9 +612,24 @@ let replicate_commit t (b : bee) pending =
 
 let rec maybe_process t (b : bee) =
   if b.status = `Active && (not b.busy) && not (Queue.is_empty b.mailbox) then begin
-    b.busy <- true;
     let d = Queue.pop b.mailbox in
-    let cost = d.d_handler.App.cost d.d_msg in
+    if duplicate_delivery t b d then begin
+      (* Already consumed (durable inbox): suppress the handler entirely
+         and re-ack the sender, whose previous ack evidently got lost. *)
+      t.n_outbox_dups <- t.n_outbox_dups + 1;
+      ack_duplicate t b d;
+      maybe_process t b
+    end
+    else begin
+    b.busy <- true;
+    let cost =
+      (* A cost estimator that raises is contained at the dispatch
+         boundary, not allowed to escape into Engine.run. *)
+      try d.d_handler.App.cost d.d_msg
+      with _ ->
+        t.n_handler_faults <- t.n_handler_faults + 1;
+        App.default_cost
+    in
     let inc = b.incarnation in
     ignore
       (Engine.schedule_after t.engine cost (fun () ->
@@ -534,7 +644,191 @@ let rec maybe_process t (b : bee) =
              | _ -> ());
              maybe_process t b
            end))
+    end
   end
+
+and duplicate_delivery t (b : bee) d =
+  match (d.d_outbox, t.store) with
+  | Some (sender, seq), Some s when t.cfg.outbox && not b.is_local ->
+    Store.inbox_seen s ~bee:b.id ~sender ~seq
+  | _ -> false
+
+and ack_duplicate t (b : bee) d =
+  match (d.d_outbox, t.store) with
+  | Some (sender, seq), Some s when sender >= 0 ->
+    (* Only once the mark is durable may we ack; a pending mark means the
+       original delivery's ack is still queued behind this hive's fsync. *)
+    if Store.inbox_durable s ~bee:b.id ~sender ~seq then
+      send_outbox_ack t ~from_hive:b.hive ~sender ~seq ~receiver:b.id
+  | _ -> ()
+
+and queue_outbox_ack t ~hive ack =
+  let q =
+    match Hashtbl.find_opt t.outbox_acks hive with
+    | Some q -> q
+    | None ->
+      let q = ref [] in
+      Hashtbl.add t.outbox_acks hive q;
+      q
+  in
+  q := ack :: !q
+
+(* Receiver-side half of the ack path, run at each hive fsync: every ack
+   whose inbox mark just became durable is sent to the sender's current
+   hive; marks still riding a pending batch go back in the queue. Acks
+   bound for the same hive ride one transport message — per-message acks
+   would double the fabric's message count on the healthy path. *)
+and drain_outbox_acks t hive =
+  match (Hashtbl.find_opt t.outbox_acks hive, t.store) with
+  | Some q, Some s ->
+    let ready = List.rev !q in
+    q := [];
+    let by_dst = Hashtbl.create 4 in
+    List.iter
+      (fun ((sender, seq, receiver) as ack) ->
+        if Store.inbox_durable s ~bee:receiver ~sender ~seq then (
+          match get_bee t sender with
+          | None -> ()
+          | Some sb ->
+            let l =
+              Option.value ~default:[] (Hashtbl.find_opt by_dst sb.hive)
+            in
+            Hashtbl.replace by_dst sb.hive (ack :: l))
+        else q := ack :: !q)
+      ready;
+    Hashtbl.iter
+      (fun dst acks ->
+        transmit t ~src_ep:(Channels.Hive hive) ~dst_hive:dst
+          ~bytes:(16 * List.length acks)
+          (fun () ->
+            List.iter
+              (fun (sender, seq, receiver) ->
+                handle_outbox_ack t ~sender ~seq ~receiver)
+              (List.rev acks)))
+      by_dst
+  | _ -> ()
+
+and send_outbox_ack t ~from_hive ~sender ~seq ~receiver =
+  match get_bee t sender with
+  | None -> ()
+  | Some sb ->
+    transmit t ~src_ep:(Channels.Hive from_hive) ~dst_hive:sb.hive ~bytes:16
+      (fun () -> handle_outbox_ack t ~sender ~seq ~receiver)
+
+and handle_outbox_ack t ~sender ~seq ~receiver =
+  match Hashtbl.find_opt t.outbox_entries (sender, seq) with
+  | None -> ()  (* already retired; late duplicate ack *)
+  | Some e -> (
+    match get_bee t sender with
+    | Some sb when hive_crashed t sb.hive || sb.status = `Crashed ->
+      (* The sender's process is down: nothing can write its WAL, so the
+         ack is dropped. Replay after restart re-delivers, the receiver
+         dedups and re-acks. *)
+      ()
+    | _ ->
+      Hashtbl.replace e.oe_ackers receiver ();
+      check_outbox_done t e)
+
+and check_outbox_done t (e : outbox_entry) =
+  if e.oe_required >= 0 && Hashtbl.length e.oe_ackers >= e.oe_required then
+    retire_outbox_entry t e
+
+and retire_outbox_entry t (e : outbox_entry) =
+  (match t.store with
+  | Some s -> Store.ack_outbox s ~bee:e.oe_sender ~seq:e.oe_seq
+  | None -> ());
+  Hashtbl.remove t.outbox_entries (e.oe_sender, e.oe_seq);
+  List.iter (fun f -> f ~bee:e.oe_sender ~seq:e.oe_seq) t.outbox_ack_hooks
+
+(* Hands one durable outbox entry to routing. Only Cells legs are
+   tracked end-to-end; Local and Foreach legs are fired on the first
+   dispatch only (replaying them would double-deliver, as they have no
+   per-receiver durable dedup — a documented limitation). *)
+and dispatch_outbox_entry t (e : outbox_entry) ~first =
+  match get_bee t e.oe_sender with
+  | Some b
+    when (not (hive_crashed t b.hive))
+         && (match b.status with
+            | `Active | `Paused -> true
+            | `Dead -> b.forwarded_to <> None  (* merged away, entries live on *)
+            | `Crashed -> false)
+    ->
+    e.oe_attempts <- e.oe_attempts + 1;
+    e.oe_last_attempt <- now t;
+    arm_outbox_recheck t e;
+    let src_ep = Channels.Hive b.hive in
+    let origin = b.hive in
+    let legs = ref 0 in
+    if not (hive_crashed t origin) then begin
+      (match Hashtbl.find_opt t.subscribers e.oe_msg.Message.kind with
+      | None -> ()
+      | Some subs ->
+        List.iter
+          (fun ((app : App.t), handler) ->
+            match safe_map t handler e.oe_msg with
+            | Mapping.Drop -> ()
+            | Mapping.Cells cs when Cell.Set.is_empty cs -> ()
+            | Mapping.Cells cs ->
+              incr legs;
+              route_cells t ~app ~handler ~src_ep ~origin
+                ~outbox:(Some (e.oe_sender, e.oe_seq)) cs e.oe_msg
+            | Mapping.Local ->
+              if first then route_local t ~app ~handler ~src_ep ~origin e.oe_msg
+            | Mapping.Foreach dict ->
+              if first then route_foreach t ~app ~handler ~src_ep ~origin dict e.oe_msg)
+          subs)
+    end;
+    e.oe_required <- !legs;
+    if !legs = 0 then retire_outbox_entry t e else check_outbox_done t e
+  | _ ->
+    (* Sender down. A crashed hive's entries are replayed by restart_hive;
+       a merely-fenced sender needs the recheck chain kept alive so the
+       replay resumes by itself once the fence lifts. *)
+    if e.oe_attempts > 0 then arm_outbox_recheck t e
+
+(* One engine timer per dispatched entry, armed at that attempt's backoff
+   horizon, instead of a per-tick scan of every un-acked entry (the scan
+   made the healthy path pay for the fault path). The timer re-dispatches
+   only if the same entry is still live, durable, and no newer attempt
+   superseded the one that armed it. *)
+and arm_outbox_recheck t (e : outbox_entry) =
+  let at = e.oe_last_attempt in
+  let n = min 10 (max 0 (e.oe_attempts - 1)) in
+  let backoff =
+    min outbox_replay_backoff_cap_us (outbox_replay_backoff_us * (1 lsl n))
+  in
+  ignore
+    (Engine.schedule_after t.engine (Simtime.of_us backoff) (fun () ->
+         match Hashtbl.find_opt t.outbox_entries (e.oe_sender, e.oe_seq) with
+         | Some e'
+           when e' == e && e.oe_durable && Simtime.equal e.oe_last_attempt at ->
+           dispatch_outbox_entry t e ~first:false
+         | _ -> ()))
+
+(* Store fsync callback: these (sender, seq) entries just became durable
+   together with their transaction's state delta — the earliest instant
+   the platform may hand them to transport. *)
+and outbox_now_durable t entries =
+  List.iter
+    (fun (bee, seq) ->
+      match Hashtbl.find_opt t.outbox_entries (bee, seq) with
+      | None -> ()
+      | Some e ->
+        e.oe_durable <- true;
+        if e.oe_attempts = 0 then dispatch_outbox_entry t e ~first:true)
+    entries
+
+and safe_map t (handler : App.handler) msg =
+  (* A mapper that raises is contained at the dispatch boundary: the
+     message is dropped for that subscriber instead of unwinding the
+     engine. *)
+  try handler.App.map msg
+  with exn ->
+    t.n_handler_faults <- t.n_handler_faults + 1;
+    Log.warn (fun m ->
+        m "map for kind %s raised %s: dropping for this subscriber"
+          msg.Message.kind (Printexc.to_string exn));
+    Mapping.Drop
 
 and run_idle_hooks _t b =
   match b.on_idle with
@@ -554,31 +848,66 @@ and allowed_cells t (b : bee) = function
 
 and process t (b : bee) d cost =
   let msg = d.d_msg in
-  Stats.record_in b.stats ~src_hive:d.d_src_hive ~src_bee:d.d_src_bee ~kind:msg.Message.kind;
-  Stats.record_latency b.stats (Simtime.diff (now t) msg.Message.sent_at);
+  if d.d_attempts = 0 then begin
+    Stats.record_in b.stats ~src_hive:d.d_src_hive ~src_bee:d.d_src_bee
+      ~kind:msg.Message.kind;
+    Stats.record_latency b.stats (Simtime.diff (now t) msg.Message.sent_at)
+  end;
   t.n_processed <- t.n_processed + 1;
   let tx = State.begin_tx b.state in
   let allowed = allowed_cells t b d.d_allowed in
-  let emit ?size ~kind payload =
-    Stats.record_out b.stats ~in_kind:(Some msg.Message.kind) ~out_kind:kind;
-    let src = Message.From_bee { bee = b.id; hive = b.hive; app = b.app.App.name } in
-    let m = Message.make ?size ~kind ~src ~sent_at:(now t) payload in
+  (* With the transactional outbox, emits and endpoint sends buffer in
+     the open transaction (newest first) and only take effect at commit;
+     an abort discards them together with the state delta. Without it,
+     they dispatch synchronously as before. Emits from asynchronous
+     continuations that outlive the handler (e.g. external-store RPC
+     callbacks) arrive after the transaction has closed: they cannot ride
+     the commit, so they dispatch immediately — and get none of the
+     exactly-once guarantees, which is precisely the external-store
+     liability the paper argues against. *)
+  let in_handler = ref true in
+  let emits = ref [] in
+  let ep_sends = ref [] in
+  let fire_hooks m =
+    Stats.record_out b.stats ~in_kind:(Some msg.Message.kind) ~out_kind:m.Message.kind;
     List.iter
       (fun f -> f ~parent:(Some msg) ~child:m ~emitter:(Some (b.id, b.app.App.name, b.hive)))
-      t.emit_hooks;
-    route t ~src_ep:(Channels.Hive b.hive) m
+      t.emit_hooks
   in
-  let to_endpoint ep ?size ~kind payload =
-    Stats.record_out b.stats ~in_kind:(Some msg.Message.kind) ~out_kind:kind;
-    let src = Message.From_bee { bee = b.id; hive = b.hive; app = b.app.App.name } in
-    let m = Message.make ?size ~kind ~src ~sent_at:(now t) payload in
-    List.iter
-      (fun f -> f ~parent:(Some msg) ~child:m ~emitter:(Some (b.id, b.app.App.name, b.hive)))
-      t.emit_hooks;
-    let lat = Channels.transfer t.chans ~src:(Channels.Hive b.hive) ~dst:ep ~bytes:m.Message.size ~now:(now t) in
+  let deliver_endpoint ep (m : Message.t) =
+    let lat =
+      Channels.transfer t.chans ~src:(Channels.Hive b.hive) ~dst:ep
+        ~bytes:m.Message.size ~now:(now t)
+    in
     match Hashtbl.find_opt t.endpoints ep with
     | None -> drop t Missing_endpoint
-    | Some cb -> ignore (Engine.schedule_after t.engine lat (fun () -> cb m))
+    | Some cb ->
+      ignore
+        (Engine.schedule_after t.engine lat (fun () ->
+             try cb m
+             with exn ->
+               t.n_handler_faults <- t.n_handler_faults + 1;
+               Log.warn (fun f ->
+                   f "endpoint callback for %s raised %s" m.Message.kind
+                     (Printexc.to_string exn))))
+  in
+  let emit ?size ~kind payload =
+    let src = Message.From_bee { bee = b.id; hive = b.hive; app = b.app.App.name } in
+    let m = Message.make ?size ~kind ~src ~sent_at:(now t) payload in
+    if t.cfg.outbox && !in_handler then emits := m :: !emits
+    else begin
+      fire_hooks m;
+      route t ~src_ep:(Channels.Hive b.hive) m
+    end
+  in
+  let to_endpoint ep ?size ~kind payload =
+    let src = Message.From_bee { bee = b.id; hive = b.hive; app = b.app.App.name } in
+    let m = Message.make ?size ~kind ~src ~sent_at:(now t) payload in
+    if t.cfg.outbox && !in_handler then ep_sends := (ep, m) :: !ep_sends
+    else begin
+      fire_hooks m;
+      deliver_endpoint ep m
+    end
   in
   let read_shadow =
     match b.stale_shadow with
@@ -594,17 +923,73 @@ and process t (b : bee) d cost =
   in
   (match d.d_handler.App.rcv ctx msg with
   | () ->
+    in_handler := false;
     let pending = State.tx_pending tx in
     State.commit tx;
     replicate_commit t b pending;
+    let emits_l = List.rev !emits in
+    let eps_l = List.rev !ep_sends in
+    List.iter fire_hooks emits_l;
+    List.iter (fun (_, m) -> fire_hooks m) eps_l;
+    (* Tracked: the emits and this delivery's inbox mark are written to
+       the WAL in the same group-commit record as the state delta; the
+       store's fsync callback hands the emits to transport once durable. *)
+    let tracked = t.cfg.outbox && not b.is_local && t.store <> None in
+    let committed_emits = ref [] in
+    let committed_inbox = ref [] in
     (match t.store with
-    | Some s when (not b.is_local) && pending <> [] ->
-      (* WAL the write set; it becomes durable at the next group commit. *)
-      Store.append s ~bee:b.id ~hive:b.hive pending;
-      Stats.set_gauge b.stats "wal_bytes" (Store.wal_bytes s ~bee:b.id);
-      Stats.set_gauge b.stats "snapshots" (Store.snapshot_count s ~bee:b.id)
+    | Some s when not b.is_local ->
+      if t.cfg.outbox then begin
+        let outbox =
+          List.map
+            (fun (m : Message.t) ->
+              let seq = Store.alloc_out_seq s ~bee:b.id in
+              Hashtbl.replace t.outbox_entries (b.id, seq)
+                {
+                  oe_sender = b.id;
+                  oe_seq = seq;
+                  oe_msg = m;
+                  oe_required = -1;
+                  oe_ackers = Hashtbl.create 4;
+                  oe_attempts = 0;
+                  oe_last_attempt = Simtime.zero;
+                  oe_durable = false;
+                };
+              committed_emits := (seq, m) :: !committed_emits;
+              (seq, m.Message.size))
+            emits_l
+        in
+        let inbox =
+          match d.d_outbox with Some (sender, seq) -> [ (sender, seq) ] | None -> []
+        in
+        committed_emits := List.rev !committed_emits;
+        committed_inbox := inbox;
+        if pending <> [] || outbox <> [] || inbox <> [] then begin
+          Store.append s ~bee:b.id ~hive:b.hive ~outbox ~inbox pending;
+          Stats.set_gauge b.stats "wal_bytes" (Store.wal_bytes s ~bee:b.id);
+          Stats.set_gauge b.stats "snapshots" (Store.snapshot_count s ~bee:b.id)
+        end;
+        (match d.d_outbox with
+        | Some (sender, seq) when sender >= 0 ->
+          queue_outbox_ack t ~hive:b.hive (sender, seq, b.id)
+        | _ -> ())
+      end
+      else if pending <> [] then begin
+        (* WAL the write set; it becomes durable at the next group commit. *)
+        Store.append s ~bee:b.id ~hive:b.hive pending;
+        Stats.set_gauge b.stats "wal_bytes" (Store.wal_bytes s ~bee:b.id);
+        Stats.set_gauge b.stats "snapshots" (Store.snapshot_count s ~bee:b.id)
+      end
     | Some _ | None -> ());
-    if b.app.App.replicated && (not b.is_local) && pending <> [] && t.commit_hooks <> []
+    (* Untracked emits (no store, local bee, or outbox off under
+       buffering) dispatch at commit time. *)
+    if not tracked then
+      List.iter (fun m -> route t ~src_ep:(Channels.Hive b.hive) m) emits_l;
+    List.iter (fun (ep, m) -> deliver_endpoint ep m) eps_l;
+    if
+      b.app.App.replicated && (not b.is_local)
+      && (pending <> [] || !committed_emits <> [] || !committed_inbox <> [])
+      && t.commit_hooks <> []
     then begin
       let bytes =
         List.fold_left
@@ -613,19 +998,72 @@ and process t (b : bee) d cost =
             + match w with Some v -> Value.size v | None -> 0)
           32 pending
       in
+      let bytes =
+        List.fold_left
+          (fun acc (_, (m : Message.t)) -> acc + 16 + m.Message.size)
+          bytes !committed_emits
+        + (16 * List.length !committed_inbox)
+      in
       let info =
         { ci_bee = b.id; ci_app = b.app.App.name; ci_hive = b.hive; ci_writes = pending;
-          ci_bytes = bytes }
+          ci_bytes = bytes; ci_emits = !committed_emits; ci_inbox = !committed_inbox }
       in
       List.iter (fun f -> f info) t.commit_hooks
     end
   | exception exn ->
-    State.abort tx;
+    (* Handler failure containment: the state delta and every buffered
+       emit are discarded atomically, then the delivery is retried with
+       backoff until the budget runs out and the message is quarantined. *)
+    in_handler := false;
+    ignore (State.rollback tx);
     Stats.record_error b.stats;
+    t.n_handler_faults <- t.n_handler_faults + 1;
     Log.warn (fun m ->
-        m "bee %d (%s) handler for %s raised %s" b.id b.app.App.name msg.Message.kind
-          (Printexc.to_string exn)));
+        m "bee %d (%s) handler for %s raised %s (attempt %d)" b.id b.app.App.name
+          msg.Message.kind (Printexc.to_string exn) (d.d_attempts + 1));
+    if t.cfg.outbox then begin
+      d.d_attempts <- d.d_attempts + 1;
+      if d.d_attempts < outbox_retry_budget then begin
+        let delay =
+          Simtime.of_us (outbox_retry_backoff_us * (1 lsl (d.d_attempts - 1)))
+        in
+        let inc = b.incarnation in
+        ignore
+          (Engine.schedule_after t.engine delay (fun () ->
+               match b.status with
+               | (`Active | `Paused) when b.incarnation = inc ->
+                 Queue.push d b.mailbox;
+                 maybe_process t b
+               | _ -> ()))
+      end
+      else quarantine_delivery t b d exn
+    end);
   Stats.record_done b.stats ~busy:cost
+
+(* Retry budget exhausted: park the message in the bee's quarantine so
+   the engine keeps running, and consume it for good — its inbox mark is
+   written (without any state delta) and acked so the sender stops
+   replaying a message that can never be applied. *)
+and quarantine_delivery t (b : bee) d exn =
+  let q =
+    match Hashtbl.find_opt t.quarantine b.id with
+    | Some q -> q
+    | None ->
+      let q = ref [] in
+      Hashtbl.add t.quarantine b.id q;
+      q
+  in
+  q := (d.d_msg, Printexc.to_string exn) :: !q;
+  t.n_quarantined <- t.n_quarantined + 1;
+  Stats.set_gauge b.stats "quarantine.messages" (List.length !q);
+  Log.warn (fun m ->
+      m "bee %d (%s) quarantined a %s message after %d failed attempts" b.id
+        b.app.App.name d.d_msg.Message.kind d.d_attempts);
+  match (d.d_outbox, t.store) with
+  | Some (sender, seq), Some s when not b.is_local ->
+    Store.append s ~bee:b.id ~hive:b.hive ~inbox:[ (sender, seq) ] [];
+    if sender >= 0 then queue_outbox_ack t ~hive:b.hive (sender, seq, b.id)
+  | _ -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Migration                                                           *)
@@ -737,7 +1175,20 @@ and merge_bees t ~(winner : bee) ~(losers : bee list) ~k =
     (* Move committed state, ownership and queued messages to the winner. *)
     let info = Registry.bee t.reg l.id in
     let cells = info.Registry.bee_cells in
-    let all_entries = State.snapshot l.state in
+    let all_entries =
+      match t.store with
+      | Some s when (not l.is_local) && hive_crashed t l.hive ->
+        (* The loser crashed with its hive: its memory is gone and its
+           pending batches — state deltas and inbox marks alike — were
+           dropped at crash. Folding the volatile snapshot here would
+           resurrect writes whose dedup marks died with the batch, and a
+           later outbox replay would apply them a second time. Fold the
+           durable cut instead: exactly what restarting the hive would
+           have revived. (A merely-fenced loser keeps its volatile state:
+           the process is alive, only suspected.) *)
+        Store.recover s ~bee:l.id
+      | Some _ | None -> State.snapshot l.state
+    in
     State.insert winner.state all_entries;
     (match t.store with
     | Some s when not winner.is_local ->
@@ -747,10 +1198,27 @@ and merge_bees t ~(winner : bee) ~(losers : bee list) ~k =
          while the winner's copy still sits in an un-committed batch
          would turn a crash of the winner's hive inside the group-commit
          window into silent loss of acknowledged writes. *)
-      Store.append s ~bee:winner.id ~hive:winner.hive
+      let moved_inbox =
+        if t.cfg.outbox then begin
+          (* Staged-but-unfsynced loser emits become durable (and get
+             dispatched) under the loser's log before it is retired. *)
+          Store.flush_bee s ~bee:l.id;
+          (* Dedup continuity: messages addressed to cells the winner now
+             owns were possibly consumed by the loser; the winner's inbox
+             must remember them or a replay double-applies. *)
+          Store.inbox_marks s ~bee:l.id
+        end
+        else []
+      in
+      Store.append s ~bee:winner.id ~hive:winner.hive ~inbox:moved_inbox
         (List.map (fun (d, k, v) -> (d, k, Some v)) all_entries);
       Store.flush_bee s ~bee:winner.id;
-      Store.forget s ~bee:l.id
+      (* The loser's durable un-acked outbox keeps its (sender, seq)
+         identity — receivers dedup by it — so its log survives the merge
+         until the last entry is acked; replay dispatches from the
+         winner's hive via the forwarding pointer set below. *)
+      if not (t.cfg.outbox && Store.outbox_unacked s ~bee:l.id <> []) then
+        Store.forget s ~bee:l.id
     | Some _ | None -> ());
     let bytes =
       64 + List.fold_left (fun acc (_, _, v) -> acc + Value.size v) 0 all_entries
@@ -765,6 +1233,9 @@ and merge_bees t ~(winner : bee) ~(losers : bee list) ~k =
     Queue.transfer l.mailbox winner.mailbox;
     l.status <- `Dead;
     l.forwarded_to <- Some winner;
+    (* Re-home the merged-away bee so outbox replay of its surviving
+       entries dispatches from (and fate-shares with) the winner's hive. *)
+    if t.cfg.outbox then l.hive <- winner.hive;
     Hashtbl.remove t.pinned_bees l.id;
     Hashtbl.remove t.backups l.id;
     Log.debug (fun m ->
@@ -857,7 +1328,8 @@ and placement_hive t ~origin =
     if !best >= 0 then !best else origin
   end
 
-and route_cells t ~(app : App.t) ~(handler : App.handler) ~src_ep ~origin cs msg =
+and route_cells t ~(app : App.t) ~(handler : App.handler) ~src_ep ~origin ?(outbox = None)
+    cs msg =
   let src_hive, src_bee = resolve_src t msg in
   let extra = ref Simtime.zero in
   let target =
@@ -908,14 +1380,26 @@ and route_cells t ~(app : App.t) ~(handler : App.handler) ~src_ep ~origin cs msg
       (* Multiple owners: the mapped cells bridge previously-disjoint
          groups; merge them to preserve single-ownership. *)
       let bees = List.filter_map (get_bee t) owners in
+      (* A bee on a crashed hive must never win a merge: merge_bees would
+         flip it `Paused -> `Active, so the restart-time revival (which
+         only looks at `Crashed bees) would skip it and its volatile
+         state — including writes whose group-commit batch died with the
+         hive — would silently survive the crash. Crashed owners may only
+         be losers (folded from their durable cut); if every owner is
+         crashed, their cells are unavailable until restart revives them
+         and the message is dropped like any other send to a dead hive. *)
+      let up, crashed =
+        List.partition (fun (b : bee) -> not (hive_crashed t b.hive)) bees
+      in
       let by_size (x : bee) (y : bee) =
         let cx = Cell.Set.cardinal (Registry.bee t.reg x.id).Registry.bee_cells in
         let cy = Cell.Set.cardinal (Registry.bee t.reg y.id).Registry.bee_cells in
         match Int.compare cy cx with 0 -> Int.compare x.id y.id | c -> c
       in
-      (match List.sort by_size bees with
+      (match List.sort by_size up with
       | [] -> None
-      | winner :: losers ->
+      | winner :: rest ->
+        let losers = rest @ crashed in
         (* Claiming the mapped cells must wait for every loser's deferred
            fold-in: a busy loser still owns its cells until it goes idle,
            and assigning a wildcard before then would break
@@ -941,6 +1425,20 @@ and route_cells t ~(app : App.t) ~(handler : App.handler) ~src_ep ~origin cs msg
   | Some b ->
     if hive_crashed t b.hive then drop t Dead_target
     else begin
+      let d_outbox =
+        match outbox with
+        | Some _ -> outbox
+        | None ->
+          (* Injected, system and local-origin messages get a virtual
+             exactly-once id (sender -1): never replayed or acked, but
+             the receiver's durable inbox mark closes the double-delivery
+             window a transport-level dedup reset (receiver crash) opens. *)
+          if t.cfg.outbox && (not b.is_local) && t.store <> None then begin
+            t.virtual_out_seq <- t.virtual_out_seq + 1;
+            Some (-1, t.virtual_out_seq)
+          end
+          else None
+      in
       let d =
         {
           d_msg = msg;
@@ -948,6 +1446,8 @@ and route_cells t ~(app : App.t) ~(handler : App.handler) ~src_ep ~origin cs msg
           d_allowed = A_cells cs;
           d_src_hive = src_hive;
           d_src_bee = src_bee;
+          d_outbox;
+          d_attempts = 0;
         }
       in
       (* Fenced targets still receive: the transport buffers through the
@@ -984,6 +1484,8 @@ and route_foreach t ~(app : App.t) ~(handler : App.handler) ~src_ep ~origin:_ di
                     d_allowed = A_dict dict;
                     d_src_hive = src_hive;
                     d_src_bee = src_bee;
+                    d_outbox = None;
+                    d_attempts = 0;
                   })
               targets))
     hives
@@ -1003,6 +1505,8 @@ and route_local t ~(app : App.t) ~(handler : App.handler) ~src_ep ~origin msg =
                 d_allowed = A_all;
                 d_src_hive = src_hive;
                 d_src_bee = src_bee;
+                d_outbox = None;
+                d_attempts = 0;
               })
   in
   (* System messages (timer ticks) trigger local handlers on every hive;
@@ -1024,7 +1528,7 @@ and route t ~src_ep msg =
     | Some subs ->
       List.iter
         (fun ((app : App.t), handler) ->
-          match handler.App.map msg with
+          match safe_map t handler msg with
           | Mapping.Drop -> ()
           | Mapping.Local -> route_local t ~app ~handler ~src_ep ~origin msg
           | Mapping.Foreach dict -> route_foreach t ~app ~handler ~src_ep ~origin dict msg
@@ -1033,6 +1537,12 @@ and route t ~src_ep msg =
             else route_cells t ~app ~handler ~src_ep ~origin cs msg)
         subs
   else drop t Dead_origin
+
+(* Tie the store's durability callbacks (armed in [create], defined above
+   it) to the processing loop. *)
+let () =
+  outbox_durable_impl := outbox_now_durable;
+  outbox_drain_acks_impl := drain_outbox_acks
 
 (* ------------------------------------------------------------------ *)
 (* Entry points                                                        *)
@@ -1059,8 +1569,16 @@ let start t =
         (fun (tm : App.timer) ->
           ignore
             (Engine.every t.engine tm.App.period (fun () ->
-                 let payload = tm.App.tick_payload ~now:(now t) in
-                 emit_system t ~size:tm.App.tick_size ~kind:tm.App.timer_kind payload)))
+                 (* A tick generator that raises skips this tick instead
+                    of unwinding the engine. *)
+                 match tm.App.tick_payload ~now:(now t) with
+                 | payload ->
+                   emit_system t ~size:tm.App.tick_size ~kind:tm.App.timer_kind payload
+                 | exception exn ->
+                   t.n_handler_faults <- t.n_handler_faults + 1;
+                   Log.warn (fun m ->
+                       m "timer %s tick generator raised %s" tm.App.timer_kind
+                         (Printexc.to_string exn)))))
         app.App.timers)
     t.apps
 
@@ -1185,6 +1703,29 @@ let set_recovery_provider t f = t.recovery_providers <- f :: t.recovery_provider
 let on_hive_failure t f = t.failure_hooks <- f :: t.failure_hooks
 let on_fsync t f = t.fsync_hooks <- f :: t.fsync_hooks
 let on_emit t f = t.emit_hooks <- f :: t.emit_hooks
+let on_outbox_ack t f = t.outbox_ack_hooks <- f :: t.outbox_ack_hooks
+
+let set_outbox_recovery_provider t f =
+  t.outbox_recovery_providers <- f :: t.outbox_recovery_providers
+
+(* ------------------------------------------------------------------ *)
+(* Outbox / quarantine introspection                                   *)
+(* ------------------------------------------------------------------ *)
+
+let outbox_unacked_total t = Hashtbl.length t.outbox_entries
+let outbox_dups_suppressed t = t.n_outbox_dups
+let handler_faults t = t.n_handler_faults
+let total_quarantined t = t.n_quarantined
+
+let quarantined t ~bee =
+  match Hashtbl.find_opt t.quarantine bee with
+  | Some q -> List.length !q
+  | None -> 0
+
+let quarantined_messages t ~bee =
+  match Hashtbl.find_opt t.quarantine bee with
+  | Some q -> List.rev !q
+  | None -> []
 
 let recover_entries t ~bee =
   List.find_map (fun provider -> provider ~bee) t.recovery_providers
@@ -1227,7 +1768,44 @@ let failover_bee t (b : bee) ~from_hive entries =
     (* Re-seed the durable log under the new owner so a later crash of
        the backup hive also recovers. *)
     Store.forget s ~bee:b.id;
-    Store.append s ~bee:b.id ~hive:bh (List.map (fun (d, k, v) -> (d, k, Some v)) entries)
+    let aux =
+      if t.cfg.outbox then
+        List.find_map (fun p -> p ~bee:b.id) t.outbox_recovery_providers
+      else None
+    in
+    (* Whatever the platform still remembers about this bee's outbox
+       belonged to the old incarnation; the replicated aux (if any) is
+       the authoritative survivor. *)
+    (if t.cfg.outbox then
+       let stale =
+         Hashtbl.fold
+           (fun ((sender, _) as key) _ acc -> if sender = b.id then key :: acc else acc)
+           t.outbox_entries []
+       in
+       List.iter (Hashtbl.remove t.outbox_entries) (List.sort compare stale));
+    (match aux with
+    | Some (emits, inbox) ->
+      List.iter
+        (fun (seq, (m : Message.t)) ->
+          Hashtbl.replace t.outbox_entries (b.id, seq)
+            {
+              oe_sender = b.id;
+              oe_seq = seq;
+              oe_msg = m;
+              oe_required = -1;
+              oe_ackers = Hashtbl.create 4;
+              oe_attempts = 0;
+              oe_last_attempt = Simtime.zero;
+              oe_durable = false;
+            })
+        emits;
+      Store.append s ~bee:b.id ~hive:bh
+        ~outbox:(List.map (fun (seq, (m : Message.t)) -> (seq, m.Message.size)) emits)
+        ~inbox
+        (List.map (fun (d, k, v) -> (d, k, Some v)) entries)
+    | None ->
+      Store.append s ~bee:b.id ~hive:bh
+        (List.map (fun (d, k, v) -> (d, k, Some v)) entries))
   | None -> ());
   Log.info (fun m -> m "bee %d failed over from hive %d to %d" b.id from_hive bh);
   maybe_process t b
@@ -1247,6 +1825,29 @@ let crash_hive t h =
     List.iter (fun f -> f h) t.failure_hooks;
     (* Batches not yet group-committed die with the hive. *)
     (match t.store with Some s -> Store.drop_pending s ~hive:h | None -> ());
+    if t.cfg.outbox then begin
+      (* The process's in-memory transport state dies with it: senders on
+         h lose their in-flight windows, and h's receiver-side dedup
+         cutoffs reset — retransmissions racing the restart re-deliver,
+         and only the durable inbox keeps them exactly-once. *)
+      Transport.crash_hive t.transport h;
+      (* Acks queued behind h's next fsync are in-memory; senders replay
+         and the receiver re-acks from its durable inbox. *)
+      (match Hashtbl.find_opt t.outbox_acks h with Some q -> q := [] | None -> ());
+      (* Outbox entries still riding a dropped batch never became
+         durable: they are gone with the transaction, atomically. *)
+      let doomed =
+        Hashtbl.fold
+          (fun key (e : outbox_entry) acc ->
+            if not e.oe_durable then
+              match get_bee t e.oe_sender with
+              | Some sb when sb.hive = h -> key :: acc
+              | _ -> acc
+            else acc)
+          t.outbox_entries []
+      in
+      List.iter (Hashtbl.remove t.outbox_entries) (List.sort compare doomed)
+    end;
     List.iter
       (fun (b : bee) ->
         if b.is_local then begin
@@ -1344,6 +1945,7 @@ let restart_hive t h =
       match t.store with
       | None -> ()
       | Some s ->
+        let revived = bees_on t h ~pred:(fun b -> b.status = `Crashed) in
         List.iter
           (fun (b : bee) ->
             (* Snapshot + WAL-tail replay, byte-identical to the last
@@ -1352,7 +1954,39 @@ let restart_hive t h =
             b.status <- `Active;
             Log.info (fun m -> m "bee %d recovered on restarted hive %d" b.id h);
             maybe_process t b)
-          (bees_on t h ~pred:(fun b -> b.status = `Crashed))
+          revived;
+        if t.cfg.outbox then
+          List.iter
+            (fun (b : bee) ->
+              if !debug_skip_outbox_replay then begin
+                (* Injected bug [lost-outbox]: recovery "loses" the
+                   outbox file, so acked-durable emits are never
+                   re-sent. The exactly-once monitor must catch this. *)
+                Store.drop_outbox s ~bee:b.id;
+                let stale =
+                  Hashtbl.fold
+                    (fun ((sender, _) as key) _ acc ->
+                      if sender = b.id then key :: acc else acc)
+                    t.outbox_entries []
+                in
+                List.iter (Hashtbl.remove t.outbox_entries) (List.sort compare stale)
+              end
+              else begin
+                if !debug_forget_inbox then
+                  (* Injected bug [replay-dup]: recovery "loses" the
+                     durable dedup cutoff, so replayed entries (and
+                     transport retransmissions) double-apply. *)
+                  Store.wipe_inbox s ~bee:b.id;
+                (* Replay: every durable un-acked outbox entry is re-sent;
+                   receivers that already applied it dedup and re-ack. *)
+                List.iter
+                  (fun (seq, _) ->
+                    match Hashtbl.find_opt t.outbox_entries (b.id, seq) with
+                    | Some e -> dispatch_outbox_entry t e ~first:false
+                    | None -> ())
+                  (Store.outbox_unacked s ~bee:b.id)
+              end)
+            revived
   end
 
 (* ------------------------------------------------------------------ *)
@@ -1468,6 +2102,11 @@ let stats t =
   Stats.set_gauge t.pstats "transport.duplicates" (Transport.duplicates t.transport);
   Stats.set_gauge t.pstats "transport.exhausted" (Transport.exhausted t.transport);
   Stats.set_gauge t.pstats "transport.pending" (Transport.pending t.transport);
+  Stats.set_gauge t.pstats "outbox.unacked" (Hashtbl.length t.outbox_entries);
+  Stats.set_gauge t.pstats "outbox.dups_suppressed" t.n_outbox_dups;
+  Stats.set_gauge t.pstats "outbox.handler_faults" t.n_handler_faults;
+  Stats.set_gauge t.pstats "quarantine.total" t.n_quarantined;
+  Stats.set_gauge t.pstats "quarantine.bees" (Hashtbl.length t.quarantine);
   let count state = ref 0, state in
   let alive = count `Alive and draining = count `Draining and fenced = count `Fenced in
   let crashed = count `Crashed and decom = count `Decommissioned in

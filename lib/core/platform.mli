@@ -33,6 +33,21 @@ type config = {
           raw failable wire and link loss surfaces as [Link_loss] drops —
           the ablation baseline. *)
   transport : Beehive_net.Transport.config;
+  outbox : bool;
+      (** transactional exactly-once messaging (default [true]). Emits
+          buffer in the open transaction and are written to the bee's WAL
+          in the same group-commit record as the state delta; only after
+          the fsync are they handed to transport, tagged with durable
+          per-sender sequence numbers. Receivers keep their dedup cutoff
+          in their own WAL, so replay after {!restart_hive} (which
+          re-sends every un-acked entry) is exactly-once end-to-end
+          across crash, partition, migration and failover. Also enables
+          handler-failure containment: an exception aborts the
+          transaction (state delta and buffered emits discarded
+          atomically) and the delivery is retried with backoff before the
+          message is quarantined. Without durability the containment
+          still applies, but emits are dispatched at commit and dedup is
+          transport-level only. *)
 }
 
 val default_config : n_hives:int -> config
@@ -189,7 +204,13 @@ type commit_info = {
   ci_app : string;
   ci_hive : int;
   ci_writes : (string * string * Value.t option) list;
-  ci_bytes : int;  (** serialized size of the write set *)
+  ci_bytes : int;  (** serialized size of the write set, emits included *)
+  ci_emits : (int * Message.t) list;
+      (** outbox entries committed by this transaction, [(seq, message)] —
+          a consensus-replicated app ships these alongside the write set
+          so a failover can re-seed the new primary's outbox *)
+  ci_inbox : (int * int) list;
+      (** inbox dedup marks the transaction consumed, [(sender, seq)] *)
 }
 
 val on_commit : t -> (commit_info -> unit) -> unit
@@ -201,6 +222,16 @@ val set_recovery_provider :
   t -> (bee:int -> (string * string * Value.t) list option) -> unit
 (** Consulted by {!fail_hive} before the built-in backup: when it returns
     entries, the bee fails over with that state. Later providers win. *)
+
+val set_outbox_recovery_provider :
+  t -> (bee:int -> ((int * Message.t) list * (int * int) list) option) -> unit
+(** Companion to {!set_recovery_provider} for the transactional outbox: a
+    replication scheme that tracked [ci_emits]/[ci_inbox] returns the
+    bee's un-acked outbox entries and inbox marks here, and a failover
+    re-seeds the new primary's WAL with them (the entries are then
+    replayed; receivers that already applied them dedup and ack). Without
+    a provider, a failover loses the outbox — the documented gap of plain
+    primary-backup replication. *)
 
 val on_hive_failure : t -> (int -> unit) -> unit
 (** Called at the start of {!fail_hive} (e.g. to crash co-located
@@ -215,7 +246,44 @@ val on_emit :
   unit
 (** Observes every message creation: bee emissions carry the message
     being processed as [parent] and the emitting [(bee, app, hive)];
-    injected messages have neither. Drives {!Trace}. *)
+    injected messages have neither. Drives {!Trace}. With the outbox on,
+    the hook fires at commit time — an aborted handler's buffered emits
+    are never observed, because they never happened. *)
+
+val on_outbox_ack : t -> (bee:int -> seq:int -> unit) -> unit
+(** Called when an outbox entry is retired: every addressed receiver has
+    durably applied it. A replication scheme uses this to trim its
+    replicated copy of the entry. *)
+
+(** {2 Transactional outbox / quarantine introspection} *)
+
+val outbox_retry_budget : int
+(** Delivery attempts a failing handler gets (first try included) before
+    its message is quarantined; retries back off exponentially from
+    200 us of simulated time. *)
+
+val outbox_unacked_total : t -> int
+(** Outbox entries awaiting full acknowledgement, cluster-wide (both
+    durable-and-replaying and still riding an open group-commit batch). *)
+
+val outbox_dups_suppressed : t -> int
+(** Deliveries suppressed by receivers' durable inboxes — each one is a
+    double-delivery the exactly-once layer prevented. *)
+
+val handler_faults : t -> int
+(** Exceptions contained instead of unwinding the engine: aborted [rcv]
+    attempts (one per retry) and faults at the dispatch boundaries (map
+    functions, cost estimators, timer tick generators, endpoint
+    callbacks). *)
+
+val total_quarantined : t -> int
+val quarantined : t -> bee:int -> int
+
+val quarantined_messages : t -> bee:int -> (Message.t * string) list
+(** A bee's quarantined messages, oldest first, each with the exception
+    that killed its last attempt. Quarantined messages are consumed:
+    their inbox mark is written and acked, so senders stop replaying
+    them, and the engine keeps running. *)
 
 (** {2 Failures}
 
@@ -368,6 +436,19 @@ val debug_stale_reads : bool ref
     client-visible semantics break — structural invariants cannot see
     it). The stale-read bug {!Beehive_check}'s linearizability checker
     exists to catch. Default [false]. *)
+
+val debug_skip_outbox_replay : bool ref
+(** When set, {!restart_hive} skips re-dispatching the un-acked durable
+    outbox entries of revived bees (and drops them from the WAL) — the
+    lost-outbox bug: a crash between fsync and transmission silently
+    loses committed emits, breaking exactly-once on the loss side.
+    Default [false]. *)
+
+val debug_forget_inbox : bool ref
+(** When set, {!restart_hive} wipes revived bees' durable inbox marks
+    before replay — the replay-dup bug: senders replaying un-acked
+    entries find a receiver with amnesia and their messages apply twice,
+    breaking exactly-once on the duplication side. Default [false]. *)
 
 val message_latency_percentile : t -> float -> int option
 (** Cluster-wide percentile (in microseconds) of the emission-to-handler

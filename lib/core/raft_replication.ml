@@ -3,12 +3,23 @@ module Simtime = Beehive_sim.Simtime
 module Channels = Beehive_net.Channels
 module Raft = Beehive_raft.Raft
 
+(* A member's replica of a bee's exactly-once bookkeeping: the un-acked
+   outbox entries (by sequence number) and the durable inbox marks that
+   rode replicated commits. Failover re-seeds a recovered bee's WAL from
+   these so replay and dedup survive the loss of the bee's own log. *)
+type aux = {
+  a_emits : (int, Message.t) Hashtbl.t;
+  a_inbox : (int * int, unit) Hashtbl.t;
+}
+
 type group = {
   g_anchor : int;
   mutable g_members : int list;
   g_nodes : (int, Raft.t) Hashtbl.t;  (* member hive -> node *)
   g_replicas : (int, (int, State.t) Hashtbl.t) Hashtbl.t;
       (* member hive -> (bee -> replica) *)
+  g_aux : (int, (int, aux) Hashtbl.t) Hashtbl.t;
+      (* member hive -> (bee -> outbox/inbox replica) *)
   mutable g_queue : string list;  (* commands awaiting a leader, oldest last *)
 }
 
@@ -21,9 +32,17 @@ type t = {
   pending : (string, Platform.commit_info) Hashtbl.t;  (* command id -> write set *)
   anchors : (int, int) Hashtbl.t;  (* bee -> anchor hive of its group *)
   counted : (string, unit) Hashtbl.t;  (* command ids seen applied at least once *)
-  snapshots : (string, (int * (string * string * Value.t) list) list) Hashtbl.t;
-      (* snapshot handle -> per-bee state image; Raft ships the handle,
-         the real size is charged via [is_data_size] *)
+  snapshots :
+    ( string,
+      (int
+      * (string * string * Value.t) list
+      * (int * Message.t) list
+      * (int * int) list)
+      list )
+    Hashtbl.t;
+      (* snapshot handle -> per-bee (state image, outbox entries, inbox
+         marks); Raft ships the handle, the real size is charged via
+         [is_data_size] *)
   mutable seq : int;
   mutable snap_seq : int;
   mutable committed : int;
@@ -62,6 +81,23 @@ let replica_state g ~member ~bee =
     Hashtbl.add tbl bee st;
     st
 
+let aux_table g ~member =
+  match Hashtbl.find_opt g.g_aux member with
+  | Some tbl -> tbl
+  | None ->
+    let tbl = Hashtbl.create 16 in
+    Hashtbl.add g.g_aux member tbl;
+    tbl
+
+let aux_state g ~member ~bee =
+  let tbl = aux_table g ~member in
+  match Hashtbl.find_opt tbl bee with
+  | Some a -> a
+  | None ->
+    let a = { a_emits = Hashtbl.create 8; a_inbox = Hashtbl.create 8 } in
+    Hashtbl.add tbl bee a;
+    a
+
 let apply_write_set g ~member (ci : Platform.commit_info) =
   let st = replica_state g ~member ~bee:ci.Platform.ci_bee in
   List.iter
@@ -69,7 +105,12 @@ let apply_write_set g ~member (ci : Platform.commit_info) =
       match w with
       | Some v -> State.insert st [ (dict, key, v) ]
       | None -> ignore (State.extract st (Cell.Set.singleton (Cell.cell dict key))))
-    ci.Platform.ci_writes
+    ci.Platform.ci_writes;
+  if ci.Platform.ci_emits <> [] || ci.Platform.ci_inbox <> [] then begin
+    let aux = aux_state g ~member ~bee:ci.Platform.ci_bee in
+    List.iter (fun (seq, m) -> Hashtbl.replace aux.a_emits seq m) ci.Platform.ci_emits;
+    List.iter (fun mark -> Hashtbl.replace aux.a_inbox mark ()) ci.Platform.ci_inbox
+  end
 
 let live_leader t g =
   List.find_opt
@@ -132,20 +173,40 @@ let spawn_member t g ~member =
         | Some node
           when Raft.last_applied node - Raft.snapshot_index node >= t.compact_every ->
           let tbl = replica_table g ~member in
+          let atbl = aux_table g ~member in
+          let aux_of bee =
+            match Hashtbl.find_opt atbl bee with
+            | None -> ([], [])
+            | Some a ->
+              ( Hashtbl.fold (fun seq m acc -> (seq, m) :: acc) a.a_emits []
+                |> List.sort (fun (a, _) (b, _) -> compare a b),
+                Hashtbl.fold (fun mark () acc -> mark :: acc) a.a_inbox []
+                |> List.sort compare )
+          in
           let per_bee =
-            Hashtbl.fold (fun bee st acc -> (bee, State.snapshot st) :: acc) tbl []
-            |> List.sort (fun (a, _) (b, _) -> compare a b)
+            Hashtbl.fold
+              (fun bee st acc ->
+                let emits, inbox = aux_of bee in
+                (bee, State.snapshot st, emits, inbox) :: acc)
+              tbl []
+            |> List.sort (fun (a, _, _, _) (b, _, _, _) -> compare a b)
           in
           t.snap_seq <- t.snap_seq + 1;
           let data = Printf.sprintf "s%d" t.snap_seq in
           Hashtbl.replace t.snapshots data per_bee;
           let size =
             List.fold_left
-              (fun a (_, entries) ->
+              (fun a (_, entries, emits, inbox) ->
+                let a =
+                  List.fold_left
+                    (fun a (d, k, v) ->
+                      a + String.length d + String.length k + Value.size v)
+                    a entries
+                in
                 List.fold_left
-                  (fun a (d, k, v) ->
-                    a + String.length d + String.length k + Value.size v)
-                  a entries)
+                  (fun a (_, (m : Message.t)) -> a + 16 + m.Message.size)
+                  a emits
+                + (16 * List.length inbox))
               64 per_bee
           in
           Raft.compact node ~upto:(Raft.last_applied node) ~data_size:size ~data ()
@@ -156,9 +217,20 @@ let spawn_member t g ~member =
         | Some per_bee ->
           t.installs <- t.installs + 1;
           let tbl = replica_table g ~member in
+          let atbl = aux_table g ~member in
           Hashtbl.reset tbl;
+          Hashtbl.reset atbl;
           List.iter
-            (fun (bee, entries) -> Hashtbl.replace tbl bee (State.restore entries))
+            (fun (bee, entries, emits, inbox) ->
+              Hashtbl.replace tbl bee (State.restore entries);
+              if emits <> [] || inbox <> [] then begin
+                let a =
+                  { a_emits = Hashtbl.create 8; a_inbox = Hashtbl.create 8 }
+                in
+                List.iter (fun (seq, m) -> Hashtbl.replace a.a_emits seq m) emits;
+                List.iter (fun mark -> Hashtbl.replace a.a_inbox mark ()) inbox;
+                Hashtbl.replace atbl bee a
+              end)
             per_bee
         | None -> ()
       in
@@ -187,6 +259,7 @@ let make_group t ~anchor ~members =
       g_members = members;
       g_nodes = Hashtbl.create 4;
       g_replicas = Hashtbl.create 4;
+      g_aux = Hashtbl.create 4;
       g_queue = [];
     }
   in
@@ -309,6 +382,62 @@ let recovery_provider t ~bee =
       | None -> None)
     | None -> None)
 
+(* Most caught-up live member's replica of the bee's un-acked outbox and
+   inbox marks, for {!Platform.set_outbox_recovery_provider}: the
+   recovered bee resumes replaying committed-but-unacked emits and keeps
+   deduplicating redeliveries it already applied before the failover. *)
+let outbox_recovery t ~bee =
+  match anchor_of t ~bee with
+  | None -> None
+  | Some anchor ->
+    let g = t.groups.(anchor) in
+    let best =
+      List.fold_left
+        (fun acc m ->
+          if not (Platform.hive_alive t.platform m) then acc
+          else
+            match Hashtbl.find_opt g.g_nodes m with
+            | Some node when Raft.is_up node -> (
+              let score = Raft.last_applied node in
+              match acc with
+              | Some (_, s) when s >= score -> acc
+              | _ -> Some (m, score))
+            | Some _ | None -> acc)
+        None g.g_members
+    in
+    (match best with
+    | Some (member, _) -> (
+      match Hashtbl.find_opt g.g_aux member with
+      | Some tbl -> (
+        match Hashtbl.find_opt tbl bee with
+        | Some a ->
+          let emits =
+            Hashtbl.fold (fun seq m acc -> (seq, m) :: acc) a.a_emits []
+            |> List.sort (fun (x, _) (y, _) -> compare x y)
+          in
+          let inbox =
+            Hashtbl.fold (fun mark () acc -> mark :: acc) a.a_inbox []
+            |> List.sort compare
+          in
+          Some (emits, inbox)
+        | None -> None)
+      | None -> None)
+    | None -> None)
+
+(* An outbox entry was fully acknowledged: every member's replica of it
+   can be trimmed (inbox marks are kept — they are the dedup floor). *)
+let on_outbox_ack t ~bee ~seq =
+  match anchor_of t ~bee with
+  | None -> ()
+  | Some anchor ->
+    let g = t.groups.(anchor) in
+    Hashtbl.iter
+      (fun _ tbl ->
+        match Hashtbl.find_opt tbl bee with
+        | Some a -> Hashtbl.remove a.a_emits seq
+        | None -> ())
+      g.g_aux
+
 let on_hive_failure t h =
   Array.iter
     (fun g ->
@@ -352,6 +481,8 @@ let install platform ?(group_size = 3) ?(compact_every = 64) () =
         make_group t ~anchor ~members);
   Platform.on_commit platform (fun ci -> on_commit t ci);
   Platform.set_recovery_provider platform (fun ~bee -> recovery_provider t ~bee);
+  Platform.set_outbox_recovery_provider platform (fun ~bee -> outbox_recovery t ~bee);
+  Platform.on_outbox_ack platform (fun ~bee ~seq -> on_outbox_ack t ~bee ~seq);
   Platform.on_hive_failure platform (fun h -> on_hive_failure t h);
   Platform.on_hive_restart platform (fun h -> on_hive_restart t h);
   Platform.on_hive_added platform (fun h -> on_hive_added t h);
@@ -398,6 +529,23 @@ let member_snapshot_term t ~hive ~member =
   | Some node -> Raft.snapshot_term node
   | None -> 0
 let pending_commands t = Array.fold_left (fun a g -> a + List.length g.g_queue) 0 t.groups
+
+let replica_outbox t ~member ~bee =
+  let found = ref [] in
+  Array.iter
+    (fun g ->
+      if !found = [] then
+        match Hashtbl.find_opt g.g_aux member with
+        | Some tbl -> (
+          match Hashtbl.find_opt tbl bee with
+          | Some a ->
+            found :=
+              Hashtbl.fold (fun seq m acc -> (seq, m) :: acc) a.a_emits []
+              |> List.sort (fun (x, _) (y, _) -> compare x y)
+          | None -> ())
+        | None -> ())
+    t.groups;
+  !found
 
 let replica_entries t ~member ~bee =
   let found = ref None in

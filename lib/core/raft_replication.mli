@@ -55,6 +55,14 @@ val pending_commands : t -> int
 val replica_entries : t -> member:int -> bee:int -> (string * string * Value.t) list
 (** A member hive's replica of a bee's state (tests/inspection). *)
 
+val replica_outbox : t -> member:int -> bee:int -> (int * Message.t) list
+(** A member hive's replica of a bee's un-acked outbox entries, ascending
+    by sequence number (tests/inspection). Entries arrive through
+    replicated commits ([ci_emits]), are trimmed when the platform
+    reports full acknowledgement, and ride compaction snapshots; on
+    failover {!Platform.failover_bee} re-seeds the recovered bee's WAL
+    from the most caught-up member's copy. *)
+
 val snapshot_installs : t -> int
 (** Times any member reset its replicas from a snapshot image (leader
     catch-up or post-restart recovery). *)

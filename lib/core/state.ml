@@ -125,6 +125,13 @@ let abort tx =
   tx.finished <- true;
   Hashtbl.reset tx.pending
 
+let rollback tx =
+  check_open tx;
+  let discarded = Hashtbl.length tx.pending in
+  tx.finished <- true;
+  Hashtbl.reset tx.pending;
+  discarded
+
 let extract t cell_set =
   let selected = ref [] in
   Hashtbl.iter

@@ -53,6 +53,12 @@ val commit : tx -> unit
 
 val abort : tx -> unit
 
+val rollback : tx -> int
+(** {!abort} that reports how many pending writes were discarded — the
+    platform's handler-failure path, where an exception inside a handler
+    atomically throws away the state delta (and, with the transactional
+    outbox, the buffered emits that rode the same transaction). *)
+
 (** {2 Bulk transfer (bee migration and merge)} *)
 
 val extract : t -> Cell.Set.t -> (string * string * Value.t) list

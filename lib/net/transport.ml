@@ -33,6 +33,7 @@ type msg = {
   mutable m_attempts : int;
   mutable m_timer : Engine.handle option;
   mutable m_done : bool;  (* acked or exhausted: timers become no-ops *)
+  mutable m_delivered : bool;  (* m_deliver ran (even if the ack was lost) *)
 }
 
 (* Per directed hive pair: sender-side sequencing and in-flight window,
@@ -153,6 +154,7 @@ let receive t l m ~dh =
     else begin
       mark_seen l m.m_seq;
       t.delivered <- t.delivered + 1;
+      m.m_delivered <- true;
       m.m_deliver ()
     end;
     send_ack t l m
@@ -220,6 +222,7 @@ let send t ~src ~dst ~bytes ?(on_drop = fun () -> ()) ~deliver () =
         m_attempts = 1;
         m_timer = None;
         m_done = false;
+        m_delivered = false;
       }
     in
     l.next_seq <- l.next_seq + 1;
@@ -227,20 +230,29 @@ let send t ~src ~dst ~bytes ?(on_drop = fun () -> ()) ~deliver () =
     attempt t l m ~dh
   end
 
-(* Tears down every directed link touching hive [h]: in-flight messages
-   are abandoned (timers cancelled, no on_drop — the hive is leaving the
-   cluster, not failing) and sequencing state is freed so a future hive
-   reusing the id would start fresh. *)
+(* Tears down every directed link touching hive [h]. The hive leaves the
+   cluster gracefully, so in-flight messages are settled rather than
+   abandoned: timers are cancelled, and any message whose payload never
+   reached the receiver has its [on_drop] fired so the sender can account
+   for the loss (a decommission racing an outbound migration transfer
+   must release the destination's inbound-transfer count, or its own
+   later drain waits forever). Delivered-but-unacked messages only lose
+   their ack; dropping them too would double-settle. Sequencing state is
+   freed so a future hive reusing the id starts fresh. Contrast
+   [crash_hive]: a crashed process takes its callbacks with it, so
+   nothing fires there. *)
 let close_hive t h =
   let doomed =
     Hashtbl.fold
       (fun ((sh, dh) as key) l acc -> if sh = h || dh = h then (key, l) :: acc else acc)
       t.links []
   in
+  let dropped = ref [] in
   List.iter
     (fun (key, l) ->
       Hashtbl.iter
         (fun _ m ->
+          (if (not m.m_done) && not m.m_delivered then dropped := m :: !dropped);
           m.m_done <- true;
           match m.m_timer with
           | Some hd ->
@@ -249,7 +261,56 @@ let close_hive t h =
           | None -> ())
         l.inflight;
       Hashtbl.remove t.links key)
-    doomed
+    doomed;
+  (* Fire drops after all teardown, in seq order for determinism; a drop
+     callback may send fresh messages, which must not land in a link that
+     is still being doomed. *)
+  List.iter
+    (fun m -> m.m_on_drop ())
+    (List.sort (fun a b -> Int.compare a.m_seq b.m_seq) !dropped)
+
+(* Crash semantics for hive [h]: a crashed process loses its in-memory
+   transport state. Sender side (h -> peer links): the in-flight window
+   and its retransmission timers die with the process and sequencing
+   restarts from 1 — the peer's dedup state for those links is reset too,
+   the moral equivalent of the fresh connection epoch a restarted sender
+   negotiates. Receiver side (peer -> h links): the dedup cutoff and the
+   sparse out-of-order set are lost, while the remote senders' in-flight
+   copies and timers keep running — so a retransmission racing the
+   restart arrives at a receiver that no longer remembers having seen it.
+   That double-delivery window is inherent to in-memory dedup; closing it
+   takes a receiver-side cutoff that survives the crash (the platform's
+   durable inbox). *)
+let crash_hive t h =
+  let touched =
+    Hashtbl.fold
+      (fun ((sh, dh) as key) l acc ->
+        if sh = h || dh = h then (key, l) :: acc else acc)
+      t.links []
+    |> List.sort (fun ((a, b), _) ((c, d), _) -> compare (a, b) (c, d))
+  in
+  List.iter
+    (fun ((sh, _), l) ->
+      if sh = h then begin
+        Hashtbl.iter
+          (fun _ m ->
+            m.m_done <- true;
+            match m.m_timer with
+            | Some hd ->
+              ignore (Engine.cancel t.engine hd);
+              m.m_timer <- None
+            | None -> ())
+          l.inflight;
+        Hashtbl.reset l.inflight;
+        l.next_seq <- 1;
+        l.cutoff <- 0;
+        Hashtbl.reset l.above
+      end
+      else begin
+        l.cutoff <- 0;
+        Hashtbl.reset l.above
+      end)
+    touched
 
 let sent t = t.sent
 let retransmits t = t.retransmits

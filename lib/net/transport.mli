@@ -63,8 +63,22 @@ val send :
 val close_hive : t -> int -> unit
 (** Frees every directed link touching the hive: pending retransmission
     timers are cancelled and sequencing state discarded. Used when a hive
-    is decommissioned — unacked messages to or from it are abandoned
-    without firing [on_drop]. *)
+    is decommissioned — a graceful departure, so any in-flight message
+    whose payload never reached its receiver has [on_drop] fired (the
+    sender must settle its accounting; an abandoned migration transfer
+    would otherwise pin the destination's drain forever). Messages that
+    were delivered but not yet acked are simply forgotten. *)
+
+val crash_hive : t -> int -> unit
+(** Crash semantics: the hive's process died, taking its in-memory
+    transport state with it. Links it was sending on lose their in-flight
+    window (timers cancelled, no [on_drop]) and restart sequencing — with
+    the peer's dedup state reset too, as a fresh connection epoch would.
+    Links it was receiving on lose the dedup cutoff and out-of-order set
+    while the remote senders keep retransmitting: a retransmission racing
+    the restart is then {e delivered again}. At-least-once survives a
+    receiver crash; exactly-once needs a cutoff that survives it (the
+    platform's durable inbox). *)
 
 (** {2 Counters} *)
 

@@ -28,6 +28,9 @@ type 'v package = {
   pkg_snapshot : (string * string * 'v) list;
   pkg_snapshot_lsn : int;
   pkg_tail : 'v record list;
+  pkg_outbox : (int * int) list;
+  pkg_inbox : (int * int) list;
+  pkg_next_out_seq : int;
   pkg_bytes : int;
 }
 
@@ -35,12 +38,28 @@ type 'v package = {
 let record_overhead = 24
 let snapshot_overhead = 32
 let package_overhead = 64
+let outbox_entry_overhead = 16
+let inbox_mark_overhead = 16
+
+(* One transaction's worth of not-yet-durable log: the state write-set
+   plus the outbox entries and inbox marks committed with it. Everything
+   in one batch becomes durable together at the next group commit — or is
+   lost together by [drop_pending]. *)
+type 'v batch = {
+  b_hive : int;
+  b_writes : 'v write list;
+  b_bytes : int;
+  b_outbox : (int * int) list;  (* (seq, payload bytes) *)
+  b_inbox : (int * int) list;  (* (sender bee, sender seq) *)
+}
 
 type 'v bee_log = {
   bl_bee : int;
-  mutable bl_pending : (int * 'v write list * int) list;
-      (* (hive, write set, bytes) batches awaiting group commit, newest
-         first; lost on [drop_pending] of their hive *)
+  mutable bl_dirty : bool;
+      (* queued on the store's dirty list: has (or had) pending batches *)
+  mutable bl_pending : 'v batch list;
+      (* batches awaiting group commit, newest first; lost on
+         [drop_pending] of their hive *)
   mutable bl_wal : 'v record list;  (* durable tail, newest first *)
   mutable bl_wal_bytes : int;
   mutable bl_wal_records : int;
@@ -52,6 +71,13 @@ type 'v bee_log = {
   bl_live : (string * string, 'v * int) Hashtbl.t;
       (* materialized view incl. pending, entry -> (value, size) *)
   mutable bl_live_bytes : int;
+  mutable bl_next_out_seq : int;
+      (* next outbox sequence number; monotonic, never reused even after
+         acks, so a receiver's cutoff stays valid across sender restarts *)
+  bl_outbox : (int, int) Hashtbl.t;
+      (* durable un-acked outbox: seq -> payload bytes *)
+  bl_inbox : (int * int, unit) Hashtbl.t;
+      (* durable dedup marks: (sender bee, sender seq) already applied *)
 }
 
 type 'v t = {
@@ -59,10 +85,14 @@ type 'v t = {
   cfg : config;
   size_of : 'v write -> int;
   on_fsync : (hive:int -> bytes:int -> records:int -> unit) option;
+  on_outbox_durable : (hive:int -> (int * int) list -> unit) option;
   on_compaction :
     (bee:int -> dropped_records:int -> dropped_bytes:int -> snapshot_bytes:int -> unit)
     option;
   logs : (int, 'v bee_log) Hashtbl.t;
+  mutable dirty_logs : 'v bee_log list;
+      (* logs with batches awaiting group commit — the flush working set,
+         so a commit tick touches only writers, not every tracked bee *)
   mutable n_fsyncs : int;
   mutable wal_bytes_written : int;
   mutable n_compactions : int;
@@ -77,6 +107,7 @@ let log_of t bee =
     let bl =
       {
         bl_bee = bee;
+        bl_dirty = false;
         bl_pending = [];
         bl_wal = [];
         bl_wal_bytes = 0;
@@ -88,6 +119,9 @@ let log_of t bee =
         bl_next_lsn = 1;
         bl_live = Hashtbl.create 16;
         bl_live_bytes = 0;
+        bl_next_out_seq = 1;
+        bl_outbox = Hashtbl.create 8;
+        bl_inbox = Hashtbl.create 16;
       }
     in
     Hashtbl.add t.logs bee bl;
@@ -95,6 +129,26 @@ let log_of t bee =
 
 let sorted_logs t =
   Hashtbl.fold (fun _ bl acc -> bl :: acc) t.logs []
+  |> List.sort (fun a b -> Int.compare a.bl_bee b.bl_bee)
+
+let mark_dirty t bl =
+  if not bl.bl_dirty then begin
+    bl.bl_dirty <- true;
+    t.dirty_logs <- bl :: t.dirty_logs
+  end
+
+(* Drains the dirty list in deterministic (bee id) order, dropping logs
+   that were forgotten or replaced since they were queued. *)
+let take_dirty t =
+  let ds = t.dirty_logs in
+  t.dirty_logs <- [];
+  List.iter (fun bl -> bl.bl_dirty <- false) ds;
+  List.filter
+    (fun bl ->
+      match Hashtbl.find_opt t.logs bl.bl_bee with
+      | Some cur -> cur == bl
+      | None -> false)
+    ds
   |> List.sort (fun a b -> Int.compare a.bl_bee b.bl_bee)
 
 let entry_order (d1, k1, _) (d2, k2, _) =
@@ -121,18 +175,37 @@ let rebuild_live t bl =
   bl.bl_live_bytes <- 0;
   List.iter (fun (d, k, v) -> apply_write t bl (d, k, Some v)) bl.bl_snapshot;
   List.iter (fun r -> List.iter (apply_write t bl) r.r_writes) (List.rev bl.bl_wal);
-  List.iter (fun (_, ws, _) -> List.iter (apply_write t bl) ws) (List.rev bl.bl_pending)
+  List.iter (fun b -> List.iter (apply_write t bl) b.b_writes) (List.rev bl.bl_pending)
 
-let batch_bytes t writes =
-  record_overhead + List.fold_left (fun acc w -> acc + t.size_of w) 0 writes
+let batch_bytes t writes ~outbox ~inbox =
+  record_overhead
+  + List.fold_left (fun acc w -> acc + t.size_of w) 0 writes
+  + List.fold_left (fun acc (_, bytes) -> acc + outbox_entry_overhead + bytes) 0 outbox
+  + (inbox_mark_overhead * List.length inbox)
 
-let append t ~bee ~hive writes =
-  if writes <> [] then begin
+let append t ~bee ~hive ?(outbox = []) ?(inbox = []) writes =
+  if writes <> [] || outbox <> [] || inbox <> [] then begin
     let bl = log_of t bee in
-    let bytes = batch_bytes t writes in
-    bl.bl_pending <- (hive, writes, bytes) :: bl.bl_pending;
+    let bytes = batch_bytes t writes ~outbox ~inbox in
+    bl.bl_pending <-
+      { b_hive = hive; b_writes = writes; b_bytes = bytes; b_outbox = outbox;
+        b_inbox = inbox }
+      :: bl.bl_pending;
+    mark_dirty t bl;
+    (* Explicit sequence numbers (failover re-seeding) must never collide
+       with future allocations. *)
+    List.iter
+      (fun (seq, _) ->
+        if seq >= bl.bl_next_out_seq then bl.bl_next_out_seq <- seq + 1)
+      outbox;
     List.iter (apply_write t bl) writes
   end
+
+let alloc_out_seq t ~bee =
+  let bl = log_of t bee in
+  let seq = bl.bl_next_out_seq in
+  bl.bl_next_out_seq <- seq + 1;
+  seq
 
 (* Durable view: snapshot overlaid with the WAL tail, pending excluded. *)
 let durable_table bl =
@@ -174,33 +247,48 @@ let compact_log t bl =
   | None -> ()
 
 (* Moves a log's pending batches into its durable WAL, accumulating the
-   per-hive fsync charges into [by_hive]. True if anything moved. *)
-let commit_pending t bl by_hive =
+   per-hive fsync charges into [by_hive] and the per-hive newly durable
+   outbox entries into [out_by_hive]. True if anything moved. *)
+let commit_pending t bl by_hive out_by_hive =
   match bl.bl_pending with
   | [] -> false
   | pending ->
     List.iter
-      (fun (hive, writes, bytes) ->
+      (fun b ->
         let r =
           {
             r_lsn = bl.bl_next_lsn;
             r_at = Engine.now t.engine;
-            r_writes = writes;
-            r_bytes = bytes;
+            r_writes = b.b_writes;
+            r_bytes = b.b_bytes;
           }
         in
         bl.bl_next_lsn <- bl.bl_next_lsn + 1;
         bl.bl_wal <- r :: bl.bl_wal;
-        bl.bl_wal_bytes <- bl.bl_wal_bytes + bytes;
+        bl.bl_wal_bytes <- bl.bl_wal_bytes + b.b_bytes;
         bl.bl_wal_records <- bl.bl_wal_records + 1;
-        t.wal_bytes_written <- t.wal_bytes_written + bytes;
-        let b, n = Option.value ~default:(0, 0) (Hashtbl.find_opt by_hive hive) in
-        Hashtbl.replace by_hive hive (b + bytes, n + 1))
+        t.wal_bytes_written <- t.wal_bytes_written + b.b_bytes;
+        List.iter
+          (fun (seq, bytes) ->
+            Hashtbl.replace bl.bl_outbox seq bytes;
+            let l =
+              match Hashtbl.find_opt out_by_hive b.b_hive with
+              | Some l -> l
+              | None ->
+                let l = ref [] in
+                Hashtbl.add out_by_hive b.b_hive l;
+                l
+            in
+            l := (bl.bl_bee, seq) :: !l)
+          b.b_outbox;
+        List.iter (fun mark -> Hashtbl.replace bl.bl_inbox mark ()) b.b_inbox;
+        let bb, n = Option.value ~default:(0, 0) (Hashtbl.find_opt by_hive b.b_hive) in
+        Hashtbl.replace by_hive b.b_hive (bb + b.b_bytes, n + 1))
       (List.rev pending);
     bl.bl_pending <- [];
     true
 
-let fire_fsyncs t by_hive =
+let fire_fsyncs t by_hive out_by_hive =
   let hives =
     Hashtbl.fold (fun h v acc -> (h, v) :: acc) by_hive []
     |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
@@ -208,23 +296,28 @@ let fire_fsyncs t by_hive =
   List.iter
     (fun (hive, (bytes, records)) ->
       t.n_fsyncs <- t.n_fsyncs + 1;
-      match t.on_fsync with Some f -> f ~hive ~bytes ~records | None -> ())
+      (match t.on_fsync with Some f -> f ~hive ~bytes ~records | None -> ());
+      match (t.on_outbox_durable, Hashtbl.find_opt out_by_hive hive) with
+      | Some f, Some l -> f ~hive (List.rev !l)
+      | _ -> ())
     hives
 
 let flush t =
   let by_hive = Hashtbl.create 8 in
+  let out_by_hive = Hashtbl.create 8 in
+  let ds = take_dirty t in
   let dirty =
     List.fold_left
-      (fun acc bl -> commit_pending t bl by_hive || acc)
-      false (sorted_logs t)
+      (fun acc bl -> commit_pending t bl by_hive out_by_hive || acc)
+      false ds
   in
   if dirty then begin
-    fire_fsyncs t by_hive;
+    fire_fsyncs t by_hive out_by_hive;
     (* Compact any bee whose durable log outgrew the threshold. *)
     List.iter
       (fun bl ->
         if bl.bl_wal_bytes > t.cfg.snapshot_threshold_bytes then compact_log t bl)
-      (sorted_logs t)
+      ds
   end
 
 let flush_bee t ~bee =
@@ -232,12 +325,16 @@ let flush_bee t ~bee =
   | None -> ()
   | Some bl ->
     let by_hive = Hashtbl.create 4 in
-    if commit_pending t bl by_hive then begin
-      fire_fsyncs t by_hive;
+    let out_by_hive = Hashtbl.create 4 in
+    if commit_pending t bl by_hive out_by_hive then begin
+      bl.bl_dirty <- false;
+      t.dirty_logs <- List.filter (fun b -> b != bl) t.dirty_logs;
+      fire_fsyncs t by_hive out_by_hive;
       if bl.bl_wal_bytes > t.cfg.snapshot_threshold_bytes then compact_log t bl
     end
 
-let create engine ?(config = default_config) ~size_of ?on_fsync ?on_compaction () =
+let create engine ?(config = default_config) ~size_of ?on_fsync ?on_outbox_durable
+    ?on_compaction () =
   if config.wal_group_commit_ticks < 1 then
     invalid_arg "Store.create: wal_group_commit_ticks must be >= 1";
   let t =
@@ -246,8 +343,10 @@ let create engine ?(config = default_config) ~size_of ?on_fsync ?on_compaction (
       cfg = config;
       size_of;
       on_fsync;
+      on_outbox_durable;
       on_compaction;
       logs = Hashtbl.create 64;
+      dirty_logs = [];
       n_fsyncs = 0;
       wal_bytes_written = 0;
       n_compactions = 0;
@@ -258,7 +357,7 @@ let create engine ?(config = default_config) ~size_of ?on_fsync ?on_compaction (
      loses them, exactly like an un-fsynced log. *)
   ignore
     (Engine.every engine (Simtime.of_ms config.wal_group_commit_ticks) (fun () ->
-         if Hashtbl.fold (fun _ bl acc -> acc || bl.bl_pending <> []) t.logs false then
+         if t.dirty_logs <> [] then
            ignore (Engine.schedule_after engine config.fsync_latency (fun () -> flush t))));
   t
 
@@ -269,7 +368,7 @@ let compact t ~bee =
 let drop_pending t ~hive =
   List.iter
     (fun bl ->
-      let keep = List.filter (fun (h, _, _) -> h <> hive) bl.bl_pending in
+      let keep = List.filter (fun b -> b.b_hive <> hive) bl.bl_pending in
       if List.length keep <> List.length bl.bl_pending then begin
         bl.bl_pending <- keep;
         rebuild_live t bl
@@ -288,17 +387,104 @@ let recovery_cost t ~bee =
   | None -> (0, 0)
   | Some bl -> (bl.bl_wal_records, bl.bl_snapshot_bytes + bl.bl_wal_bytes)
 
+(* ---- outbox / inbox ------------------------------------------------ *)
+
+let ack_outbox t ~bee ~seq =
+  match Hashtbl.find_opt t.logs bee with
+  | None -> ()
+  | Some bl -> Hashtbl.remove bl.bl_outbox seq
+
+let outbox_unacked t ~bee =
+  match Hashtbl.find_opt t.logs bee with
+  | None -> []
+  | Some bl ->
+    Hashtbl.fold (fun seq bytes acc -> (seq, bytes) :: acc) bl.bl_outbox []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let outbox_size t ~bee =
+  match Hashtbl.find_opt t.logs bee with
+  | None -> 0
+  | Some bl -> Hashtbl.length bl.bl_outbox
+
+let inbox_durable t ~bee ~sender ~seq =
+  match Hashtbl.find_opt t.logs bee with
+  | None -> false
+  | Some bl -> Hashtbl.mem bl.bl_inbox (sender, seq)
+
+let inbox_seen t ~bee ~sender ~seq =
+  match Hashtbl.find_opt t.logs bee with
+  | None -> false
+  | Some bl ->
+    Hashtbl.mem bl.bl_inbox (sender, seq)
+    || List.exists
+         (fun b -> List.exists (fun m -> m = (sender, seq)) b.b_inbox)
+         bl.bl_pending
+
+let inbox_marks t ~bee =
+  match Hashtbl.find_opt t.logs bee with
+  | None -> []
+  | Some bl ->
+    let durable = Hashtbl.fold (fun m () acc -> m :: acc) bl.bl_inbox [] in
+    let pending =
+      List.concat_map (fun b -> b.b_inbox) bl.bl_pending
+      |> List.filter (fun m -> not (Hashtbl.mem bl.bl_inbox m))
+    in
+    List.sort_uniq compare (durable @ pending)
+
+let inbox_size t ~bee =
+  match Hashtbl.find_opt t.logs bee with
+  | None -> 0
+  | Some bl -> Hashtbl.length bl.bl_inbox
+
+let next_out_seq t ~bee =
+  match Hashtbl.find_opt t.logs bee with
+  | None -> 1
+  | Some bl -> bl.bl_next_out_seq
+
+let wipe_inbox t ~bee =
+  match Hashtbl.find_opt t.logs bee with
+  | None -> ()
+  | Some bl ->
+    Hashtbl.reset bl.bl_inbox;
+    bl.bl_pending <-
+      List.map (fun b -> { b with b_inbox = [] }) bl.bl_pending
+
+let drop_outbox t ~bee =
+  match Hashtbl.find_opt t.logs bee with
+  | None -> ()
+  | Some bl ->
+    Hashtbl.reset bl.bl_outbox;
+    bl.bl_pending <-
+      List.map (fun b -> { b with b_outbox = [] }) bl.bl_pending
+
+(* ---- migration ----------------------------------------------------- *)
+
 let package t ~bee =
   flush t;
   let bl = log_of t bee in
   if bl.bl_wal_bytes > t.cfg.snapshot_threshold_bytes then compact_log t bl;
   let tail = List.rev bl.bl_wal in
+  let outbox = outbox_unacked t ~bee in
+  let inbox =
+    Hashtbl.fold (fun m () acc -> m :: acc) bl.bl_inbox []
+    |> List.sort compare
+  in
+  let outbox_bytes =
+    List.fold_left
+      (fun acc (_, bytes) -> acc + outbox_entry_overhead + bytes)
+      0 outbox
+  in
   {
     pkg_bee = bee;
     pkg_snapshot = bl.bl_snapshot;
     pkg_snapshot_lsn = bl.bl_snapshot_lsn;
     pkg_tail = tail;
-    pkg_bytes = package_overhead + bl.bl_snapshot_bytes + bl.bl_wal_bytes;
+    pkg_outbox = outbox;
+    pkg_inbox = inbox;
+    pkg_next_out_seq = bl.bl_next_out_seq;
+    pkg_bytes =
+      package_overhead + bl.bl_snapshot_bytes + bl.bl_wal_bytes + outbox_bytes
+      + (inbox_mark_overhead * List.length inbox);
   }
 
 let install t pkg =
@@ -320,6 +506,9 @@ let install t pkg =
   bl.bl_next_lsn <-
     1
     + List.fold_left (fun acc r -> max acc r.r_lsn) pkg.pkg_snapshot_lsn pkg.pkg_tail;
+  List.iter (fun (seq, bytes) -> Hashtbl.replace bl.bl_outbox seq bytes) pkg.pkg_outbox;
+  List.iter (fun m -> Hashtbl.replace bl.bl_inbox m ()) pkg.pkg_inbox;
+  bl.bl_next_out_seq <- max pkg.pkg_next_out_seq 1;
   rebuild_live t bl
 
 let entries t ~bee =

@@ -49,7 +49,12 @@ type 'v package = {
   pkg_snapshot : (string * string * 'v) list;  (** compacted cell set *)
   pkg_snapshot_lsn : int;
   pkg_tail : 'v record list;  (** WAL records after the snapshot, oldest first *)
-  pkg_bytes : int;  (** transfer size: snapshot + tail + framing *)
+  pkg_outbox : (int * int) list;
+      (** durable un-acked outbox entries, [(seq, payload bytes)] ascending *)
+  pkg_inbox : (int * int) list;
+      (** durable dedup marks, [(sender bee, sender seq)] *)
+  pkg_next_out_seq : int;
+  pkg_bytes : int;  (** transfer size: snapshot + tail + outbox + inbox + framing *)
 }
 
 type 'v t
@@ -59,24 +64,42 @@ val create :
   ?config:config ->
   size_of:('v write -> int) ->
   ?on_fsync:(hive:int -> bytes:int -> records:int -> unit) ->
+  ?on_outbox_durable:(hive:int -> (int * int) list -> unit) ->
   ?on_compaction:(bee:int -> dropped_records:int -> dropped_bytes:int -> snapshot_bytes:int -> unit) ->
   unit ->
   'v t
 (** Creates the store and arms its group-commit timer on the engine.
     [size_of] estimates the serialized size of one write (dict + key +
     value). [on_fsync] fires once per hive per flush that made data
-    durable; [on_compaction] fires whenever a bee's WAL is folded into a
-    snapshot. *)
+    durable; [on_outbox_durable] fires right after it with the
+    [(bee, seq)] outbox entries of that hive that just became durable —
+    the platform's cue to hand them to transport; [on_compaction] fires
+    whenever a bee's WAL is folded into a snapshot. *)
 
 val config : 'v t -> config
 
 (** {2 The write path} *)
 
-val append : 'v t -> bee:int -> hive:int -> 'v write list -> unit
-(** Appends one transaction write-set to the bee's log. The writes are
-    immediately visible in the materialized view ({!entries},
-    {!size_bytes}) but only become durable — i.e. survive {!drop_pending}
-    — at the next group-commit flush. *)
+val append :
+  'v t ->
+  bee:int ->
+  hive:int ->
+  ?outbox:(int * int) list ->
+  ?inbox:(int * int) list ->
+  'v write list ->
+  unit
+(** Appends one transaction write-set to the bee's log, together with the
+    [(seq, payload bytes)] outbox entries emitted by the transaction and
+    the [(sender, seq)] inbox dedup marks it consumed — all three become
+    durable together at the next group-commit flush (or are lost together
+    by {!drop_pending}: a crash can never keep a state delta without its
+    emits, or vice versa). The writes are immediately visible in the
+    materialized view ({!entries}, {!size_bytes}). Explicit outbox
+    sequence numbers advance the bee's allocator past them. *)
+
+val alloc_out_seq : 'v t -> bee:int -> int
+(** Allocates the bee's next outbox sequence number (monotonic, never
+    reused even after acks). *)
 
 val flush : 'v t -> unit
 (** Forces a group commit of every pending batch now (the periodic timer
@@ -111,6 +134,44 @@ val recovery_cost : 'v t -> bee:int -> int * int
 (** [(records_replayed, bytes_read)] of a {!recover} call right now:
     snapshot bytes plus every tail record. The figure of merit that
     snapshot-based recovery improves over full log replay. *)
+
+(** {2 Transactional outbox / inbox} *)
+
+val ack_outbox : 'v t -> bee:int -> seq:int -> unit
+(** Retires one durable outbox entry: every addressed receiver has
+    durably applied it, so it will never be replayed again. No-op if the
+    seq is unknown (late duplicate acks are harmless). *)
+
+val outbox_unacked : 'v t -> bee:int -> (int * int) list
+(** The bee's durable, un-acked outbox entries as [(seq, payload bytes)],
+    ascending — exactly what replay after a restart must re-send. Pending
+    (un-fsynced) entries are excluded: they were never handed to
+    transport. *)
+
+val outbox_size : 'v t -> bee:int -> int
+
+val inbox_seen : 'v t -> bee:int -> sender:int -> seq:int -> bool
+(** Whether the bee has already consumed [(sender, seq)] — durable marks
+    plus marks riding a not-yet-flushed batch (the receiver's committed
+    in-memory view, which is what dedup must check against). *)
+
+val inbox_durable : 'v t -> bee:int -> sender:int -> seq:int -> bool
+(** Durable marks only: once true, the sender's entry can be acked. *)
+
+val inbox_marks : 'v t -> bee:int -> (int * int) list
+(** All [(sender, seq)] marks, durable and pending, sorted — what a merge
+    must carry over to the winning bee. *)
+
+val inbox_size : 'v t -> bee:int -> int
+val next_out_seq : 'v t -> bee:int -> int
+
+val wipe_inbox : 'v t -> bee:int -> unit
+(** Debug hook for [--inject-bug replay-dup]: forgets every inbox dedup
+    mark, durable and pending, so replayed entries double-apply. *)
+
+val drop_outbox : 'v t -> bee:int -> unit
+(** Debug hook for [--inject-bug lost-outbox]: forgets every un-acked
+    outbox entry, durable and pending, so nothing is ever replayed. *)
 
 (** {2 Migration} *)
 

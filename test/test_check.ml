@@ -26,11 +26,16 @@ let parse_corpus path =
       if line = "" || line.[0] = '#' then go acc (n + 1)
       else
         (match String.split_on_char ' ' line |> List.filter (( <> ) "") with
-        | [ profile; seed; ticks ] | [ profile; seed; ticks; "lin" ] as fields ->
-          let lin = List.length fields = 4 in
+        | ( [ profile; seed; ticks ]
+          | [ profile; seed; ticks; ("lin" | "outbox") ] ) as fields ->
+          let workload = match fields with [ _; _; _; w ] -> Some w | _ -> None in
+          let lin = workload = Some "lin" in
+          let outbox = workload = Some "outbox" in
           (match Script.profile_of_string profile with
           | Ok p ->
-            go ((p, int_of_string seed, int_of_string ticks, lin) :: acc) (n + 1)
+            go
+              ((p, int_of_string seed, int_of_string ticks, lin, outbox) :: acc)
+              (n + 1)
           | Error e -> Alcotest.fail (Printf.sprintf "seeds.corpus:%d: %s" n e))
         | _ -> Alcotest.fail (Printf.sprintf "seeds.corpus:%d: malformed line" n))
   in
@@ -42,8 +47,8 @@ let test_corpus_replays_clean () =
   let entries = parse_corpus "seeds.corpus" in
   Alcotest.(check bool) "corpus is not empty" true (List.length entries >= 10);
   List.iter
-    (fun (profile, seed, ticks, lin) ->
-      match Check.replay ~ticks ~lin ~seed profile with
+    (fun (profile, seed, ticks, lin, outbox) ->
+      match Check.replay ~ticks ~lin ~outbox ~seed profile with
       | _, Runner.Pass _ -> ()
       | _, Runner.Fail v ->
         Alcotest.fail
@@ -110,6 +115,79 @@ let test_catches_dedup_bug () =
         "violated a delivery monitor" true
         (List.mem f.Check.f_violation.Monitor.v_monitor
            [ "no-duplication"; "no-loss" ]))
+
+(* Skipping outbox replay on restart (recovery "loses" the outbox file)
+   silently drops committed emits whose ack never arrived. The
+   exactly-once monitor's journal-vs-applied comparison must catch it,
+   and the failing schedule must shrink to a handful of events. *)
+let test_catches_lost_outbox_bug () =
+  Beehive_core.Platform.debug_skip_outbox_replay := true;
+  Fun.protect
+    ~finally:(fun () -> Beehive_core.Platform.debug_skip_outbox_replay := false)
+    (fun () ->
+      let rec sweep first_seed =
+        if first_seed >= 200 then Alcotest.fail "bug not caught within 200 seeds"
+        else
+          let report =
+            Check.run ~outbox:true ~first_seed ~seeds:10 Script.Durability
+          in
+          match report.Check.rp_failures with
+          | [] -> sweep (first_seed + 10)
+          | f :: _ -> f
+      in
+      let f = sweep 0 in
+      Alcotest.(check string) "caught by the exactly-once monitor" "exactly-once"
+        f.Check.f_violation.Monitor.v_monitor;
+      Alcotest.(check bool) "shrunk to at most 6 events" true
+        (List.length f.Check.f_shrunk <= 6);
+      Alcotest.(check bool) "shrunk trace replays deterministically" true
+        f.Check.f_replays)
+
+(* Wiping the durable inbox before replay (recovery "loses" the dedup
+   cutoff) makes replayed entries and racing retransmissions apply twice.
+   Caught by the same monitor from the other side: applied > journaled. *)
+let test_catches_replay_dup_bug () =
+  Beehive_core.Platform.debug_forget_inbox := true;
+  Fun.protect
+    ~finally:(fun () -> Beehive_core.Platform.debug_forget_inbox := false)
+    (fun () ->
+      let rec sweep first_seed =
+        if first_seed >= 200 then Alcotest.fail "bug not caught within 200 seeds"
+        else
+          let report =
+            Check.run ~outbox:true ~first_seed ~seeds:10 Script.Durability
+          in
+          match report.Check.rp_failures with
+          | [] -> sweep (first_seed + 10)
+          | f :: _ -> f
+      in
+      let f = sweep 0 in
+      Alcotest.(check bool) "caught by a duplication monitor" true
+        (List.mem f.Check.f_violation.Monitor.v_monitor
+           [ "exactly-once"; "no-duplication" ]);
+      Alcotest.(check bool) "shrunk to at most 6 events" true
+        (List.length f.Check.f_shrunk <= 6);
+      Alcotest.(check bool) "shrunk trace replays deterministically" true
+        f.Check.f_replays)
+
+(* A scripted poison scenario: the always-raising message must end in
+   quarantine (quarantine-accounting equality on a crash-free run) while
+   the healthy puts around it stay exactly-once. *)
+let test_poison_script_quarantines () =
+  let script =
+    [
+      Script.Put { at_us = 1_000; key = 0; from_hive = 0 };
+      Script.Put { at_us = 2_000; key = 1; from_hive = 1 };
+      Script.Poison { at_us = 5_000; key = 0; from_hive = 2 };
+      Script.Put { at_us = 12_000; key = 0; from_hive = 3 };
+      Script.Read_all { at_us = 20_000; from_hive = 1 };
+    ]
+  in
+  match
+    Runner.execute (Runner.make_cfg ~outbox:true ~seed:5 Script.Durability) script
+  with
+  | Runner.Pass _ -> ()
+  | Runner.Fail v -> Alcotest.fail (Format.asprintf "%a" Monitor.pp_violation v)
 
 (* --- Failure detector: eviction, failover, rejoin -------------------- *)
 
@@ -388,6 +466,12 @@ let suite =
           test_catches_forwarding_bug;
         Alcotest.test_case "catches disabled transport dedup" `Quick
           test_catches_dedup_bug;
+        Alcotest.test_case "catches lost outbox replay" `Quick
+          test_catches_lost_outbox_bug;
+        Alcotest.test_case "catches forgotten durable inbox" `Quick
+          test_catches_replay_dup_bug;
+        Alcotest.test_case "poison script ends in quarantine" `Quick
+          test_poison_script_quarantines;
         Alcotest.test_case "detector fails over a crashed hive" `Quick
           test_detector_fails_over_crashed_hive;
         Alcotest.test_case "detector evicts and rejoins an isolated hive" `Quick

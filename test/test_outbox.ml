@@ -1,0 +1,432 @@
+(* The transactional outbox/inbox: atomic commit of state delta and
+   buffered emits, crash-safe replay of un-acked entries, receiver-side
+   durable dedup, handler-failure containment with retry and quarantine,
+   and survival of the exactly-once pipeline across merges and
+   migrations. Each test drives the canonical two-stage pipeline the
+   check harness also uses: a forwarding app that journals a put and
+   re-emits it inside the same transaction, feeding a keyed-counter
+   app. *)
+
+module Engine = Beehive_sim.Engine
+module Simtime = Beehive_sim.Simtime
+module Channels = Beehive_net.Channels
+module Platform = Beehive_core.Platform
+module App = Beehive_core.App
+module Mapping = Beehive_core.Mapping
+module Context = Beehive_core.Context
+module Message = Beehive_core.Message
+module Value = Beehive_core.Value
+module Cell = Beehive_core.Cell
+module Stats = Beehive_core.Stats
+
+type Message.payload += Fwd of string | Apply of string | Bad_map of string
+
+let k_fwd = "outbox.fwd"
+let k_apply = "outbox.apply"
+let k_bad_map = "outbox.badmap"
+
+(* The counting kv sink. [poison] makes the handler raise for that key,
+   forever or for the first [heal_after] attempts. *)
+let kv_app ?poison ?heal_after () =
+  let attempts = ref 0 in
+  let on_apply =
+    App.handler ~kind:k_apply
+      ~map:(fun msg ->
+        match msg.Message.payload with
+        | Apply key -> Mapping.with_key "store" key
+        | _ -> Mapping.Drop)
+      (fun ctx msg ->
+        match msg.Message.payload with
+        | Apply key ->
+          (match poison with
+          | Some bad when String.equal bad key ->
+            incr attempts;
+            (match heal_after with
+            | Some n when !attempts > n -> ()
+            | Some _ -> failwith "poisoned"
+            | None -> failwith "poisoned")
+          | Some _ | None -> ());
+          Context.update ctx ~dict:"store" ~key (function
+            | Some (Value.V_int n) -> Some (Value.V_int (n + 1))
+            | _ -> Some (Value.V_int 1))
+        | _ -> ())
+  in
+  (attempts, App.create ~name:"t.kv" ~dicts:[ "store" ] [ on_apply ])
+
+(* The forwarding ingress: journal the key and re-emit it in the same
+   transaction — the write and the send must commit or abort together. *)
+let fwd_app () =
+  let on_fwd =
+    App.handler ~kind:k_fwd
+      ~map:(fun msg ->
+        match msg.Message.payload with
+        | Fwd key -> Mapping.with_key "journal" key
+        | _ -> Mapping.Drop)
+      (fun ctx msg ->
+        match msg.Message.payload with
+        | Fwd key ->
+          Context.update ctx ~dict:"journal" ~key (function
+            | Some (Value.V_int n) -> Some (Value.V_int (n + 1))
+            | _ -> Some (Value.V_int 1));
+          Context.emit ctx ~kind:k_apply (Apply key)
+        | _ -> ())
+  in
+  App.create ~name:"t.fwd" ~dicts:[ "journal" ] [ on_fwd ]
+
+let make ?poison ?heal_after () =
+  let engine = Engine.create () in
+  let cfg =
+    {
+      (Platform.default_config ~n_hives:4) with
+      Platform.durability = Some Beehive_store.Store.default_config;
+    }
+  in
+  let platform = Platform.create engine cfg in
+  let attempts, kv = kv_app ?poison ?heal_after () in
+  Platform.register_app platform kv;
+  Platform.register_app platform (fwd_app ());
+  Platform.start platform;
+  (engine, platform, attempts)
+
+let drain engine =
+  Engine.run_until engine (Simtime.add (Engine.now engine) (Simtime.of_sec 1.0))
+
+let inject platform ~from key =
+  Platform.inject platform ~from:(Channels.Hive from) ~kind:k_fwd (Fwd key)
+
+let counter platform ~app ~dict key =
+  match Platform.find_owner platform ~app (Cell.cell dict key) with
+  | None -> None
+  | Some bee ->
+    Some
+      (List.fold_left
+         (fun acc (d, k, v) ->
+           match v with
+           | Value.V_int n when String.equal d dict && String.equal k key -> n
+           | _ -> acc)
+         0
+         (Platform.bee_state_entries platform bee))
+
+let kv_count platform key = counter platform ~app:"t.kv" ~dict:"store" key
+let journal_count platform key = counter platform ~app:"t.fwd" ~dict:"journal" key
+
+(* Steps the engine in [step_us] increments until [pred] holds (or fails
+   after [limit_us]) — used to catch the platform between a handler's
+   commit and the next group-commit fsync tick. *)
+let run_until_state engine ~step_us ~limit_us pred =
+  let deadline = Simtime.add (Engine.now engine) (Simtime.of_us limit_us) in
+  let rec go () =
+    if pred () then ()
+    else if Simtime.(Engine.now engine > deadline) then
+      Alcotest.fail "condition not reached within the time limit"
+    else begin
+      Engine.run_until engine (Simtime.add (Engine.now engine) (Simtime.of_us step_us));
+      go ()
+    end
+  in
+  go ()
+
+let bee_hive platform bee =
+  (Option.get (Platform.bee_view platform bee)).Platform.view_hive
+
+(* --- Healthy path ----------------------------------------------------- *)
+
+(* No faults: every put crosses journal -> emit -> kv exactly once, every
+   outbox entry is acked and retired, and nothing is quarantined. *)
+let test_healthy_pipeline_exactly_once () =
+  let engine, platform, _ = make () in
+  inject platform ~from:0 "a";
+  inject platform ~from:1 "a";
+  inject platform ~from:2 "b";
+  drain engine;
+  Alcotest.(check (option int)) "journal a" (Some 2) (journal_count platform "a");
+  Alcotest.(check (option int)) "journal b" (Some 1) (journal_count platform "b");
+  Alcotest.(check (option int)) "kv a" (Some 2) (kv_count platform "a");
+  Alcotest.(check (option int)) "kv b" (Some 1) (kv_count platform "b");
+  Alcotest.(check int) "all entries acked and retired" 0
+    (Platform.outbox_unacked_total platform);
+  Alcotest.(check int) "nothing quarantined" 0 (Platform.total_quarantined platform);
+  Alcotest.(check int) "no handler faults" 0 (Platform.handler_faults platform)
+
+(* --- Crash atomicity -------------------------------------------------- *)
+
+(* Crash the ingress hive inside the group-commit window: the journal
+   write and the buffered emit rode the same un-fsynced record, so the
+   crash discards both. Neither a journal entry nor a kv apply survives —
+   the put never happened. *)
+let test_crash_before_fsync_loses_both_atomically () =
+  let engine, platform, _ = make () in
+  inject platform ~from:0 "a";
+  run_until_state engine ~step_us:25 ~limit_us:5_000 (fun () ->
+      journal_count platform "a" = Some 1);
+  let fwd = Option.get (Platform.find_owner platform ~app:"t.fwd" (Cell.cell "journal" "a")) in
+  Platform.crash_hive platform (bee_hive platform fwd);
+  drain engine;
+  Channels.heal_all (Platform.channels platform);
+  for h = 0 to 3 do
+    if Platform.hive_crashed platform h then Platform.restart_hive platform h
+  done;
+  drain engine;
+  Alcotest.(check (option int)) "journal write died with the batch" (Some 0)
+    (journal_count platform "a");
+  Alcotest.(check (option int)) "the buffered emit died with it" None
+    (kv_count platform "a");
+  Alcotest.(check int) "no orphaned outbox entry" 0
+    (Platform.outbox_unacked_total platform)
+
+(* Crash the kv-side hive after the emit was applied but before the
+   receiver's fsync: the kv delta and its inbox mark die together, the
+   sender's durable entry stays un-acked, and restart-time replay
+   re-applies the put exactly once. *)
+let test_crash_after_fsync_replays_exactly_once () =
+  let engine, platform, _ = make () in
+  inject platform ~from:0 "a";
+  (* The kv apply implies the sender's record is already fsynced: emits
+     only dispatch once their group-commit record is durable. *)
+  run_until_state engine ~step_us:25 ~limit_us:10_000 (fun () ->
+      kv_count platform "a" = Some 1);
+  let kv = Option.get (Platform.find_owner platform ~app:"t.kv" (Cell.cell "store" "a")) in
+  Platform.crash_hive platform (bee_hive platform kv);
+  drain engine;
+  Channels.heal_all (Platform.channels platform);
+  for h = 0 to 3 do
+    if Platform.hive_crashed platform h then Platform.restart_hive platform h
+  done;
+  drain engine;
+  Alcotest.(check (option int)) "journal survived" (Some 1) (journal_count platform "a");
+  Alcotest.(check (option int)) "replay re-applied the put exactly once" (Some 1)
+    (kv_count platform "a");
+  Alcotest.(check int) "replayed entry re-acked" 0
+    (Platform.outbox_unacked_total platform)
+
+(* Crash the receiver after its mark is durable but before the ack
+   reaches the sender: the sender replays, and the receiver's durable
+   inbox — not the transport's in-memory dedup, which died with the
+   process — suppresses the duplicate. *)
+let test_receiver_restart_dedups_replay () =
+  let engine, platform, _ = make () in
+  inject platform ~from:0 "a";
+  run_until_state engine ~step_us:25 ~limit_us:10_000 (fun () ->
+      kv_count platform "a" = Some 1);
+  let kv = Option.get (Platform.find_owner platform ~app:"t.kv" (Cell.cell "store" "a")) in
+  (* Everything becomes durable and the ack starts its 16-byte trip; the
+     synchronous crash catches it in flight, from a now-dead sender. *)
+  Platform.flush_durability platform;
+  let before = Platform.outbox_dups_suppressed platform in
+  Platform.crash_hive platform (bee_hive platform kv);
+  drain engine;
+  Channels.heal_all (Platform.channels platform);
+  for h = 0 to 3 do
+    if Platform.hive_crashed platform h then Platform.restart_hive platform h
+  done;
+  drain engine;
+  Alcotest.(check (option int)) "kv applied exactly once" (Some 1)
+    (kv_count platform "a");
+  Alcotest.(check bool) "the durable inbox suppressed the replay" true
+    (Platform.outbox_dups_suppressed platform > before);
+  Alcotest.(check int) "suppressed replay still re-acked" 0
+    (Platform.outbox_unacked_total platform)
+
+(* --- Handler-failure containment -------------------------------------- *)
+
+(* A handler that keeps raising burns its retry budget and lands in
+   quarantine: the tx aborts atomically every time (no kv delta), the
+   message is acked so the sender stops replaying, and the bee keeps
+   serving healthy traffic. *)
+let test_poison_quarantined_after_budget () =
+  let engine, platform, attempts = make ~poison:"bad" () in
+  inject platform ~from:0 "bad";
+  drain engine;
+  Alcotest.(check int) "every budgeted attempt ran" Platform.outbox_retry_budget
+    !attempts;
+  Alcotest.(check int) "handler faults counted" Platform.outbox_retry_budget
+    (Platform.handler_faults platform);
+  Alcotest.(check (option int)) "no kv delta escaped the aborts" (Some 0)
+    (kv_count platform "bad");
+  Alcotest.(check (option int)) "the journal side committed" (Some 1)
+    (journal_count platform "bad");
+  Alcotest.(check int) "message quarantined" 1 (Platform.total_quarantined platform);
+  Alcotest.(check int) "quarantine acked the sender (no replay loop)" 0
+    (Platform.outbox_unacked_total platform);
+  let kv = Option.get (Platform.find_owner platform ~app:"t.kv" (Cell.cell "store" "bad")) in
+  (match Platform.quarantined_messages platform ~bee:kv with
+  | [ (_, reason) ] ->
+    Alcotest.(check bool) "quarantine records the exception" true
+      (String.length reason > 0)
+  | l -> Alcotest.fail (Printf.sprintf "expected 1 quarantined message, got %d" (List.length l)));
+  (* The bee is not dead: healthy keys still apply. *)
+  inject platform ~from:1 "fine";
+  drain engine;
+  Alcotest.(check (option int)) "bee still serves healthy traffic" (Some 1)
+    (kv_count platform "fine")
+
+(* A transiently-failing handler heals within the budget: the aborted
+   attempts roll back cleanly and the successful retry applies the delta
+   exactly once. *)
+let test_transient_failure_retries_then_succeeds () =
+  let engine, platform, attempts = make ~poison:"flaky" ~heal_after:2 () in
+  inject platform ~from:0 "flaky";
+  drain engine;
+  Alcotest.(check int) "two aborted attempts plus the success" 3 !attempts;
+  Alcotest.(check int) "only the aborts counted as faults" 2
+    (Platform.handler_faults platform);
+  Alcotest.(check (option int)) "applied exactly once after the retries" (Some 1)
+    (kv_count platform "flaky");
+  Alcotest.(check int) "nothing quarantined" 0 (Platform.total_quarantined platform);
+  Alcotest.(check int) "entry acked" 0 (Platform.outbox_unacked_total platform)
+
+(* A raising map function is a dispatch-boundary fault, not an engine
+   crash: the message is dropped, the fault is counted, and the platform
+   keeps processing. *)
+let test_map_exception_contained () =
+  let bad =
+    App.create ~name:"t.badmap" ~dicts:[ "d" ]
+      [
+        App.handler ~kind:k_bad_map
+          ~map:(fun msg ->
+            match msg.Message.payload with
+            | Bad_map _ -> failwith "map blew up"
+            | _ -> Mapping.Drop)
+          (fun _ _ -> ());
+      ]
+  in
+  let engine = Engine.create () in
+  let cfg =
+    {
+      (Platform.default_config ~n_hives:4) with
+      Platform.durability = Some Beehive_store.Store.default_config;
+    }
+  in
+  let platform = Platform.create engine cfg in
+  let _, kv = kv_app () in
+  Platform.register_app platform kv;
+  Platform.register_app platform (fwd_app ());
+  Platform.register_app platform bad;
+  Platform.start platform;
+  Platform.inject platform ~from:(Channels.Hive 0) ~kind:k_bad_map (Bad_map "x");
+  drain engine;
+  Alcotest.(check bool) "map fault counted" true (Platform.handler_faults platform >= 1);
+  inject platform ~from:1 "a";
+  drain engine;
+  Alcotest.(check (option int)) "platform still processes" (Some 1)
+    (kv_count platform "a")
+
+(* --- Merges and migrations -------------------------------------------- *)
+
+(* The seed-81 regression: kv owners crash with un-fsynced deltas, then a
+   whole-dict read from a live hive tries to merge them. A crashed owner
+   must never win the merge (it would be resurrected `Active with its
+   volatile state, skipping crash recovery), and a crashed loser folds
+   its durable cut only — so the restart-time replay applies each put
+   exactly once instead of doubling it. *)
+let test_merge_with_crashed_owners_keeps_exactly_once () =
+  let reader =
+    App.handler ~kind:"outbox.read" ~map:(fun _ -> Mapping.whole_dict "store")
+      (fun ctx _ -> Context.iter_dict ctx ~dict:"store" (fun _ _ -> ()))
+  in
+  let engine = Engine.create () in
+  let cfg =
+    {
+      (Platform.default_config ~n_hives:4) with
+      Platform.durability = Some Beehive_store.Store.default_config;
+    }
+  in
+  let platform = Platform.create engine cfg in
+  let attempts, _ = kv_app () in
+  ignore attempts;
+  let kv =
+    let _, app = kv_app () in
+    { app with App.handlers = app.App.handlers @ [ reader ] }
+  in
+  Platform.register_app platform kv;
+  Platform.register_app platform (fwd_app ());
+  Platform.start platform;
+  inject platform ~from:3 "a";
+  inject platform ~from:3 "b";
+  (* Catch both kv deltas applied but possibly un-fsynced, then crash the
+     hosting hive: marks pending in the dropped batch are gone. *)
+  run_until_state engine ~step_us:25 ~limit_us:10_000 (fun () ->
+      kv_count platform "a" = Some 1 && kv_count platform "b" = Some 1);
+  let owner k = Option.get (Platform.find_owner platform ~app:"t.kv" (Cell.cell "store" k)) in
+  let h = bee_hive platform (owner "a") in
+  Platform.crash_hive platform h;
+  (* A whole-dict read from a live hive: every store owner is crashed, so
+     the merge must refuse rather than resurrect one as winner. *)
+  Platform.inject platform ~from:(Channels.Hive ((h + 1) mod 4)) ~kind:"outbox.read"
+    (Bad_map "read");
+  drain engine;
+  Channels.heal_all (Platform.channels platform);
+  for i = 0 to 3 do
+    if Platform.hive_crashed platform i then Platform.restart_hive platform i
+  done;
+  drain engine;
+  Alcotest.(check (option int)) "a applied exactly once across the crash" (Some 1)
+    (kv_count platform "a");
+  Alcotest.(check (option int)) "b applied exactly once across the crash" (Some 1)
+    (kv_count platform "b");
+  Alcotest.(check int) "all entries re-acked" 0 (Platform.outbox_unacked_total platform);
+  Beehive_core.Registry.check_invariant (Platform.registry platform)
+
+(* Un-acked outbox entries follow their sender through a migration: the
+   replay dispatches from the bee's new hive and still lands exactly
+   once. *)
+let test_outbox_survives_sender_migration () =
+  let engine, platform, _ = make () in
+  inject platform ~from:0 "a";
+  run_until_state engine ~step_us:25 ~limit_us:10_000 (fun () ->
+      kv_count platform "a" = Some 1);
+  Platform.flush_durability platform;
+  drain engine;
+  (* Split the pipeline across hives so crashing the kv side leaves the
+     fwd sender alive and migratable. *)
+  let kv = Option.get (Platform.find_owner platform ~app:"t.kv" (Cell.cell "store" "a")) in
+  let fwd = Option.get (Platform.find_owner platform ~app:"t.fwd" (Cell.cell "journal" "a")) in
+  let fwd_home = bee_hive platform fwd in
+  let kv_dst = (fwd_home + 1) mod 4 in
+  Alcotest.(check bool) "kv bee migrated away" true
+    (Platform.migrate_bee platform ~bee:kv ~to_hive:kv_dst ~reason:"test");
+  drain engine;
+  inject platform ~from:fwd_home "a";
+  run_until_state engine ~step_us:25 ~limit_us:10_000 (fun () ->
+      kv_count platform "a" = Some 2);
+  (* Crash the receiver before its fsync: the second put's entry stays
+     un-acked at the sender. *)
+  Platform.crash_hive platform (bee_hive platform kv);
+  (* Migrate the sender while its entry is awaiting replay. *)
+  let fwd_dst = List.find (fun h -> Platform.hive_alive platform h && h <> fwd_home) [ 0; 1; 2; 3 ] in
+  Alcotest.(check bool) "fwd bee migrated mid-replay" true
+    (Platform.migrate_bee platform ~bee:fwd ~to_hive:fwd_dst ~reason:"test");
+  drain engine;
+  Channels.heal_all (Platform.channels platform);
+  for i = 0 to 3 do
+    if Platform.hive_crashed platform i then Platform.restart_hive platform i
+  done;
+  drain engine;
+  Alcotest.(check (option int)) "replay from the new hive applied exactly once"
+    (Some 2) (kv_count platform "a");
+  Alcotest.(check int) "entry acked after replay" 0
+    (Platform.outbox_unacked_total platform)
+
+let suite =
+  [
+    ( "outbox",
+      [
+        Alcotest.test_case "healthy pipeline is exactly-once" `Quick
+          test_healthy_pipeline_exactly_once;
+        Alcotest.test_case "crash before fsync loses delta+emit atomically" `Quick
+          test_crash_before_fsync_loses_both_atomically;
+        Alcotest.test_case "crash after fsync replays exactly once" `Quick
+          test_crash_after_fsync_replays_exactly_once;
+        Alcotest.test_case "receiver restart dedups the replay" `Quick
+          test_receiver_restart_dedups_replay;
+        Alcotest.test_case "poison quarantined after retry budget" `Quick
+          test_poison_quarantined_after_budget;
+        Alcotest.test_case "transient failure retries then succeeds" `Quick
+          test_transient_failure_retries_then_succeeds;
+        Alcotest.test_case "map exception contained" `Quick test_map_exception_contained;
+        Alcotest.test_case "merge with crashed owners stays exactly-once" `Quick
+          test_merge_with_crashed_owners_keeps_exactly_once;
+        Alcotest.test_case "outbox survives sender migration" `Quick
+          test_outbox_survives_sender_migration;
+      ] );
+  ]

@@ -110,7 +110,17 @@ let test_access_violation_aborts () =
   Alcotest.(check (option int)) "first write rolled back too" None
     (store_value platform ~bee ~key:"a");
   let stats = Option.get (Platform.bee_stats platform bee) in
-  Alcotest.(check int) "error recorded" 1 (Stats.errors stats)
+  (* Containment: every attempt in the retry budget aborts (and is
+     counted), then the message is quarantined instead of killing the
+     engine. *)
+  Alcotest.(check int) "error recorded per attempt" Platform.outbox_retry_budget
+    (Stats.errors stats);
+  Alcotest.(check int) "message quarantined" 1 (Platform.quarantined platform ~bee);
+  (* The bee stays live for well-formed traffic. *)
+  Platform.inject platform ~from:(Channels.Hive 0) ~kind:k_put
+    (Put { p_key = "other-key"; p_value = 9 });
+  drain engine;
+  Alcotest.(check int) "total quarantined unchanged" 1 (Platform.total_quarantined platform)
 
 let test_foreach_fanout () =
   let hits = ref [] in

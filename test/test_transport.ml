@@ -174,6 +174,59 @@ let test_partition_bookkeeping () =
   Channels.set_loss chans 0.0;
   Alcotest.(check bool) "fabric healthy again" false (Channels.faulty chans)
 
+(* Crash semantics, receiver side: the dedup cutoff is process memory, so
+   a receiver crash reopens the double-delivery window — a retransmission
+   racing the restart is delivered again. This pins the at-least-once
+   floor the platform's durable inbox is built on: the transport alone
+   does NOT give exactly-once across a crash. *)
+let test_receiver_crash_reopens_dedup_window () =
+  let engine, chans, tr = make () in
+  Channels.set_loss chans 0.3;
+  let delivered = send_burst tr ~n_hives:4 200 in
+  (* Mid-flight: some copies are delivered but their acks lost, so
+     retransmissions are still coming when the receiver's dedup state
+     dies. *)
+  Engine.run_until engine (Simtime.of_ms 3);
+  Transport.crash_hive tr 1;
+  Channels.set_loss chans 0.0;
+  drain engine;
+  let total = Array.fold_left ( + ) 0 delivered in
+  Alcotest.(check bool)
+    (Printf.sprintf "a retransmission was re-delivered after the crash (total %d)"
+       total)
+    true (total > 200)
+
+(* Crash semantics, sender side: in-flight windows die without firing
+   [on_drop], sequencing restarts in a fresh epoch, and the receiver
+   accepts the restarted sender's messages instead of eating them as
+   stale duplicates. *)
+let test_sender_crash_restarts_sequencing () =
+  let engine, chans, tr = make () in
+  Channels.partition chans ~a:0 ~b:1;
+  let stale = ref 0 and dropped = ref 0 in
+  for _ = 1 to 5 do
+    Transport.send tr ~src:(Channels.Hive 0) ~dst:(Channels.Hive 1) ~bytes:64
+      ~on_drop:(fun () -> incr dropped)
+      ~deliver:(fun () -> incr stale)
+      ()
+  done;
+  Engine.run_until engine (Simtime.of_ms 5);
+  Transport.crash_hive tr 0;
+  Alcotest.(check int) "in-flight window died silently (no on_drop)" 0 !dropped;
+  Channels.heal_all chans;
+  drain engine;
+  Alcotest.(check int) "pre-crash copies gone with the process" 0 !stale;
+  (* The restarted process talks again from sequence zero; the receiver
+     must treat it as a new epoch, not as stale duplicates. *)
+  let fresh = ref 0 in
+  for _ = 1 to 5 do
+    Transport.send tr ~src:(Channels.Hive 0) ~dst:(Channels.Hive 1) ~bytes:64
+      ~deliver:(fun () -> incr fresh)
+      ()
+  done;
+  drain engine;
+  Alcotest.(check int) "fresh epoch delivers exactly once" 5 !fresh
+
 (* Intra-hive messages never ride the failable path, whatever the fault
    configuration says. *)
 let test_intra_hive_never_fails () =
@@ -206,6 +259,10 @@ let suite =
         Alcotest.test_case "per-link latency factors" `Quick
           test_per_link_latency_factor;
         Alcotest.test_case "partition bookkeeping" `Quick test_partition_bookkeeping;
+        Alcotest.test_case "receiver crash reopens the dedup window" `Quick
+          test_receiver_crash_reopens_dedup_window;
+        Alcotest.test_case "sender crash restarts sequencing" `Quick
+          test_sender_crash_restarts_sequencing;
         Alcotest.test_case "intra-hive traffic never fails" `Quick
           test_intra_hive_never_fails;
       ] );
