@@ -127,8 +127,8 @@ let check_cmd =
          & opt (list (conv (parse, print))) Script.all_profiles
          & info [ "profile" ] ~docs
              ~doc:"Fault profile(s): $(b,migration), $(b,durability), $(b,raft), \
-                   $(b,partition), $(b,elastic), $(b,all), or a comma-separated \
-                   list. Default: every profile.")
+                   $(b,partition), $(b,elastic), $(b,disk), $(b,all), or a \
+                   comma-separated list. Default: every profile.")
   in
   let trace_dir =
     Arg.(value & opt (some string) None
@@ -167,8 +167,10 @@ let check_cmd =
                    snapshot — only visible to $(b,--lin); $(b,lost-outbox) \
                    skips outbox replay on restart and $(b,replay-dup) wipes the \
                    durable inbox before replay — both only visible to \
-                   $(b,--outbox)). The sweep should then fail — a self-test of \
-                   the checker.")
+                   $(b,--outbox); $(b,checksums-off) disables WAL/snapshot frame \
+                   verification so injected disk damage is served as truth — \
+                   only visible to $(b,--profile disk)). The sweep should then \
+                   fail — a self-test of the checker.")
   in
   let run seeds first_seed ticks hives profiles trace_dir lin outbox inject_bug =
     (match inject_bug with
@@ -178,10 +180,11 @@ let check_cmd =
     | Some "stale-read" -> Beehive_core.Platform.debug_stale_reads := true
     | Some "lost-outbox" -> Beehive_core.Platform.debug_skip_outbox_replay := true
     | Some "replay-dup" -> Beehive_core.Platform.debug_forget_inbox := true
+    | Some "checksums-off" -> Beehive_store.Store.debug_disable_checksums := true
     | Some other ->
       Format.eprintf
         "unknown --inject-bug %S (known: forwarding, dedup-off, stale-read, \
-         lost-outbox, replay-dup)@."
+         lost-outbox, replay-dup, checksums-off)@."
         other;
       exit 2);
     let n_failures = ref 0 in

@@ -430,6 +430,63 @@ let quarantine_accounting =
             else None);
   }
 
+(* No byte of storage damage may ever be served silently. The oracle
+   ([Platform.broken_chains]) re-derives every live bee's verdict from
+   the actual frame bytes, ignoring the production checksum switch; any
+   bee it flags that the production side has neither repaired nor marked
+   suspect is corruption the platform would happily serve as truth. Runs
+   after a forced full scrub pass so detection is judged on what the
+   scrubber can see, not on where its tick budget happened to stop. Also
+   re-verifies every Raft member log entry against its propose-time
+   checksum. *)
+let no_silent_corruption =
+  {
+    m_name = "no-silent-corruption";
+    m_phase = Final;
+    m_check =
+      (fun ctx ->
+        let p = ctx.cx_platform in
+        Platform.scrub_now p;
+        let suspects = Platform.storage_suspects p in
+        match
+          List.find_opt
+            (fun (bee, _) -> not (List.mem_assoc bee suspects))
+            (Platform.broken_chains p)
+        with
+        | Some (bee, detail) ->
+          Some
+            (Printf.sprintf
+               "bee %d serves corrupt storage with no detection (%s)" bee detail)
+        | None -> (
+          match ctx.cx_raft with
+          | Some rep when not (Raft_replication.verify_member_logs rep) ->
+            Some "a raft member holds a log entry failing its propose-time checksum"
+          | _ -> None));
+  }
+
+(* Detection must end in repair: once the run quiesces (and a full scrub
+   pass has had its say), no bee may still carry an unresolved
+   verification failure — every suspect must have been rewritten from
+   live state, re-seeded from a peer, or quarantined. *)
+let repair_convergence =
+  {
+    m_name = "repair-convergence";
+    m_phase = Final;
+    m_check =
+      (fun ctx ->
+        let p = ctx.cx_platform in
+        Platform.scrub_now p;
+        match Platform.storage_suspects p with
+        | (bee, detail) :: _ ->
+          Some
+            (Printf.sprintf
+               "bee %d still suspect after quiesce + full scrub (%s); repairs: %d \
+                local, %d from peers, %d quarantined"
+               bee detail (Platform.local_rewrites p) (Platform.peer_repairs p)
+               (Platform.quarantined_storage p))
+        | [] -> None);
+  }
+
 let storm ~budget =
   let last = ref 0 in
   {
@@ -461,4 +518,6 @@ let defaults ~storm_budget =
     drain_completeness;
     exactly_once;
     quarantine_accounting;
+    no_silent_corruption;
+    repair_convergence;
   ]

@@ -120,6 +120,21 @@ val quarantine_accounting : t
     not-yet-durable poison mid-retry, so like {!no_loss} it skips itself
     when [cx_crashes]. *)
 
+val no_silent_corruption : t
+(** No byte of storage damage is ever served silently: after a forced
+    full scrub pass, any bee the omniscient oracle
+    ({!Platform.broken_chains}, which ignores the production checksum
+    switch) still flags must at least be marked suspect by the production
+    side — detected, even if not yet repaired. Also re-verifies every
+    Raft member log entry against its propose-time checksum. The monitor
+    the [checksums-off] injected bug must trip. *)
+
+val repair_convergence : t
+(** Detection ends in repair: after quiesce and a forced full scrub pass,
+    no bee still carries an unresolved verification failure — every
+    suspect was rewritten from live state, re-seeded from a replication
+    peer, or quarantined with a dead-letter record. *)
+
 val storm : budget:int -> t
 (** Event-storm detector: fails if more than [budget] engine events
     execute between two consecutive monitor ticks — the signature of

@@ -12,6 +12,9 @@ let weights = function
   | Script.Raft -> (55, 55, 67, 85, 85, 85, 85, 100)
   | Script.Partition -> (45, 55, 65, 65, 80, 92, 92, 100)
   | Script.Elastic -> (40, 48, 58, 66, 70, 78, 96, 100)
+  (* Disk: no read_all (merges would strand damaged logs of merged-away
+     bees), no fabric/elastic noise; the final 40% is disk damage. *)
+  | Script.Disk -> (40, 40, 48, 60, 60, 60, 60, 100)
   | Script.All -> (45, 55, 70, 85, 91, 96, 96, 100)
 
 let generate ~rng ~profile ~n_hives ~ticks =
@@ -91,6 +94,17 @@ let generate ~rng ~profile ~n_hives ~ticks =
           (Script.Drain_hive
              { at_us; hive = Rng.int rng id_space; decom = Rng.int rng 2 = 0 })
       else push (Script.Decommission_hive { at_us; hive = Rng.int rng id_space })
+    end
+    else if profile = Script.Disk then begin
+      (* Disk damage aims at a key's owner so shrinking keeps the target
+         stable as the script thins out. Bias toward record damage: flips
+         exercise detection + repair, tears exercise crash-consistent
+         truncation, rot exercises the cold-bytes path. *)
+      let key = Rng.int rng n_keys in
+      let sub = Rng.int rng 100 in
+      if sub < 40 then push (Script.Corrupt_record { at_us; key })
+      else if sub < 75 then push (Script.Torn_tail { at_us; key })
+      else push (Script.Snapshot_rot { at_us; key })
     end
     else if profile = Script.Partition then
       push

@@ -117,14 +117,20 @@ type cfg = {
 let make_cfg ?(n_hives = 4) ?(ticks = 30) ?(storm_budget = 5000) ?(lin = false)
     ?(outbox = false) ~seed profile =
   if n_hives <= 0 then invalid_arg "Runner.make_cfg: need at least one hive";
+  (* The lin and outbox workloads acknowledge at fsync, a promise disk
+     damage deliberately breaks (a torn tail voids fsynced bytes). The
+     disk profile judges recovery against the post-fsck durable cut
+     instead, so those workloads stand down there even when the sweep
+     enables them globally. *)
+  let disk = profile = Script.Disk in
   {
     r_profile = profile;
     r_n_hives = n_hives;
     r_ticks = ticks;
     r_seed = seed;
     r_storm_budget = storm_budget;
-    r_lin = lin;
-    r_outbox = outbox;
+    r_lin = lin && not disk;
+    r_outbox = outbox && not disk;
   }
 
 type stats = {
@@ -145,12 +151,16 @@ type outcome =
 
 let with_durability = function
   | Script.Migration -> false
-  | Script.Durability | Script.Raft | Script.Partition | Script.Elastic | Script.All
-    -> true
+  | Script.Durability | Script.Raft | Script.Partition | Script.Elastic
+  | Script.Disk | Script.All -> true
 
+(* Disk keeps raft off on purpose: consensus failover would recover a
+   corrupted bee from a healthy peer as a side effect of ordinary crash
+   handling, masking exactly the local detection/repair paths the profile
+   exists to exercise. *)
 let with_raft = function
   | Script.Raft | Script.Elastic | Script.All -> true
-  | Script.Migration | Script.Durability | Script.Partition -> false
+  | Script.Migration | Script.Durability | Script.Partition | Script.Disk -> false
 
 (* The failure detector owns membership only in the fabric-fault and
    elastic profiles: there, eviction/rejoin of partitioned hives — and,
@@ -160,12 +170,13 @@ let with_raft = function
    membership authority. *)
 let with_detector = function
   | Script.Partition | Script.Elastic -> true
-  | Script.Migration | Script.Durability | Script.Raft | Script.All -> false
+  | Script.Migration | Script.Durability | Script.Raft | Script.Disk | Script.All
+    -> false
 
 let with_elastic = function
   | Script.Elastic -> true
   | Script.Migration | Script.Durability | Script.Raft | Script.Partition
-  | Script.All -> false
+  | Script.Disk | Script.All -> false
 
 (* Joins are unbounded in scripts; cap actual growth so shrunk traces
    stay readable and the id space the nemesis draws from stays honest. *)
@@ -456,12 +467,25 @@ let execute cfg ops =
         (fun v -> (not v.Platform.view_alive) && v.Platform.view_hive = h)
         (Platform.live_bees platform)
     in
+    (* fsck before reading the durable cut: a torn tail is truncated away
+       first (it is not recoverable data), and a bee whose committed
+       prefix fails verification is exempt from byte-identity — it revives
+       from a replication peer or is quarantined, never from local bytes. *)
+    let verdicts = Platform.fsck_crashed_bees platform h in
+    let corrupt id =
+      List.exists
+        (function i, Store.Corrupt _ -> i = id | _ -> false)
+        verdicts
+    in
     let expected =
-      List.map
+      List.filter_map
         (fun v ->
-          ( v.Platform.view_id,
-            List.sort compare (Platform.durable_bee_entries platform v.Platform.view_id)
-          ))
+          if corrupt v.Platform.view_id then None
+          else
+            Some
+              ( v.Platform.view_id,
+                List.sort compare
+                  (Platform.durable_bee_entries platform v.Platform.view_id) ))
         crashed
     in
     Platform.restart_hive platform h;
@@ -480,6 +504,18 @@ let execute cfg ops =
                  v_at = Engine.now engine;
                }))
       expected
+  in
+  (* Disk damage lands on a key's current owner — resolved at apply time,
+     like Migrate, so shrinking a script keeps each op's target stable. *)
+  let damage_owner key f =
+    match Platform.store platform with
+    | None -> ()
+    | Some s -> (
+      match
+        Platform.find_owner platform ~app:app_name (Cell.cell dict (key_name key))
+      with
+      | Some bee -> f s bee
+      | None -> ())
   in
   let apply = function
     | Script.Put { key; from_hive; _ } ->
@@ -562,6 +598,14 @@ let execute cfg ops =
       | Some m when hive < Platform.n_hives platform ->
         ignore (Membership.decommission m hive)
       | Some _ | None -> ())
+    | Script.Corrupt_record { key; _ } ->
+      (* [key] doubles as the victim-record selector so the damage site
+         is a pure function of the op. *)
+      damage_owner key (fun s bee -> ignore (Store.corrupt_record s ~bee ~victim:key))
+    | Script.Torn_tail { key; _ } ->
+      damage_owner key (fun s bee -> ignore (Store.tear_tail s ~bee))
+    | Script.Snapshot_rot { key; _ } ->
+      damage_owner key (fun s bee -> ignore (Store.rot_snapshot s ~bee))
   in
   List.iter
     (fun op ->

@@ -4,6 +4,7 @@ type profile =
   | Raft
   | Partition
   | Elastic
+  | Disk
   | All
 
 let profile_of_string = function
@@ -12,11 +13,13 @@ let profile_of_string = function
   | "raft" -> Ok Raft
   | "partition" -> Ok Partition
   | "elastic" -> Ok Elastic
+  | "disk" -> Ok Disk
   | "all" -> Ok All
   | s ->
     Error
       (Printf.sprintf
-         "unknown profile %S (migration|durability|raft|partition|elastic|all)" s)
+         "unknown profile %S (migration|durability|raft|partition|elastic|disk|all)"
+         s)
 
 let profile_to_string = function
   | Migration -> "migration"
@@ -24,9 +27,10 @@ let profile_to_string = function
   | Raft -> "raft"
   | Partition -> "partition"
   | Elastic -> "elastic"
+  | Disk -> "disk"
   | All -> "all"
 
-let all_profiles = [ Migration; Durability; Raft; Partition; Elastic; All ]
+let all_profiles = [ Migration; Durability; Raft; Partition; Elastic; Disk; All ]
 
 type op =
   | Put of { at_us : int; key : int; from_hive : int }
@@ -43,6 +47,9 @@ type op =
   | Add_hive of { at_us : int }
   | Drain_hive of { at_us : int; hive : int; decom : bool }
   | Decommission_hive of { at_us : int; hive : int }
+  | Corrupt_record of { at_us : int; key : int }
+  | Torn_tail of { at_us : int; key : int }
+  | Snapshot_rot of { at_us : int; key : int }
 
 let at_us = function
   | Put { at_us; _ }
@@ -58,11 +65,23 @@ let at_us = function
   | Spike_link { at_us; _ }
   | Add_hive { at_us; _ }
   | Drain_hive { at_us; _ }
-  | Decommission_hive { at_us; _ } -> at_us
+  | Decommission_hive { at_us; _ }
+  | Corrupt_record { at_us; _ }
+  | Torn_tail { at_us; _ }
+  | Snapshot_rot { at_us; _ } -> at_us
 
 let sort_ops ops = List.stable_sort (fun a b -> Int.compare (at_us a) (at_us b)) ops
 
-let has_crash ops = List.exists (function Fail _ -> true | _ -> false) ops
+let has_crash ops =
+  List.exists
+    (function
+      | Fail _
+      (* Disk damage voids durable bytes just like a crash voids volatile
+         ones: a later restart can legitimately lose the damaged suffix,
+         so the exact no-loss monitor must stand down. *)
+      | Corrupt_record _ | Torn_tail _ | Snapshot_rot _ -> true
+      | _ -> false)
+    ops
 
 let pp_op ppf = function
   | Put { key; from_hive; _ } -> Format.fprintf ppf "put k%d from hive %d" key from_hive
@@ -90,6 +109,12 @@ let pp_op ppf = function
     Format.fprintf ppf "drain hive %d%s" hive
       (if decom then " (decommission on completion)" else "")
   | Decommission_hive { hive; _ } -> Format.fprintf ppf "decommission hive %d" hive
+  | Corrupt_record { key; _ } ->
+    Format.fprintf ppf "disk: flip a byte in a WAL record of owner(k%d)" key
+  | Torn_tail { key; _ } ->
+    Format.fprintf ppf "disk: tear the newest WAL record of owner(k%d)" key
+  | Snapshot_rot { key; _ } ->
+    Format.fprintf ppf "disk: rot the snapshot of owner(k%d)" key
 
 let pp_timeline ppf ops =
   List.iteri

@@ -33,6 +33,10 @@ type config = {
          against receiver-side durable dedup; handler failures abort the
          transaction and retry up to [outbox_retry_budget] before the
          message is quarantined *)
+  scrub_budget_bytes : int;
+      (* background integrity scrub: cold snapshot+WAL bytes verified per
+         5 ms slice (0 disables the scrubber); detected-corrupt live bees
+         are repaired in place, crashed ones at restart *)
 }
 
 let default_config ~n_hives =
@@ -47,6 +51,7 @@ let default_config ~n_hives =
     reliable_transport = true;
     transport = Transport.default_config;
     outbox = true;
+    scrub_budget_bytes = 64 * 1024;
   }
 
 (* Handler-failure containment: attempts per message before quarantine,
@@ -267,6 +272,15 @@ type t = {
     (bee:int -> ((int * Message.t) list * (int * int) list) option) list;
       (* newest first; first Some wins: the replicated outbox + inbox a
          failover re-seeds the new primary's log with *)
+  (* ---- storage integrity ---- *)
+  mutable n_peer_repairs : int;
+      (* corrupt bees re-seeded from a replication peer's state *)
+  mutable n_local_rewrites : int;
+      (* corrupt disks of live bees rewritten from process memory *)
+  mutable n_quarantined_bees : int;
+  mutable dead_letters : (int * string) list;
+      (* quarantined-corrupt bees, newest first: (bee, verdict detail) —
+         the record left in place of state we refused to serve *)
 }
 
 (* Forward references into the processing loop (defined below [create],
@@ -274,6 +288,24 @@ type t = {
    fsync and the receiver-side ack drain. *)
 let outbox_durable_impl : (t -> (int * int) list -> unit) ref = ref (fun _ _ -> ())
 let outbox_drain_acks_impl : (t -> int -> unit) ref = ref (fun _ _ -> ())
+
+(* Background integrity scrub slice (defined below with the repair
+   machinery it needs). *)
+let scrub_tick_impl : (t -> unit) ref = ref (fun _ -> ())
+
+(* What a reader gets back from physically damaged bytes it failed to
+   verify: a deterministic, size-preserving scramble, so silent corruption
+   is semantically visible (a revived counter that exceeds every put) but
+   byte accounting stays unchanged. *)
+let rec garble_value (v : Value.t) : Value.t =
+  match v with
+  | Value.V_int n -> Value.V_int (n lxor 0x2AAAAAAA)
+  | Value.V_bool b -> Value.V_bool (not b)
+  | Value.V_float f -> Value.V_float (-.f -. 1.0)
+  | Value.V_string s -> Value.V_string (String.map (fun c -> Char.chr (Char.code c lxor 0x20)) s)
+  | Value.V_pair (a, b) -> Value.V_pair (garble_value a, garble_value b)
+  | Value.V_list l -> Value.V_list (List.map garble_value l)
+  | v -> v
 
 let create engine cfg =
   if cfg.n_hives <= 0 then invalid_arg "Platform.create: need at least one hive";
@@ -348,6 +380,10 @@ let create engine cfg =
     virtual_out_seq = 0;
     outbox_ack_hooks = [];
     outbox_recovery_providers = [];
+    n_peer_repairs = 0;
+    n_local_rewrites = 0;
+    n_quarantined_bees = 0;
+    dead_letters = [];
   }
   in
   (match cfg.durability with
@@ -382,8 +418,13 @@ let create engine cfg =
     in
     t.store <-
       Some
-        (Store.create engine ~config:store_cfg ~size_of ~on_fsync ~on_outbox_durable
-           ~on_compaction ()));
+        (Store.create engine ~config:store_cfg ~size_of ~garble:garble_value
+           ~on_fsync ~on_outbox_durable ~on_compaction ());
+    (* Background scrub: one budgeted verification slice every 5 ms.
+       Detected-corrupt live bees are repaired in place; bees on crashed
+       hives keep their suspect verdict for restart_hive to consult. *)
+    if cfg.scrub_budget_bytes > 0 then
+      ignore (Engine.every engine (Simtime.of_ms 5) (fun () -> !scrub_tick_impl t)));
   t
 
 let engine t = t.engine
@@ -1175,9 +1216,10 @@ and merge_bees t ~(winner : bee) ~(losers : bee list) ~k =
     (* Move committed state, ownership and queued messages to the winner. *)
     let info = Registry.bee t.reg l.id in
     let cells = info.Registry.bee_cells in
+    let corrupt_loser = ref false in
     let all_entries =
       match t.store with
-      | Some s when (not l.is_local) && hive_crashed t l.hive ->
+      | Some s when (not l.is_local) && hive_crashed t l.hive -> (
         (* The loser crashed with its hive: its memory is gone and its
            pending batches — state deltas and inbox marks alike — were
            dropped at crash. Folding the volatile snapshot here would
@@ -1186,7 +1228,16 @@ and merge_bees t ~(winner : bee) ~(losers : bee list) ~k =
            durable cut instead: exactly what restarting the hive would
            have revived. (A merely-fenced loser keeps its volatile state:
            the process is alive, only suspected.) *)
-        Store.recover s ~bee:l.id
+        match Store.fsck s ~bee:l.id with
+        | Store.Intact | Store.Truncated _ -> Store.recover s ~bee:l.id
+        | Store.Corrupt detail ->
+          (* The durable cut fails verification: folding it would launder
+             corrupt bytes into a healthy bee. Fold nothing, record the
+             loss, and retire the log outright below. *)
+          corrupt_loser := true;
+          t.dead_letters <- (l.id, detail) :: t.dead_letters;
+          t.n_quarantined_bees <- t.n_quarantined_bees + 1;
+          [])
       | Some _ | None -> State.snapshot l.state
     in
     State.insert winner.state all_entries;
@@ -1199,7 +1250,7 @@ and merge_bees t ~(winner : bee) ~(losers : bee list) ~k =
          would turn a crash of the winner's hive inside the group-commit
          window into silent loss of acknowledged writes. *)
       let moved_inbox =
-        if t.cfg.outbox then begin
+        if t.cfg.outbox && not !corrupt_loser then begin
           (* Staged-but-unfsynced loser emits become durable (and get
              dispatched) under the loser's log before it is retired. *)
           Store.flush_bee s ~bee:l.id;
@@ -1217,7 +1268,19 @@ and merge_bees t ~(winner : bee) ~(losers : bee list) ~k =
          identity — receivers dedup by it — so its log survives the merge
          until the last entry is acked; replay dispatches from the
          winner's hive via the forwarding pointer set below. *)
-      if not (t.cfg.outbox && Store.outbox_unacked s ~bee:l.id <> []) then
+      if !corrupt_loser then begin
+        (* Un-acked entries of a corrupt log are not replayable — their
+           bytes can't be trusted. Drop the rows and the log. *)
+        let stale =
+          Hashtbl.fold
+            (fun ((sender, _) as key) _ acc ->
+              if sender = l.id then key :: acc else acc)
+            t.outbox_entries []
+        in
+        List.iter (Hashtbl.remove t.outbox_entries) (List.sort compare stale);
+        Store.forget s ~bee:l.id
+      end
+      else if not (t.cfg.outbox && Store.outbox_unacked s ~bee:l.id <> []) then
         Store.forget s ~bee:l.id
     | Some _ | None -> ());
     let bytes =
@@ -1931,6 +1994,153 @@ let rejoin_hive t h =
     Log.info (fun m -> m "hive %d rejoined after eviction" h)
   end
 
+(* ------------------------------------------------------------------ *)
+(* Storage integrity: scrub, repair, quarantine                        *)
+(* ------------------------------------------------------------------ *)
+
+let drop_outbox_rows t sender =
+  let stale =
+    Hashtbl.fold
+      (fun ((s, _) as key) _ acc -> if s = sender then key :: acc else acc)
+      t.outbox_entries []
+  in
+  List.iter (Hashtbl.remove t.outbox_entries) (List.sort compare stale)
+
+(* A live bee whose cold bytes failed verification: the process memory is
+   intact and strictly newer than anything a peer holds, so repair is a
+   local rewrite — flush, then replace snapshot+WAL with a freshly
+   checksummed image of the committed view. Exactly-once bookkeeping
+   (outbox/inbox/seq allocator) is carried over unchanged. *)
+let rewrite_bee_storage t (b : bee) detail =
+  match t.store with
+  | None -> ()
+  | Some s ->
+    Store.flush_bee s ~bee:b.id;
+    Store.reseed s ~bee:b.id
+      ~entries:(Store.entries s ~bee:b.id)
+      ~outbox:(Store.outbox_unacked s ~bee:b.id)
+      ~inbox:(Store.inbox_marks s ~bee:b.id)
+      ~next_out_seq:(Store.next_out_seq s ~bee:b.id);
+    t.n_local_rewrites <- t.n_local_rewrites + 1;
+    Log.info (fun m ->
+        m "bee %d: corrupt storage rewritten from live state (%s)" b.id detail)
+
+(* A crashed bee whose committed prefix failed fsck, with a replication
+   peer available: re-seed both disk and state from the peer — the same
+   most-caught-up-member snapshot the Install_snapshot catch-up path
+   ships. The replicated outbox/inbox aux re-seeds exactly-once state. *)
+let reseed_bee_from_peer t (b : bee) (s : Value.t Store.t) entries detail =
+  let next_out_seq = Store.next_out_seq s ~bee:b.id in
+  let aux =
+    if t.cfg.outbox then
+      List.find_map (fun p -> p ~bee:b.id) t.outbox_recovery_providers
+    else None
+  in
+  if t.cfg.outbox then drop_outbox_rows t b.id;
+  let outbox =
+    match aux with
+    | Some (emits, _) ->
+      List.iter
+        (fun (seq, (m : Message.t)) ->
+          Hashtbl.replace t.outbox_entries (b.id, seq)
+            {
+              oe_sender = b.id;
+              oe_seq = seq;
+              oe_msg = m;
+              oe_required = -1;
+              oe_ackers = Hashtbl.create 4;
+              oe_attempts = 0;
+              oe_last_attempt = Simtime.zero;
+              oe_durable = true;
+            })
+        emits;
+      List.map (fun (seq, (m : Message.t)) -> (seq, m.Message.size)) emits
+    | None -> []
+  in
+  let inbox = match aux with Some (_, inbox) -> inbox | None -> [] in
+  Store.reseed s ~bee:b.id ~entries ~outbox ~inbox ~next_out_seq;
+  b.state <- State.restore entries;
+  t.n_peer_repairs <- t.n_peer_repairs + 1;
+  Log.info (fun m -> m "bee %d: corrupt storage re-seeded from peer (%s)" b.id detail)
+
+(* A crashed bee whose committed prefix failed fsck and nobody holds a
+   replica: fail-stop. The garbage is never served — the log is dropped,
+   the bee goes dead with a dead-letter record, and the registry keeps
+   its cells so ownership stays unique (routing to it surfaces as
+   dead-target drops, not silent wrong answers). *)
+let quarantine_corrupt_bee t (b : bee) (s : Value.t Store.t) detail =
+  Store.forget s ~bee:b.id;
+  if t.cfg.outbox then drop_outbox_rows t b.id;
+  b.state <- State.create ();
+  Queue.clear b.mailbox;
+  b.busy <- false;
+  b.status <- `Dead;
+  t.dead_letters <- (b.id, detail) :: t.dead_letters;
+  t.n_quarantined_bees <- t.n_quarantined_bees + 1;
+  Log.info (fun m -> m "bee %d: corrupt storage quarantined (%s)" b.id detail)
+
+(* One background scrub slice. Damage on a live bee is repaired on the
+   spot; damage on a crashed or fenced bee keeps its suspect verdict for
+   restart_hive to consult before replay. *)
+let scrub_slice t ~budget_bytes =
+  match t.store with
+  | None -> ()
+  | Some s ->
+    let _scanned, damaged = Store.scrub s ~budget_bytes in
+    List.iter
+      (fun (bee, detail) ->
+        match get_bee t bee with
+        | Some b
+          when (not b.is_local)
+               && (match b.status with `Active | `Paused -> true | _ -> false)
+               && hive_alive t b.hive
+               && not b.fenced ->
+          rewrite_bee_storage t b detail
+        | Some _ | None -> ())
+      damaged
+
+let scrub_tick t = scrub_slice t ~budget_bytes:t.cfg.scrub_budget_bytes
+let () = scrub_tick_impl := scrub_tick
+
+let scrub_now t = scrub_slice t ~budget_bytes:max_int
+
+let peer_repairs t = t.n_peer_repairs
+let local_rewrites t = t.n_local_rewrites
+let quarantined_storage t = t.n_quarantined_bees
+let dead_letters t = List.rev t.dead_letters
+
+let storage_suspects t =
+  match t.store with None -> [] | Some s -> Store.suspects s
+
+(* Omniscient oracle (monitors only): re-derives every durable bee's
+   chain verdict from the actual frame bytes, ignoring the
+   [Store.debug_disable_checksums] switch — the ground truth a
+   no-silent-corruption monitor compares production behaviour against. *)
+let broken_chains t =
+  match t.store with
+  | None -> []
+  | Some s ->
+    Hashtbl.fold
+      (fun _ (b : bee) acc ->
+        if b.is_local || b.status = `Dead then
+          acc
+        else
+          match Store.verify_chain s ~bee:b.id with
+          | Some detail -> (b.id, detail) :: acc
+          | None -> acc)
+      t.bees []
+
+(* fsck verdicts for a crashed hive's bees, truncating torn tails in
+   place — what the recovery-identity check must run before computing its
+   expected durable cut (a torn tail is not recoverable data). *)
+let fsck_crashed_bees t h =
+  match t.store with
+  | None -> []
+  | Some s ->
+    List.map
+      (fun (b : bee) -> (b.id, Store.fsck s ~bee:b.id))
+      (bees_on t h ~pred:(fun b -> b.status = `Crashed))
+
 let restart_hive t h =
   if h < 0 || h >= t.n then invalid_arg "Platform.restart_hive: bad hive";
   if (not t.hive_up.(h)) && not t.decommissioned.(h) then begin
@@ -1945,16 +2155,34 @@ let restart_hive t h =
       match t.store with
       | None -> ()
       | Some s ->
-        let revived = bees_on t h ~pred:(fun b -> b.status = `Crashed) in
-        List.iter
-          (fun (b : bee) ->
-            (* Snapshot + WAL-tail replay, byte-identical to the last
-               group-committed state. *)
-            b.state <- State.restore (Store.recover s ~bee:b.id);
-            b.status <- `Active;
-            Log.info (fun m -> m "bee %d recovered on restarted hive %d" b.id h);
-            maybe_process t b)
-          revived;
+        let crashed = bees_on t h ~pred:(fun b -> b.status = `Crashed) in
+        let revived =
+          List.filter
+            (fun (b : bee) ->
+              (* fsck before replay: truncate any torn tail, and refuse to
+                 serve a committed prefix that fails verification. *)
+              match Store.fsck s ~bee:b.id with
+              | Store.Intact | Store.Truncated _ ->
+                (* Snapshot + WAL-tail replay, byte-identical to the last
+                   group-committed (and verified) state. *)
+                b.state <- State.restore (Store.reload s ~bee:b.id);
+                b.status <- `Active;
+                Log.info (fun m ->
+                    m "bee %d recovered on restarted hive %d" b.id h);
+                maybe_process t b;
+                true
+              | Store.Corrupt detail -> (
+                match recoverable_entries t b with
+                | Some entries ->
+                  reseed_bee_from_peer t b s entries detail;
+                  b.status <- `Active;
+                  maybe_process t b;
+                  true
+                | None ->
+                  quarantine_corrupt_bee t b s detail;
+                  false))
+            crashed
+        in
         if t.cfg.outbox then
           List.iter
             (fun (b : bee) ->
@@ -2107,6 +2335,16 @@ let stats t =
   Stats.set_gauge t.pstats "outbox.handler_faults" t.n_handler_faults;
   Stats.set_gauge t.pstats "quarantine.total" t.n_quarantined;
   Stats.set_gauge t.pstats "quarantine.bees" (Hashtbl.length t.quarantine);
+  (match t.store with
+  | Some s ->
+    Stats.set_gauge t.pstats "integrity.records_verified" (Store.records_verified s);
+    Stats.set_gauge t.pstats "integrity.crc_failures" (Store.crc_failures s);
+    Stats.set_gauge t.pstats "integrity.torn_truncations" (Store.torn_truncations s);
+    Stats.set_gauge t.pstats "integrity.scrubs_completed" (Store.scrubs_completed s)
+  | None -> ());
+  Stats.set_gauge t.pstats "integrity.peer_repairs" t.n_peer_repairs;
+  Stats.set_gauge t.pstats "integrity.local_rewrites" t.n_local_rewrites;
+  Stats.set_gauge t.pstats "integrity.quarantined_bees" t.n_quarantined_bees;
   let count state = ref 0, state in
   let alive = count `Alive and draining = count `Draining and fenced = count `Fenced in
   let crashed = count `Crashed and decom = count `Decommissioned in

@@ -48,6 +48,15 @@ type config = {
           message is quarantined. Without durability the containment
           still applies, but emits are dispatched at commit and dedup is
           transport-level only. *)
+  scrub_budget_bytes : int;
+      (** byte budget of each background integrity-scrub slice (every
+          5 ms of simulated time the scrubber re-verifies up to this many
+          cold WAL/snapshot bytes, resuming round-robin where the last
+          slice stopped). Damage found on a live bee is repaired on the
+          spot by rewriting its storage from the in-memory committed
+          state; damage on a crashed bee is recorded for
+          {!restart_hive}'s fsck gate. 0 disables scrubbing. Only
+          meaningful with [durability]. *)
 }
 
 val default_config : n_hives:int -> config
@@ -146,11 +155,65 @@ val on_fsync : t -> (int -> unit) -> unit
 
 val total_fsyncs : t -> int
 
+(** {2 Storage integrity}
+
+    Every WAL record and snapshot carries a length+CRC32 frame
+    ({!Beehive_store.Store}); these are the platform-level detection and
+    repair paths built on it. All are no-ops without durability. *)
+
+val scrub_now : t -> unit
+(** Runs one full scrub pass immediately (unbounded budget): re-verifies
+    every durable bee's cold bytes and repairs damage found on live bees
+    by rewriting their storage from in-memory committed state. What the
+    background scrubber does incrementally, forced to completion —
+    monitors call this before their final verdict so detection is not
+    racing the tick budget. *)
+
+val fsck_crashed_bees : t -> int -> (int * Beehive_store.Store.verdict) list
+(** Runs {!Beehive_store.Store.fsck} over every crashed bee of a hive,
+    truncating torn WAL tails in place, and returns the verdicts. The
+    recovery-identity check runs this before computing the expected
+    durable cut (a torn tail is not recoverable data; a [Corrupt] bee
+    will not be revived from local bytes at all). Idempotent —
+    {!restart_hive} re-runs fsck itself. *)
+
+val peer_repairs : t -> int
+(** Crashed bees whose corrupt storage was re-seeded from a replication
+    peer at restart. *)
+
+val local_rewrites : t -> int
+(** Live bees whose damaged cold bytes the scrubber rewrote from
+    in-memory committed state. *)
+
+val quarantined_storage : t -> int
+(** Bees fail-stopped because their committed prefix failed verification
+    and no replica existed to re-seed from (includes corrupt crashed
+    merge losers whose durable cut was discarded rather than folded). *)
+
+val dead_letters : t -> (int * string) list
+(** One record per {!quarantined_storage} event, oldest first: the bee id
+    and the verification failure that killed it. *)
+
+val storage_suspects : t -> (int * string) list
+(** Bees currently carrying an unrepaired verification failure (detected
+    by scrub or fsck, not yet repaired, quarantined or forgotten). The
+    repair-convergence monitor requires this empty at end of run. *)
+
+val broken_chains : t -> (int * string) list
+(** Omniscient oracle (monitors only): re-derives every live durable
+    bee's chain verdict from the actual frame bytes, {e ignoring}
+    {!Beehive_store.Store.debug_disable_checksums}. A bee listed here but
+    absent from {!storage_suspects} is silent corruption — the
+    no-silent-corruption monitor's definition of failure. *)
+
 val restart_hive : t -> int -> unit
 (** Brings a failed hive back. With durability on, every bee that crashed
-    on it is revived in place from snapshot+WAL replay (byte-identical to
-    its last group-committed state); without durability only new local
-    bees can form there again. *)
+    on it is fsck-gated and revived in place from snapshot+WAL replay
+    (byte-identical to its last group-committed state, torn tails
+    truncated to the crash-consistent prefix); a bee whose committed
+    prefix fails verification is re-seeded from a replication peer when
+    one exists and quarantined ({!quarantined_storage}) otherwise.
+    Without durability only new local bees can form there again. *)
 
 val on_hive_restart : t -> (int -> unit) -> unit
 (** Called at the start of {!restart_hive} (e.g. to restart co-located

@@ -47,6 +47,8 @@ type t = {
   mutable snap_seq : int;
   mutable committed : int;
   mutable installs : int;
+  mutable entries_verified : int;
+  mutable entry_crc_failures : int;
 }
 
 let command_id t =
@@ -235,6 +237,13 @@ let spawn_member t g ~member =
         | None -> ()
       in
       let apply (e : Raft.entry) =
+        (* Verify the entry's propose-time CRC before letting it touch a
+           replica: a corrupt replicated entry is fail-stopped, never
+           applied. *)
+        if not (Raft.verify_entry e) then
+          t.entry_crc_failures <- t.entry_crc_failures + 1
+        else begin
+        t.entries_verified <- t.entries_verified + 1;
         let id = decode_command e.Raft.e_command in
         (match Hashtbl.find_opt t.pending id with
         | Some ci ->
@@ -246,6 +255,7 @@ let spawn_member t g ~member =
           end
         | None -> ());
         maybe_compact ()
+        end
       in
       let node = Raft.create engine ~id:member ~peers ~install ~send ~apply () in
       node_ref := Some node;
@@ -473,6 +483,8 @@ let install platform ?(group_size = 3) ?(compact_every = 64) () =
       snap_seq = 0;
       committed = 0;
       installs = 0;
+      entries_verified = 0;
+      entry_crc_failures = 0;
     }
   in
   t.groups <-
@@ -504,6 +516,14 @@ let group_leader t ~hive =
 
 let replicated_commands t = t.committed
 let snapshot_installs t = t.installs
+let entries_verified t = t.entries_verified
+let entry_crc_failures t = t.entry_crc_failures
+
+let verify_member_logs t =
+  Array.for_all
+    (fun g ->
+      Hashtbl.fold (fun _ node ok -> ok && Raft.verify_log node) g.g_nodes true)
+    t.groups
 
 let member_snapshot_index t ~hive ~member =
   let g = t.groups.(hive mod Array.length t.groups) in

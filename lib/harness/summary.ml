@@ -41,12 +41,14 @@ let measure matrix series platform =
     s_p50_us = Option.value ~default:0 (Platform.message_latency_percentile platform 0.5);
     s_p99_us = Option.value ~default:0 (Platform.message_latency_percentile platform 0.99);
     s_membership =
-      (* Platform gauges worth a summary line: cluster membership, plus
-         the linearizability checker's coverage counters when a lin
-         workload ran against this platform. *)
+      (* Platform gauges worth a summary line: cluster membership, the
+         storage-integrity counters, plus the linearizability checker's
+         coverage counters when a lin workload ran against this
+         platform. *)
       List.filter
         (fun (k, _) ->
           String.starts_with ~prefix:"membership." k
+          || String.starts_with ~prefix:"integrity." k
           || String.starts_with ~prefix:"lin." k)
         (Beehive_core.Stats.gauges (Platform.stats platform));
   }

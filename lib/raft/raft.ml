@@ -8,7 +8,13 @@ type entry = {
   e_term : int;
   e_index : int;
   e_command : command;
+  e_crc : int;
 }
+
+let entry_crc ~term ~index command =
+  Beehive_sim.Crc32.string (Printf.sprintf "%d|%d|%s" term index command)
+
+let verify_entry e = e.e_crc = entry_crc ~term:e.e_term ~index:e.e_index e.e_command
 
 type rpc =
   | Request_vote of {
@@ -115,7 +121,9 @@ let create engine ~id ~peers ?(config = default_config) ?install ~send ~apply ()
     install_cb = install;
     term = 0;
     voted_for = None;
-    log = Array.make 64 { e_term = 0; e_index = 0; e_command = "" };
+    log = Array.make 64
+        { e_term = 0; e_index = 0; e_command = "";
+          e_crc = entry_crc ~term:0 ~index:0 "" };
     log_len = 0;
     snap_index = 0;
     snap_term = 0;
@@ -145,6 +153,13 @@ let snapshot_index t = t.snap_index
 let snapshot_term t = t.snap_term
 
 let log_entries t = Array.to_list (Array.sub t.log 0 t.log_len)
+
+let verify_log t =
+  let ok = ref true in
+  for i = 0 to t.log_len - 1 do
+    if not (verify_entry t.log.(i)) then ok := false
+  done;
+  !ok
 
 (* Log positions are absolute indices; the array only holds entries past
    the snapshot, so slot [i - snap_index - 1] is index [i]. *)
@@ -493,7 +508,11 @@ let start t =
 let propose t command =
   if t.node_role <> Leader || not t.up then `Not_leader t.leader
   else begin
-    let e = { e_term = t.term; e_index = last_log_index t + 1; e_command = command } in
+    let index = last_log_index t + 1 in
+    let e =
+      { e_term = t.term; e_index = index; e_command = command;
+        e_crc = entry_crc ~term:t.term ~index command }
+    in
     append_log t e;
     send_heartbeats t;
     (* A single-node cluster commits immediately. *)

@@ -20,7 +20,18 @@ type entry = {
   e_term : int;
   e_index : int;  (** 1-based *)
   e_command : command;
+  e_crc : int;
+      (** CRC32 envelope over (term, index, command), stamped at
+          {!propose} time and carried through replication, snapshots
+          excepted — the durable log's integrity frame *)
 }
+
+val entry_crc : term:int -> index:int -> command -> int
+(** The checksum {!propose} stamps into an entry. *)
+
+val verify_entry : entry -> bool
+(** Whether the entry's bytes still match the checksum stamped at propose
+    time. *)
 
 type rpc =
   | Request_vote of {
@@ -111,6 +122,11 @@ val leader_hint : t -> int option
 val is_up : t -> bool
 val log_entries : t -> entry list
 (** The un-compacted log tail (tests only). *)
+
+val verify_log : t -> bool
+(** Verifies every live entry in the node's log (snapshotted prefix
+    excluded). A false return means replicated state was corrupted in
+    flight or at rest. *)
 
 (** {2 Membership} *)
 

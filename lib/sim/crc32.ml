@@ -1,0 +1,24 @@
+(* CRC-32 (ISO 3309 / zlib polynomial, reflected 0xEDB88320), table-driven.
+   Pure OCaml so the simulator stays dependency-free; ints are 63-bit on
+   every platform we build for, so the 32-bit value fits in a plain [int]. *)
+
+let poly = 0xEDB88320
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then (!c lsr 1) lxor poly else !c lsr 1
+         done;
+         !c))
+
+let update crc s =
+  let table = Lazy.force table in
+  let crc = ref (crc lxor 0xFFFFFFFF) in
+  String.iter
+    (fun ch -> crc := table.((!crc lxor Char.code ch) land 0xff) lxor (!crc lsr 8))
+    s;
+  !crc lxor 0xFFFFFFFF
+
+let string s = update 0 s

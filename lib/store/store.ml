@@ -1,5 +1,12 @@
 module Engine = Beehive_sim.Engine
 module Simtime = Beehive_sim.Simtime
+module Crc32 = Beehive_sim.Crc32
+
+(* Debug hook for [--inject-bug checksums-off]: frames are still written
+   (byte accounting and schedules are unchanged) but verification is
+   skipped, so garbled records read back as if they were sound. Length
+   framing still catches torn tails — that detection needs no checksum. *)
+let debug_disable_checksums = ref false
 
 type config = {
   wal_group_commit_ticks : int;
@@ -16,17 +23,53 @@ let default_config =
 
 type 'v write = string * string * 'v option
 
+(* The length+CRC32 envelope around every durable artifact. [f_payload]
+   models the bytes actually on disk: fault injection mutates it in place,
+   while [f_len] and [f_crc] are what the envelope recorded at write time.
+   A short payload is a torn write (detected by length framing alone); an
+   equal-length payload with a mismatched CRC is silent corruption
+   (detected only when checksum verification is on). *)
+type frame = { mutable f_payload : string; f_crc : int; f_len : int }
+
+let frame_of payload =
+  { f_payload = payload; f_crc = Crc32.string payload; f_len = String.length payload }
+
+type frame_state = F_ok | F_torn | F_garbled
+
+(* Physical truth, independent of the verification switch — what a reader
+   that trusts the bytes would actually be handed. *)
+let frame_state_oracle f =
+  if String.length f.f_payload <> f.f_len then F_torn
+  else if Crc32.string f.f_payload <> f.f_crc then F_garbled
+  else F_ok
+
+let frame_damaged_oracle f = frame_state_oracle f <> F_ok
+
+(* What the production read path can see: torn writes always (length
+   framing), garbled bytes only while checksum verification is enabled. *)
+let frame_state f =
+  if String.length f.f_payload <> f.f_len then F_torn
+  else if (not !debug_disable_checksums) && Crc32.string f.f_payload <> f.f_crc then
+    F_garbled
+  else F_ok
+
 type 'v record = {
   r_lsn : int;
   r_at : Simtime.t;
   r_writes : 'v write list;
   r_bytes : int;
+  r_outbox : (int * int) list;
+      (* outbox entries committed with this record — truncating the record
+         must unwind them *)
+  r_inbox : (int * int) list;  (* dedup marks committed with this record *)
+  r_frame : frame;
 }
 
 type 'v package = {
   pkg_bee : int;
   pkg_snapshot : (string * string * 'v) list;
   pkg_snapshot_lsn : int;
+  pkg_snapshot_frame : frame;
   pkg_tail : 'v record list;
   pkg_outbox : (int * int) list;
   pkg_inbox : (int * int) list;
@@ -40,6 +83,10 @@ let snapshot_overhead = 32
 let package_overhead = 64
 let outbox_entry_overhead = 16
 let inbox_mark_overhead = 16
+
+(* Length (4B) + CRC32 (4B) envelope written around every WAL record and
+   snapshot — the modeled byte cost of end-to-end integrity. *)
+let frame_overhead = 8
 
 (* One transaction's worth of not-yet-durable log: the state write-set
    plus the outbox entries and inbox marks committed with it. Everything
@@ -65,6 +112,7 @@ type 'v bee_log = {
   mutable bl_wal_records : int;
   mutable bl_snapshot : (string * string * 'v) list;
   mutable bl_snapshot_lsn : int;
+  mutable bl_snapshot_frame : frame;
   mutable bl_snapshot_bytes : int;
   mutable bl_compactions : int;
   mutable bl_next_lsn : int;  (* next lsn to assign *)
@@ -84,6 +132,10 @@ type 'v t = {
   engine : Engine.t;
   cfg : config;
   size_of : 'v write -> int;
+  garble : 'v -> 'v;
+      (* what a reader gets back from physically damaged bytes it failed to
+         (or chose not to) verify — the platform supplies a value-level
+         corruption so damage is semantically visible downstream *)
   on_fsync : (hive:int -> bytes:int -> records:int -> unit) option;
   on_outbox_durable : (hive:int -> (int * int) list -> unit) option;
   on_compaction :
@@ -95,10 +147,64 @@ type 'v t = {
          so a commit tick touches only writers, not every tracked bee *)
   mutable n_fsyncs : int;
   mutable wal_bytes_written : int;
+  mutable wal_records_written : int;
   mutable n_compactions : int;
+  (* ---- integrity ---- *)
+  suspects : (int, string) Hashtbl.t;
+      (* bees whose committed prefix failed verification (scrub or fsck),
+         not yet repaired, re-seeded or quarantined *)
+  mutable scrub_cursor : int;  (* last bee id scanned; scrub resumes after it *)
+  mutable records_verified : int;
+  mutable crc_failures : int;
+  mutable torn_truncations : int;
+  mutable scrubs_completed : int;
 }
 
 let config t = t.cfg
+
+(* Canonical serialized images. The store holds typed values, so the
+   "bytes on disk" are modeled: a deterministic string derived from the
+   artifact's identity and shape. Checksums are computed and verified over
+   these images, and fault injection mutates them in place. *)
+let payload_of_batch t ~lsn b =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf "R";
+  Buffer.add_string buf (string_of_int lsn);
+  List.iter
+    (fun ((d, k, w) as wr) ->
+      Buffer.add_char buf '|';
+      Buffer.add_string buf d;
+      Buffer.add_char buf '/';
+      Buffer.add_string buf k;
+      Buffer.add_char buf '=';
+      match w with
+      | Some _ -> Buffer.add_string buf (string_of_int (t.size_of wr))
+      | None -> Buffer.add_char buf 'x')
+    b.b_writes;
+  List.iter
+    (fun (seq, bytes) ->
+      Buffer.add_string buf (Printf.sprintf "|o%d:%d" seq bytes))
+    b.b_outbox;
+  List.iter
+    (fun (sender, seq) ->
+      Buffer.add_string buf (Printf.sprintf "|i%d:%d" sender seq))
+    b.b_inbox;
+  Buffer.contents buf
+
+let payload_of_snapshot t ~lsn entries =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf "S";
+  Buffer.add_string buf (string_of_int lsn);
+  List.iter
+    (fun (d, k, v) ->
+      Buffer.add_char buf '|';
+      Buffer.add_string buf d;
+      Buffer.add_char buf '/';
+      Buffer.add_string buf k;
+      Buffer.add_char buf '=';
+      Buffer.add_string buf (string_of_int (t.size_of (d, k, Some v))))
+    entries;
+  Buffer.contents buf
 
 let log_of t bee =
   match Hashtbl.find_opt t.logs bee with
@@ -114,6 +220,7 @@ let log_of t bee =
         bl_wal_records = 0;
         bl_snapshot = [];
         bl_snapshot_lsn = 0;
+        bl_snapshot_frame = frame_of (payload_of_snapshot t ~lsn:0 []);
         bl_snapshot_bytes = 0;
         bl_compactions = 0;
         bl_next_lsn = 1;
@@ -178,7 +285,7 @@ let rebuild_live t bl =
   List.iter (fun b -> List.iter (apply_write t bl) b.b_writes) (List.rev bl.bl_pending)
 
 let batch_bytes t writes ~outbox ~inbox =
-  record_overhead
+  record_overhead + frame_overhead
   + List.fold_left (fun acc w -> acc + t.size_of w) 0 writes
   + List.fold_left (fun acc (_, bytes) -> acc + outbox_entry_overhead + bytes) 0 outbox
   + (inbox_mark_overhead * List.length inbox)
@@ -207,35 +314,57 @@ let alloc_out_seq t ~bee =
   bl.bl_next_out_seq <- seq + 1;
   seq
 
-(* Durable view: snapshot overlaid with the WAL tail, pending excluded. *)
-let durable_table bl =
+(* Durable view: snapshot overlaid with the WAL tail, pending excluded.
+   Values read through a physically damaged frame come back garbled —
+   with checksum verification on, production paths never get here without
+   an fsck/scrub gate in front; with it off, this is exactly the silent
+   corruption a lying disk serves. *)
+let durable_table t bl =
   let view = Hashtbl.create (max 16 (List.length bl.bl_snapshot)) in
-  List.iter (fun (d, k, v) -> Hashtbl.replace view (d, k) v) bl.bl_snapshot;
+  let snap_bad = frame_damaged_oracle bl.bl_snapshot_frame in
+  List.iter
+    (fun (d, k, v) ->
+      Hashtbl.replace view (d, k) (if snap_bad then t.garble v else v))
+    bl.bl_snapshot;
   List.iter
     (fun r ->
+      let bad = frame_damaged_oracle r.r_frame in
       List.iter
         (fun (d, k, w) ->
           match w with
-          | Some v -> Hashtbl.replace view (d, k) v
+          | Some v -> Hashtbl.replace view (d, k) (if bad then t.garble v else v)
           | None -> Hashtbl.remove view (d, k))
         r.r_writes)
     (List.rev bl.bl_wal);
   view
 
-let durable_entries bl =
-  Hashtbl.fold (fun (d, k) v acc -> (d, k, v) :: acc) (durable_table bl) []
+let durable_entries t bl =
+  Hashtbl.fold (fun (d, k) v acc -> (d, k, v) :: acc) (durable_table t bl) []
   |> List.sort entry_order
 
+(* Any frame the production read path would reject right now. *)
+let log_suspect_now bl =
+  frame_state bl.bl_snapshot_frame <> F_ok
+  || List.exists (fun r -> frame_state r.r_frame <> F_ok) bl.bl_wal
+
 let compact_log t bl =
+  (* Compaction re-reads cold bytes: with verification on it refuses to
+     fold a damaged log (scrub/fsck will repair it first), because doing
+     so would launder garbage into a freshly-checksummed snapshot. With
+     verification off that laundering is exactly what happens. *)
+  if (not !debug_disable_checksums) && log_suspect_now bl then ()
+  else begin
   let dropped_records = bl.bl_wal_records in
   let dropped_bytes = bl.bl_wal_bytes in
-  let snap = durable_entries bl in
+  let snap = durable_entries t bl in
   let snap_bytes =
-    snapshot_overhead
+    snapshot_overhead + frame_overhead
     + List.fold_left (fun acc (d, k, v) -> acc + t.size_of (d, k, Some v)) 0 snap
   in
   bl.bl_snapshot <- snap;
   bl.bl_snapshot_lsn <- bl.bl_next_lsn - 1;
+  bl.bl_snapshot_frame <-
+    frame_of (payload_of_snapshot t ~lsn:(bl.bl_next_lsn - 1) snap);
   bl.bl_snapshot_bytes <- snap_bytes;
   bl.bl_wal <- [];
   bl.bl_wal_bytes <- 0;
@@ -245,6 +374,7 @@ let compact_log t bl =
   match t.on_compaction with
   | Some f -> f ~bee:bl.bl_bee ~dropped_records ~dropped_bytes ~snapshot_bytes:snap_bytes
   | None -> ()
+  end
 
 (* Moves a log's pending batches into its durable WAL, accumulating the
    per-hive fsync charges into [by_hive] and the per-hive newly durable
@@ -255,12 +385,16 @@ let commit_pending t bl by_hive out_by_hive =
   | pending ->
     List.iter
       (fun b ->
+        let lsn = bl.bl_next_lsn in
         let r =
           {
-            r_lsn = bl.bl_next_lsn;
+            r_lsn = lsn;
             r_at = Engine.now t.engine;
             r_writes = b.b_writes;
             r_bytes = b.b_bytes;
+            r_outbox = b.b_outbox;
+            r_inbox = b.b_inbox;
+            r_frame = frame_of (payload_of_batch t ~lsn b);
           }
         in
         bl.bl_next_lsn <- bl.bl_next_lsn + 1;
@@ -268,6 +402,7 @@ let commit_pending t bl by_hive out_by_hive =
         bl.bl_wal_bytes <- bl.bl_wal_bytes + b.b_bytes;
         bl.bl_wal_records <- bl.bl_wal_records + 1;
         t.wal_bytes_written <- t.wal_bytes_written + b.b_bytes;
+        t.wal_records_written <- t.wal_records_written + 1;
         List.iter
           (fun (seq, bytes) ->
             Hashtbl.replace bl.bl_outbox seq bytes;
@@ -333,8 +468,8 @@ let flush_bee t ~bee =
       if bl.bl_wal_bytes > t.cfg.snapshot_threshold_bytes then compact_log t bl
     end
 
-let create engine ?(config = default_config) ~size_of ?on_fsync ?on_outbox_durable
-    ?on_compaction () =
+let create engine ?(config = default_config) ~size_of ?(garble = fun v -> v)
+    ?on_fsync ?on_outbox_durable ?on_compaction () =
   if config.wal_group_commit_ticks < 1 then
     invalid_arg "Store.create: wal_group_commit_ticks must be >= 1";
   let t =
@@ -342,6 +477,7 @@ let create engine ?(config = default_config) ~size_of ?on_fsync ?on_outbox_durab
       engine;
       cfg = config;
       size_of;
+      garble;
       on_fsync;
       on_outbox_durable;
       on_compaction;
@@ -349,7 +485,14 @@ let create engine ?(config = default_config) ~size_of ?on_fsync ?on_outbox_durab
       dirty_logs = [];
       n_fsyncs = 0;
       wal_bytes_written = 0;
+      wal_records_written = 0;
       n_compactions = 0;
+      suspects = Hashtbl.create 8;
+      scrub_cursor = -1;
+      records_verified = 0;
+      crc_failures = 0;
+      torn_truncations = 0;
+      scrubs_completed = 0;
     }
   in
   (* Group commit: batches accumulated during a tick become durable one
@@ -375,12 +518,30 @@ let drop_pending t ~hive =
       end)
     (sorted_logs t)
 
-let forget t ~bee = Hashtbl.remove t.logs bee
+let forget t ~bee =
+  Hashtbl.remove t.logs bee;
+  Hashtbl.remove t.suspects bee
 
 let recover t ~bee =
   match Hashtbl.find_opt t.logs bee with
   | None -> []
-  | Some bl -> durable_entries bl
+  | Some bl -> durable_entries t bl
+
+(* Recovery proper: re-reads the durable bytes and resets the materialized
+   view from them — after a crash the in-memory cache is gone, so what the
+   bee serves from here on is whatever the disk gave back. *)
+let reload t ~bee =
+  match Hashtbl.find_opt t.logs bee with
+  | None -> []
+  | Some bl ->
+    let es = durable_entries t bl in
+    Hashtbl.reset bl.bl_live;
+    bl.bl_live_bytes <- 0;
+    List.iter (fun (d, k, v) -> apply_write t bl (d, k, Some v)) es;
+    List.iter
+      (fun b -> List.iter (apply_write t bl) b.b_writes)
+      (List.rev bl.bl_pending);
+    es
 
 let recovery_cost t ~bee =
   match Hashtbl.find_opt t.logs bee with
@@ -478,6 +639,7 @@ let package t ~bee =
     pkg_bee = bee;
     pkg_snapshot = bl.bl_snapshot;
     pkg_snapshot_lsn = bl.bl_snapshot_lsn;
+    pkg_snapshot_frame = bl.bl_snapshot_frame;
     pkg_tail = tail;
     pkg_outbox = outbox;
     pkg_inbox = inbox;
@@ -492,8 +654,11 @@ let install t pkg =
   let bl = log_of t pkg.pkg_bee in
   bl.bl_snapshot <- pkg.pkg_snapshot;
   bl.bl_snapshot_lsn <- pkg.pkg_snapshot_lsn;
+  (* The transfer is a byte copy: frames — and any damage in them —
+     travel with the package. *)
+  bl.bl_snapshot_frame <- pkg.pkg_snapshot_frame;
   bl.bl_snapshot_bytes <-
-    snapshot_overhead
+    snapshot_overhead + frame_overhead
     + List.fold_left
         (fun acc (d, k, v) -> acc + t.size_of (d, k, Some v))
         0 pkg.pkg_snapshot;
@@ -551,4 +716,216 @@ let tracked_bees t =
 
 let total_fsyncs t = t.n_fsyncs
 let total_wal_bytes_written t = t.wal_bytes_written
+let total_wal_records_written t = t.wal_records_written
 let total_compactions t = t.n_compactions
+let frame_overhead_bytes = frame_overhead
+
+(* ---- integrity ------------------------------------------------------ *)
+
+type verdict = Intact | Truncated of int | Corrupt of string
+
+let mark_suspect t bee detail =
+  if not (Hashtbl.mem t.suspects bee) then begin
+    Hashtbl.replace t.suspects bee detail;
+    t.crc_failures <- t.crc_failures + 1
+  end
+
+let fsck t ~bee =
+  match Hashtbl.find_opt t.logs bee with
+  | None -> Intact
+  | Some bl ->
+    (* Split the newest-first WAL into the trailing run of torn records
+       (the tail of the final in-flight write — expected after a crash)
+       and the committed prefix, which must verify completely. *)
+    let rec split_torn torn = function
+      | r :: rest when frame_state r.r_frame = F_torn -> split_torn (r :: torn) rest
+      | rest -> (torn, rest)
+    in
+    let torn_tail, prefix = split_torn [] bl.bl_wal in
+    t.records_verified <- t.records_verified + bl.bl_wal_records + 1;
+    let snap_bad = frame_state bl.bl_snapshot_frame <> F_ok in
+    let prefix_bad =
+      List.exists (fun r -> frame_state r.r_frame <> F_ok) prefix
+    in
+    if snap_bad || prefix_bad then begin
+      let detail =
+        if snap_bad then "snapshot failed checksum verification"
+        else "committed wal record failed checksum verification"
+      in
+      mark_suspect t bee detail;
+      Corrupt detail
+    end
+    else begin
+      Hashtbl.remove t.suspects bee;
+      match torn_tail with
+      | [] -> Intact
+      | torn ->
+        (* Crash-consistent prefix semantics: drop the torn tail,
+           unwinding the outbox entries and inbox marks that committed
+           with those records so a mark can never survive its write. *)
+        List.iter
+          (fun r ->
+            bl.bl_wal_bytes <- bl.bl_wal_bytes - r.r_bytes;
+            bl.bl_wal_records <- bl.bl_wal_records - 1;
+            List.iter (fun (seq, _) -> Hashtbl.remove bl.bl_outbox seq) r.r_outbox;
+            List.iter (fun m -> Hashtbl.remove bl.bl_inbox m) r.r_inbox)
+          torn;
+        bl.bl_wal <- prefix;
+        let n = List.length torn in
+        t.torn_truncations <- t.torn_truncations + n;
+        rebuild_live t bl;
+        Truncated n
+    end
+
+let scrub t ~budget_bytes =
+  if budget_bytes <= 0 then (0, [])
+  else begin
+    let logs = sorted_logs t in
+    if logs = [] then (0, [])
+    else begin
+      let after, before =
+        List.partition (fun bl -> bl.bl_bee > t.scrub_cursor) logs
+      in
+      let scanned = ref 0 in
+      let found = ref [] in
+      let visited = ref 0 in
+      (try
+         List.iter
+           (fun bl ->
+             if !scanned >= budget_bytes then raise Exit;
+             incr visited;
+             t.scrub_cursor <- bl.bl_bee;
+             scanned := !scanned + bl.bl_snapshot_bytes + bl.bl_wal_bytes;
+             t.records_verified <- t.records_verified + bl.bl_wal_records + 1;
+             let bad = ref None in
+             if frame_state bl.bl_snapshot_frame <> F_ok then
+               bad := Some "snapshot failed checksum verification";
+             List.iter
+               (fun r ->
+                 if !bad = None && frame_state r.r_frame <> F_ok then
+                   bad :=
+                     Some
+                       (Printf.sprintf "wal record lsn %d failed verification"
+                          r.r_lsn))
+               bl.bl_wal;
+             match !bad with
+             | Some detail ->
+               mark_suspect t bl.bl_bee detail;
+               found := (bl.bl_bee, detail) :: !found
+             | None -> ())
+           (after @ before)
+       with Exit -> ());
+      (* A pass completes when one call covered every log, or when the
+         round-robin cursor reaches the end of the ring across calls. *)
+      let max_bee = List.fold_left (fun acc bl -> max acc bl.bl_bee) min_int logs in
+      if !visited >= List.length logs || t.scrub_cursor = max_bee then begin
+        t.scrubs_completed <- t.scrubs_completed + 1;
+        t.scrub_cursor <- -1
+      end;
+      (!scanned, List.rev !found)
+    end
+  end
+
+(* Oracle used by monitors and tests: always verifies, regardless of the
+   [debug_disable_checksums] switch. *)
+let verify_chain t ~bee =
+  match Hashtbl.find_opt t.logs bee with
+  | None -> None
+  | Some bl ->
+    if frame_damaged_oracle bl.bl_snapshot_frame then
+      Some "snapshot bytes do not match their stored crc32"
+    else (
+      match
+        List.find_opt (fun r -> frame_damaged_oracle r.r_frame) (List.rev bl.bl_wal)
+      with
+      | Some r ->
+        Some
+          (Printf.sprintf "wal record lsn %d bytes do not match their stored crc32"
+             r.r_lsn)
+      | None -> None)
+
+let suspects t =
+  Hashtbl.fold (fun bee detail acc -> (bee, detail) :: acc) t.suspects []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let suspect t ~bee = Hashtbl.find_opt t.suspects bee
+let clear_suspect t ~bee = Hashtbl.remove t.suspects bee
+
+(* Re-seeds a bee's storage from known-good entries (a Raft peer's
+   snapshot or the live process's own committed view): fresh snapshot,
+   fresh frames, empty WAL. Pending batches are discarded — callers flush
+   first when the bee is alive. Outbox/inbox durable state is rewritten
+   from the supplied lists. *)
+let reseed t ~bee ~entries:es ~outbox ~inbox ~next_out_seq:nos =
+  let old = Hashtbl.find_opt t.logs bee in
+  Hashtbl.remove t.logs bee;
+  let bl = log_of t bee in
+  (match old with
+  | Some o ->
+    bl.bl_next_lsn <- o.bl_next_lsn;
+    bl.bl_compactions <- o.bl_compactions
+  | None -> ());
+  let es = List.sort entry_order es in
+  bl.bl_snapshot <- es;
+  bl.bl_snapshot_lsn <- bl.bl_next_lsn - 1;
+  bl.bl_snapshot_frame <- frame_of (payload_of_snapshot t ~lsn:bl.bl_snapshot_lsn es);
+  bl.bl_snapshot_bytes <-
+    snapshot_overhead + frame_overhead
+    + List.fold_left (fun acc (d, k, v) -> acc + t.size_of (d, k, Some v)) 0 es;
+  List.iter (fun (seq, bytes) -> Hashtbl.replace bl.bl_outbox seq bytes) outbox;
+  List.iter (fun m -> Hashtbl.replace bl.bl_inbox m ()) inbox;
+  List.iter
+    (fun (seq, _) -> if seq >= bl.bl_next_out_seq then bl.bl_next_out_seq <- seq + 1)
+    outbox;
+  bl.bl_next_out_seq <- max bl.bl_next_out_seq (max nos 1);
+  Hashtbl.remove t.suspects bee;
+  rebuild_live t bl
+
+(* ---- fault injection (the lying disk) ---- *)
+
+let flip_byte s =
+  if String.length s = 0 then s
+  else begin
+    let b = Bytes.of_string s in
+    let i = Bytes.length b / 2 in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x40));
+    Bytes.to_string b
+  end
+
+let corrupt_record t ~bee ~victim =
+  match Hashtbl.find_opt t.logs bee with
+  | None -> false
+  | Some bl -> (
+    match bl.bl_wal with
+    | [] -> false
+    | wal ->
+      let n = List.length wal in
+      let r = List.nth wal (((victim mod n) + n) mod n) in
+      r.r_frame.f_payload <- flip_byte r.r_frame.f_payload;
+      true)
+
+let tear_tail t ~bee =
+  match Hashtbl.find_opt t.logs bee with
+  | None -> false
+  | Some bl -> (
+    match bl.bl_wal with
+    | [] -> false
+    | r :: _ ->
+      let p = r.r_frame.f_payload in
+      r.r_frame.f_payload <- String.sub p 0 (String.length p / 2);
+      true)
+
+let rot_snapshot t ~bee =
+  match Hashtbl.find_opt t.logs bee with
+  | None -> false
+  | Some bl ->
+    if bl.bl_snapshot = [] then false
+    else begin
+      bl.bl_snapshot_frame.f_payload <- flip_byte bl.bl_snapshot_frame.f_payload;
+      true
+    end
+
+let records_verified t = t.records_verified
+let crc_failures t = t.crc_failures
+let torn_truncations t = t.torn_truncations
+let scrubs_completed t = t.scrubs_completed

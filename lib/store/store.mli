@@ -37,17 +37,38 @@ val default_config : config
 type 'v write = string * string * 'v option
 (** [(dict, key, Some v)] sets, [(dict, key, None)] deletes. *)
 
+val debug_disable_checksums : bool ref
+(** Debug hook for [--inject-bug checksums-off]: frames are still written
+    (byte accounting and event schedules are unchanged) but checksum
+    verification is skipped everywhere, so garbled records read back as if
+    they were sound. Torn tails are still detected — length framing needs
+    no checksum. *)
+
+(** The length+CRC32 envelope around every WAL record and snapshot.
+    [f_payload] models the bytes on disk (fault injection mutates it in
+    place); [f_len] and [f_crc] are what the envelope recorded at write
+    time. *)
+type frame = { mutable f_payload : string; f_crc : int; f_len : int }
+
 type 'v record = {
   r_lsn : int;  (** 1-based, per bee *)
   r_at : Beehive_sim.Simtime.t;  (** flush time *)
   r_writes : 'v write list;
   r_bytes : int;
+  r_outbox : (int * int) list;
+      (** outbox entries committed with this record — truncating the
+          record unwinds them *)
+  r_inbox : (int * int) list;  (** dedup marks committed with this record *)
+  r_frame : frame;
 }
 
 type 'v package = {
   pkg_bee : int;
   pkg_snapshot : (string * string * 'v) list;  (** compacted cell set *)
   pkg_snapshot_lsn : int;
+  pkg_snapshot_frame : frame;
+      (** the snapshot's envelope — a migration is a byte copy, so damage
+          travels with the package *)
   pkg_tail : 'v record list;  (** WAL records after the snapshot, oldest first *)
   pkg_outbox : (int * int) list;
       (** durable un-acked outbox entries, [(seq, payload bytes)] ascending *)
@@ -63,6 +84,7 @@ val create :
   Beehive_sim.Engine.t ->
   ?config:config ->
   size_of:('v write -> int) ->
+  ?garble:('v -> 'v) ->
   ?on_fsync:(hive:int -> bytes:int -> records:int -> unit) ->
   ?on_outbox_durable:(hive:int -> (int * int) list -> unit) ->
   ?on_compaction:(bee:int -> dropped_records:int -> dropped_bytes:int -> snapshot_bytes:int -> unit) ->
@@ -70,11 +92,14 @@ val create :
   'v t
 (** Creates the store and arms its group-commit timer on the engine.
     [size_of] estimates the serialized size of one write (dict + key +
-    value). [on_fsync] fires once per hive per flush that made data
-    durable; [on_outbox_durable] fires right after it with the
-    [(bee, seq)] outbox entries of that hive that just became durable —
-    the platform's cue to hand them to transport; [on_compaction] fires
-    whenever a bee's WAL is folded into a snapshot. *)
+    value). [garble] is what a reader gets back from physically damaged
+    bytes it failed to (or chose not to) verify — defaults to the
+    identity, in which case damage is only visible to checksums.
+    [on_fsync] fires once per hive per flush that made data durable;
+    [on_outbox_durable] fires right after it with the [(bee, seq)] outbox
+    entries of that hive that just became durable — the platform's cue to
+    hand them to transport; [on_compaction] fires whenever a bee's WAL is
+    folded into a snapshot. *)
 
 val config : 'v t -> config
 
@@ -134,6 +159,91 @@ val recovery_cost : 'v t -> bee:int -> int * int
 (** [(records_replayed, bytes_read)] of a {!recover} call right now:
     snapshot bytes plus every tail record. The figure of merit that
     snapshot-based recovery improves over full log replay. *)
+
+val reload : 'v t -> bee:int -> (string * string * 'v) list
+(** Recovery proper: re-reads the durable bytes and {e resets the
+    materialized view from them} — after a crash the in-memory cache is
+    gone, so what the bee serves from here on is whatever the disk gave
+    back (garbled values included, if verification was off). Run {!fsck}
+    first: it truncates torn tails and fail-stops corrupt prefixes. *)
+
+(** {2 Integrity: verification, scrub, repair} *)
+
+type verdict =
+  | Intact  (** every committed frame verified *)
+  | Truncated of int
+      (** this many torn tail records were dropped (crash-consistent
+          prefix); the rest verified *)
+  | Corrupt of string
+      (** the committed prefix itself fails verification — the bee must
+          be re-seeded from a peer or quarantined, never replayed *)
+
+val fsck : 'v t -> bee:int -> verdict
+(** Verifies the bee's snapshot and WAL frames the way recovery reads
+    them. A trailing run of torn records is truncated in place, unwinding
+    the outbox entries and inbox marks that committed with them. A torn
+    or garbled frame in the committed prefix (or snapshot) is [Corrupt]:
+    the bee is marked suspect and nothing is mutated. Respects
+    {!debug_disable_checksums} (torn detection excepted). *)
+
+val scrub : 'v t -> budget_bytes:int -> int * (int * string) list
+(** One background scrub slice: walks cold snapshot+WAL bytes in bee
+    order from a persistent cursor until [budget_bytes] is exhausted,
+    verifying every frame. Returns [(bytes_scanned, damaged)] where
+    [damaged] lists the bees (and details) whose chain failed — each is
+    also recorded as a suspect. Completing a full pass over every log
+    bumps {!scrubs_completed} and rewinds the cursor. *)
+
+val verify_chain : 'v t -> bee:int -> string option
+(** Oracle for monitors and tests: verifies the bee's whole checksum
+    chain {e ignoring} [debug_disable_checksums]. [None] when sound,
+    [Some detail] naming the first damaged frame otherwise. *)
+
+val suspects : 'v t -> (int * string) list
+(** Bees whose committed prefix failed verification (by {!scrub} or
+    {!fsck}) and have not yet been repaired, re-seeded or forgotten. *)
+
+val suspect : 'v t -> bee:int -> string option
+val clear_suspect : 'v t -> bee:int -> unit
+
+val reseed :
+  'v t ->
+  bee:int ->
+  entries:(string * string * 'v) list ->
+  outbox:(int * int) list ->
+  inbox:(int * int) list ->
+  next_out_seq:int ->
+  unit
+(** Repair: replaces the bee's storage with a fresh, fully-checksummed
+    snapshot built from known-good entries (a Raft peer's snapshot or the
+    live process's own committed view), rewriting the durable outbox /
+    inbox state from the supplied lists. Pending batches are discarded —
+    flush first when the bee is alive. Clears any suspect verdict. *)
+
+(** {3 Fault injection (the lying disk)} *)
+
+val corrupt_record : 'v t -> bee:int -> victim:int -> bool
+(** Flips one bit in the [victim mod n]-th durable WAL record's payload.
+    False if the bee has no durable records. *)
+
+val tear_tail : 'v t -> bee:int -> bool
+(** Truncates the newest durable WAL record's payload to half its length
+    — a torn write. False if the bee has no durable records. *)
+
+val rot_snapshot : 'v t -> bee:int -> bool
+(** Flips one bit in the bee's snapshot payload. False if the bee has no
+    (non-empty) snapshot. *)
+
+(** {3 Integrity counters} *)
+
+val records_verified : 'v t -> int
+val crc_failures : 'v t -> int
+(** Distinct corrupt-bee detections (not re-checks of a known suspect). *)
+
+val torn_truncations : 'v t -> int
+(** Torn tail records dropped by {!fsck} across all bees. *)
+
+val scrubs_completed : 'v t -> int
 
 (** {2 Transactional outbox / inbox} *)
 
@@ -210,5 +320,14 @@ val tracked_bees : 'v t -> int list
 val total_fsyncs : 'v t -> int
 val total_wal_bytes_written : 'v t -> int
 (** Cumulative bytes ever appended to WALs (not reduced by compaction). *)
+
+val total_wal_records_written : 'v t -> int
+(** Cumulative framed records ever committed to WALs; with
+    [frame_overhead_bytes] this gives the deterministic byte share the
+    integrity envelopes add to the log (the bench gates it at 5%). *)
+
+val frame_overhead_bytes : int
+(** Bytes the length+CRC32 envelope adds to every WAL record and
+    snapshot. *)
 
 val total_compactions : 'v t -> int

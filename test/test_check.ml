@@ -170,6 +170,46 @@ let test_catches_replay_dup_bug () =
       Alcotest.(check bool) "shrunk trace replays deterministically" true
         f.Check.f_replays)
 
+(* Disabling WAL/snapshot frame verification (checksums-off) makes the
+   store serve injected disk damage as truth. The disk profile must
+   catch it on the pinned seeds below: crash-free seeds trip
+   no-silent-corruption (the oracle sees a broken chain the store never
+   flagged), and seeds whose damage survives into a recovery trip
+   no-duplication (a garbled counter replayed as a huge value). Torn
+   tails stay detected either way — length framing needs no checksum —
+   so every catch here is specifically a garbled-record escape. *)
+let test_catches_checksums_off_bug () =
+  Beehive_store.Store.debug_disable_checksums := true;
+  Fun.protect
+    ~finally:(fun () -> Beehive_store.Store.debug_disable_checksums := false)
+    (fun () ->
+      let pinned = [ 8; 9; 10; 11; 13; 14 ] in
+      let failures =
+        List.concat_map
+          (fun seed ->
+            (Check.run ~first_seed:seed ~seeds:1 Script.Disk)
+              .Check.rp_failures)
+          pinned
+      in
+      Alcotest.(check bool)
+        "caught on at least 5 pinned seeds" true
+        (List.length failures >= 5);
+      List.iter
+        (fun f ->
+          Alcotest.(check bool)
+            (Printf.sprintf "seed %d shrunk to at most 6 events" f.Check.f_seed)
+            true
+            (List.length f.Check.f_shrunk <= 6);
+          Alcotest.(check bool)
+            (Printf.sprintf "seed %d replays deterministically" f.Check.f_seed)
+            true f.Check.f_replays;
+          Alcotest.(check bool)
+            (Printf.sprintf "seed %d violated an integrity monitor" f.Check.f_seed)
+            true
+            (List.mem f.Check.f_violation.Monitor.v_monitor
+               [ "no-silent-corruption"; "no-duplication"; "repair-convergence" ]))
+        failures)
+
 (* A scripted poison scenario: the always-raising message must end in
    quarantine (quarantine-accounting equality on a crash-free run) while
    the healthy puts around it stay exactly-once. *)
@@ -470,6 +510,8 @@ let suite =
           test_catches_lost_outbox_bug;
         Alcotest.test_case "catches forgotten durable inbox" `Quick
           test_catches_replay_dup_bug;
+        Alcotest.test_case "catches disabled frame checksums" `Quick
+          test_catches_checksums_off_bug;
         Alcotest.test_case "poison script ends in quarantine" `Quick
           test_poison_script_quarantines;
         Alcotest.test_case "detector fails over a crashed hive" `Quick

@@ -1,0 +1,323 @@
+(* End-to-end storage integrity: CRC32 framing of WAL records and
+   snapshots, fsck truncation of torn tails, fail-stop of corrupt
+   committed prefixes, background scrub + repair, peer re-seeding of
+   replicated bees, and quarantine of unreplicated ones. *)
+
+open Helpers
+module Store = Beehive_store.Store
+module Crc32 = Beehive_sim.Crc32
+module Raft_replication = Beehive_core.Raft_replication
+module Stats = Beehive_core.Stats
+
+let size_of (d, k, w) =
+  String.length d + String.length k + (match w with Some _ -> 8 | None -> 4)
+
+let int_store ?config ?garble engine =
+  Store.create engine ?config ?garble ~size_of ()
+
+let sorted_entries store ~bee = List.sort compare (Store.recover store ~bee)
+
+let verdict : Store.verdict Alcotest.testable =
+  Alcotest.testable
+    (fun ppf -> function
+      | Store.Intact -> Format.pp_print_string ppf "Intact"
+      | Store.Truncated n -> Format.fprintf ppf "Truncated %d" n
+      | Store.Corrupt d -> Format.fprintf ppf "Corrupt %S" d)
+    ( = )
+
+(* The classic CRC-32 check value: every implementation of the
+   reflected 0xEDB88320 polynomial must map "123456789" to it. *)
+let test_crc32_known_answer () =
+  Alcotest.(check int) "check value" 0xCBF43926 (Crc32.string "123456789");
+  Alcotest.(check int) "incremental == one-shot" (Crc32.string "hello world")
+    (Crc32.update (Crc32.string "hello ") "world");
+  Alcotest.(check bool) "distinct inputs, distinct sums" true
+    (Crc32.string "R1|d/a=8" <> Crc32.string "R1|d/b=8")
+
+(* A torn tail record is dropped at fsck, leaving exactly the state of
+   the crash-consistent prefix — byte-identical to a store that never
+   wrote the torn record at all. *)
+let test_torn_tail_truncates_to_prefix () =
+  let store = int_store (Engine.create ()) in
+  Store.append store ~bee:0 ~hive:0 [ ("d", "a", Some 1) ];
+  Store.flush store;
+  Store.append store ~bee:0 ~hive:0 [ ("d", "b", Some 2) ];
+  Store.flush store;
+  let prefix = sorted_entries store ~bee:0 in
+  Store.append store ~bee:0 ~hive:0 [ ("d", "c", Some 3) ];
+  Store.flush store;
+  Alcotest.(check bool) "tail torn" true (Store.tear_tail store ~bee:0);
+  Alcotest.check verdict "one record truncated" (Store.Truncated 1)
+    (Store.fsck store ~bee:0);
+  Alcotest.(check (list (triple string string int)))
+    "recovers the crash-consistent prefix" prefix
+    (List.sort compare (Store.reload store ~bee:0));
+  Alcotest.(check int) "truncation counted" 1 (Store.torn_truncations store);
+  (* The cut is clean: a second fsck finds nothing left to repair. *)
+  Alcotest.check verdict "clean after the cut" Store.Intact (Store.fsck store ~bee:0);
+  Alcotest.(check (list (pair int string))) "no suspect" [] (Store.suspects store)
+
+(* A flipped byte inside the committed prefix is not recoverable-by-
+   truncation: fsck fail-stops the bee instead of serving the bytes. *)
+let test_bit_flip_fail_stops () =
+  let store = int_store (Engine.create ()) in
+  Store.append store ~bee:7 ~hive:0 [ ("d", "a", Some 1) ];
+  Store.append store ~bee:7 ~hive:0 [ ("d", "b", Some 2) ];
+  Store.flush store;
+  Alcotest.(check bool) "record corrupted" true
+    (Store.corrupt_record store ~bee:7 ~victim:0);
+  (match Store.fsck store ~bee:7 with
+  | Store.Corrupt _ -> ()
+  | v -> Alcotest.failf "expected Corrupt, got %a" (Alcotest.pp verdict) v);
+  Alcotest.(check bool) "marked suspect" true (Store.suspect store ~bee:7 <> None);
+  Alcotest.(check bool) "a crc failure was counted" true
+    (Store.crc_failures store >= 1);
+  Alcotest.(check bool) "oracle agrees" true
+    (Store.verify_chain store ~bee:7 <> None)
+
+let test_snapshot_rot_fail_stops () =
+  let store =
+    int_store
+      ~config:{ Store.default_config with Store.snapshot_threshold_bytes = 64 }
+      (Engine.create ())
+  in
+  for i = 0 to 19 do
+    Store.append store ~bee:0 ~hive:0 [ ("d", "k", Some i) ];
+    Store.flush store
+  done;
+  Alcotest.(check bool) "log compacted" true (Store.snapshot_count store ~bee:0 > 0);
+  Alcotest.(check bool) "snapshot rotted" true (Store.rot_snapshot store ~bee:0);
+  (match Store.fsck store ~bee:0 with
+  | Store.Corrupt _ -> ()
+  | v -> Alcotest.failf "expected Corrupt, got %a" (Alcotest.pp verdict) v);
+  (* A bee that never compacted has no snapshot bytes to rot. *)
+  Store.append store ~bee:1 ~hive:0 [ ("d", "x", Some 1) ];
+  Store.flush store;
+  Alcotest.(check bool) "nothing to rot without a snapshot" false
+    (Store.rot_snapshot store ~bee:1)
+
+(* What recovery reads from a damaged frame is garbage, not the original
+   value — the store routes damaged-frame values through the caller's
+   [garble] so silent corruption has visible consequences downstream. *)
+let test_damaged_frames_reload_garbled () =
+  let store = int_store ~garble:(fun v -> v lxor 0xFF) (Engine.create ()) in
+  Store.append store ~bee:0 ~hive:0 [ ("d", "a", Some 41) ];
+  Store.flush store;
+  ignore (Store.corrupt_record store ~bee:0 ~victim:0);
+  Alcotest.(check (list (triple string string int)))
+    "reload serves the garbled value"
+    [ ("d", "a", 41 lxor 0xFF) ]
+    (List.sort compare (Store.reload store ~bee:0))
+
+(* With verification disabled (the checksums-off injected bug), torn
+   tails are still caught — length framing needs no checksum — but
+   flipped bytes sail through fsck as if intact. *)
+let test_checksums_off_still_catches_torn () =
+  Store.debug_disable_checksums := true;
+  Fun.protect
+    ~finally:(fun () -> Store.debug_disable_checksums := false)
+    (fun () ->
+      let store = int_store (Engine.create ()) in
+      Store.append store ~bee:0 ~hive:0 [ ("d", "a", Some 1) ];
+      Store.flush store;
+      Store.append store ~bee:0 ~hive:0 [ ("d", "b", Some 2) ];
+      Store.flush store;
+      ignore (Store.tear_tail store ~bee:0);
+      Alcotest.check verdict "torn still truncated" (Store.Truncated 1)
+        (Store.fsck store ~bee:0);
+      Store.append store ~bee:1 ~hive:0 [ ("d", "c", Some 3) ];
+      Store.flush store;
+      ignore (Store.corrupt_record store ~bee:1 ~victim:0);
+      Alcotest.check verdict "bit flip undetected" Store.Intact
+        (Store.fsck store ~bee:1);
+      Alcotest.(check bool) "the oracle still sees it" true
+        (Store.verify_chain store ~bee:1 <> None))
+
+(* Scrub walks cold bytes under a budget, resuming where it stopped, and
+   reports damage wherever the cursor finds it. *)
+let test_scrub_budget_and_detection () =
+  let store = int_store (Engine.create ()) in
+  for bee = 0 to 3 do
+    for i = 0 to 9 do
+      Store.append store ~bee ~hive:0 [ ("d", Printf.sprintf "k%d" i, Some i) ]
+    done
+  done;
+  Store.flush store;
+  ignore (Store.corrupt_record store ~bee:3 ~victim:4);
+  (* A full-budget pass scans everything and finds the damage. *)
+  let scanned, damaged = Store.scrub store ~budget_bytes:max_int in
+  Alcotest.(check bool) "bytes were scanned" true (scanned > 0);
+  Alcotest.(check (list int)) "bee 3 flagged" [ 3 ] (List.map fst damaged);
+  Alcotest.(check int) "full pass completed" 1 (Store.scrubs_completed store);
+  (* Tiny slices cover the same ground incrementally: enough of them
+     complete a second full pass and re-find the same damage. *)
+  let found = ref false in
+  let slices = ref 0 in
+  while Store.scrubs_completed store < 2 && !slices < 10_000 do
+    incr slices;
+    let _, d = Store.scrub store ~budget_bytes:64 in
+    if List.mem_assoc 3 d then found := true
+  done;
+  Alcotest.(check bool) "second pass completed under a 64-byte budget" true
+    (Store.scrubs_completed store >= 2);
+  Alcotest.(check bool) "several slices were needed" true (!slices > 1);
+  Alcotest.(check bool) "damage re-found incrementally" true !found
+
+(* Platform: the background scrubber repairs a damaged live bee in place
+   from its in-memory committed state — no restart, no peer, no state
+   change visible to the application. *)
+let test_scrub_repairs_live_bee () =
+  let engine, platform = durable_platform () in
+  put platform ~from:0 ~key:"a" ~value:7;
+  drain engine;
+  Platform.flush_durability platform;
+  let bee = owner_exn platform ~app:"test.kv" "a" in
+  let s = Option.get (Platform.store platform) in
+  ignore (Store.corrupt_record s ~bee ~victim:0);
+  Alcotest.(check bool) "damage is real" true (Store.verify_chain s ~bee <> None);
+  (* The scrubber runs every 5 ms; give it a moment. *)
+  run_for engine 0.1;
+  Alcotest.(check int) "repaired by local rewrite" 1
+    (Platform.local_rewrites platform);
+  Alcotest.(check (option string)) "chain is sound again" None
+    (Store.verify_chain s ~bee);
+  Alcotest.(check (list (pair int string))) "no suspect left" []
+    (Platform.storage_suspects platform);
+  Alcotest.(check (option int)) "application state untouched" (Some 7)
+    (store_value platform ~bee ~key:"a");
+  (* And the repaired log still recovers correctly through a real crash. *)
+  let hive = (Option.get (Platform.bee_view platform bee)).Platform.view_hive in
+  Platform.fail_hive platform hive;
+  drain engine;
+  Platform.restart_hive platform hive;
+  drain engine;
+  Alcotest.(check (option int)) "recovers after repair" (Some 7)
+    (store_value platform ~bee ~key:"a")
+
+(* Platform: a crashed bee whose committed prefix fails fsck, with no
+   replica anywhere, must fail-stop — dead with a dead-letter record,
+   never serving the garbage — while its registry cells stay claimed so
+   ownership remains unique. *)
+let test_unreplicated_corruption_quarantines () =
+  let engine, platform = durable_platform () in
+  put platform ~from:0 ~key:"q" ~value:3;
+  drain engine;
+  Platform.flush_durability platform;
+  let bee = owner_exn platform ~app:"test.kv" "q" in
+  let hive = (Option.get (Platform.bee_view platform bee)).Platform.view_hive in
+  Platform.fail_hive platform hive;
+  let s = Option.get (Platform.store platform) in
+  ignore (Store.corrupt_record s ~bee ~victim:0);
+  Platform.restart_hive platform hive;
+  drain engine;
+  Alcotest.(check bool) "bee is dead, not revived" false
+    (Option.get (Platform.bee_view platform bee)).Platform.view_alive;
+  Alcotest.(check int) "counted" 1 (Platform.quarantined_storage platform);
+  (match Platform.dead_letters platform with
+  | [ (b, _) ] -> Alcotest.(check int) "dead-lettered" bee b
+  | dl -> Alcotest.failf "expected one dead letter, got %d" (List.length dl));
+  Alcotest.(check int) "cells stay claimed (single owner)" bee
+    (owner_exn platform ~app:"test.kv" "q");
+  Alcotest.(check (list (pair int string))) "suspect resolved by quarantine" []
+    (Platform.storage_suspects platform)
+
+(* Platform + Raft: the same corruption on a replicated bee is repaired
+   at restart by re-seeding from the consensus peers' replica — the
+   catch-up machinery doubling as a repair channel. *)
+let test_replicated_corruption_reseeds_from_peer () =
+  let engine = Engine.create () in
+  let platform =
+    Platform.create engine
+      {
+        (Platform.default_config ~n_hives:5) with
+        Platform.durability = Some Store.default_config;
+      }
+  in
+  Platform.register_app platform (replicated_kv_app ());
+  let _rep = Raft_replication.install platform () in
+  Platform.start platform;
+  run_for engine 2.0;
+  for v = 1 to 4 do
+    put platform ~from:1 ~key:"r" ~value:v;
+    run_for engine 0.5
+  done;
+  let bee = owner_exn platform ~app:"test.kv" "r" in
+  let hive = (Option.get (Platform.bee_view platform bee)).Platform.view_hive in
+  Platform.flush_durability platform;
+  Platform.crash_hive platform hive;
+  let s = Option.get (Platform.store platform) in
+  ignore (Store.rot_snapshot s ~bee |> fun rotted ->
+          if not rotted then ignore (Store.corrupt_record s ~bee ~victim:0));
+  Platform.restart_hive platform hive;
+  run_for engine 2.0;
+  Alcotest.(check bool) "bee revived" true
+    (Option.get (Platform.bee_view platform bee)).Platform.view_alive;
+  Alcotest.(check int) "repaired from a peer" 1 (Platform.peer_repairs platform);
+  Alcotest.(check (option int)) "state is the replicated image" (Some 10)
+    (store_value platform ~bee ~key:"r");
+  Alcotest.(check (option string)) "fresh storage verifies" None
+    (Store.verify_chain s ~bee);
+  (* The re-seeded bee keeps processing. *)
+  put platform ~from:1 ~key:"r" ~value:5;
+  run_for engine 1.0;
+  Alcotest.(check (option int)) "processes after repair" (Some 15)
+    (store_value platform ~bee ~key:"r")
+
+(* Platform: restart_hive consults fsck — a torn tail rolls the bee back
+   to the crash-consistent prefix instead of failing recovery. *)
+let test_restart_truncates_torn_tail () =
+  let engine, platform = durable_platform () in
+  put platform ~from:0 ~key:"t" ~value:7;
+  drain engine;
+  Platform.flush_durability platform;
+  let bee = owner_exn platform ~app:"test.kv" "t" in
+  let hive = (Option.get (Platform.bee_view platform bee)).Platform.view_hive in
+  put platform ~from:0 ~key:"t" ~value:100;
+  drain engine;
+  Platform.flush_durability platform;
+  Alcotest.(check (option int)) "both commits applied" (Some 107)
+    (store_value platform ~bee ~key:"t");
+  Platform.fail_hive platform hive;
+  let s = Option.get (Platform.store platform) in
+  Alcotest.(check bool) "tail torn while down" true (Store.tear_tail s ~bee);
+  Platform.restart_hive platform hive;
+  drain engine;
+  Alcotest.(check (option int)) "revived at the crash-consistent prefix" (Some 7)
+    (store_value platform ~bee ~key:"t");
+  Alcotest.(check bool) "truncation counted" true (Store.torn_truncations s >= 1);
+  (* Integrity gauges surface through the platform stats. *)
+  let ps = Platform.stats platform in
+  Alcotest.(check bool) "records_verified gauge" true
+    (match Stats.gauge ps "integrity.records_verified" with
+    | Some n -> n > 0
+    | None -> false);
+  Alcotest.(check bool) "torn_truncations gauge" true
+    (Stats.gauge ps "integrity.torn_truncations" = Some (Store.torn_truncations s))
+
+let suite =
+  [
+    ( "integrity",
+      [
+        Alcotest.test_case "crc32 known answer" `Quick test_crc32_known_answer;
+        Alcotest.test_case "torn tail truncates to the crash-consistent prefix"
+          `Quick test_torn_tail_truncates_to_prefix;
+        Alcotest.test_case "bit flip fail-stops the committed prefix" `Quick
+          test_bit_flip_fail_stops;
+        Alcotest.test_case "snapshot rot fail-stops" `Quick
+          test_snapshot_rot_fail_stops;
+        Alcotest.test_case "damaged frames reload garbled" `Quick
+          test_damaged_frames_reload_garbled;
+        Alcotest.test_case "checksums-off still catches torn tails" `Quick
+          test_checksums_off_still_catches_torn;
+        Alcotest.test_case "scrub budget accounting and detection" `Quick
+          test_scrub_budget_and_detection;
+        Alcotest.test_case "scrub repairs a live bee in place" `Quick
+          test_scrub_repairs_live_bee;
+        Alcotest.test_case "unreplicated corruption quarantines" `Quick
+          test_unreplicated_corruption_quarantines;
+        Alcotest.test_case "replicated corruption re-seeds from a peer" `Quick
+          test_replicated_corruption_reseeds_from_peer;
+        Alcotest.test_case "restart truncates a torn tail" `Quick
+          test_restart_truncates_torn_tail;
+      ] );
+  ]
