@@ -156,6 +156,15 @@ let check_cmd =
                    $(b,quarantine-accounting) monitors on top of the usual \
                    invariants.")
   in
+  let domains =
+    Arg.(value & opt (some int) None
+         & info [ "domains" ] ~docs
+             ~doc:"Resize the domain pool to $(docv) and run every seed with \
+                   sharded multicore dispatch. Results are required to be \
+                   identical at every width, so re-running a sweep with a \
+                   different $(b,--domains) doubles as an end-to-end \
+                   determinism check.")
+  in
   let inject_bug =
     Arg.(value & opt (some string) None
          & info [ "inject-bug" ] ~docs
@@ -172,7 +181,8 @@ let check_cmd =
                    only visible to $(b,--profile disk)). The sweep should then \
                    fail — a self-test of the checker.")
   in
-  let run seeds first_seed ticks hives profiles trace_dir lin outbox inject_bug =
+  let run seeds first_seed ticks hives profiles trace_dir lin outbox domains
+      inject_bug =
     (match inject_bug with
     | None -> ()
     | Some "forwarding" -> Beehive_core.Platform.debug_disable_forwarding := true
@@ -191,7 +201,8 @@ let check_cmd =
     List.iter
       (fun profile ->
         let report =
-          Check.run ~n_hives:hives ~ticks ~lin ~outbox ~first_seed ~seeds profile
+          Check.run ~n_hives:hives ~ticks ~lin ~outbox ?domains ~first_seed
+            ~seeds profile
         in
         Format.printf "%a" Check.pp_report report;
         List.iter
@@ -217,7 +228,7 @@ let check_cmd =
   in
   Cmd.v (Cmd.info "check" ~doc)
     Term.(const run $ seeds $ first_seed $ ticks $ hives $ profile $ trace_dir
-          $ lin $ outbox $ inject_bug)
+          $ lin $ outbox $ domains $ inject_bug)
 
 let scale_cmd =
   let module E = Beehive_harness.Elastic_exp in

@@ -31,13 +31,16 @@ let shrink_failure cfg script (v : Monitor.violation) =
   (shrunk, replays)
 
 let run ?(n_hives = 4) ?(ticks = 30) ?(storm_budget = 5000) ?(lin = false)
-    ?(outbox = false) ?(first_seed = 0) ~seeds profile =
+    ?(outbox = false) ?domains ?sharded ?(first_seed = 0) ~seeds profile =
   let passed = ref 0 in
   let failures = ref [] in
   let lin_ops = ref 0 in
   let lin_checked = ref 0 in
   for seed = first_seed to first_seed + seeds - 1 do
-    let cfg = Runner.make_cfg ~n_hives ~ticks ~storm_budget ~lin ~outbox ~seed profile in
+    let cfg =
+      Runner.make_cfg ~n_hives ~ticks ~storm_budget ~lin ~outbox ?domains
+        ?sharded ~seed profile
+    in
     match Runner.run_seed cfg with
     | _, Runner.Pass s ->
       incr passed;
@@ -69,9 +72,11 @@ let run ?(n_hives = 4) ?(ticks = 30) ?(storm_budget = 5000) ?(lin = false)
     rp_lin_checked = !lin_checked;
   }
 
-let replay ?n_hives ?ticks ?storm_budget ?lin ?outbox ~seed profile =
+let replay ?n_hives ?ticks ?storm_budget ?lin ?outbox ?domains ?sharded ~seed
+    profile =
   Runner.run_seed
-    (Runner.make_cfg ?n_hives ?ticks ?storm_budget ?lin ?outbox ~seed profile)
+    (Runner.make_cfg ?n_hives ?ticks ?storm_budget ?lin ?outbox ?domains
+       ?sharded ~seed profile)
 
 let pp_failure ppf f =
   Format.fprintf ppf "FAIL profile=%s seed=%d ticks=%d@."

@@ -59,7 +59,10 @@ let kv_app ~replicated =
         Context.iter_dict ctx ~dict (fun _ _ -> incr n);
         Context.set ctx ~dict ~key:"__total" (Value.V_int !n))
   in
-  App.create ~name:app_name ~dicts:[ dict ] ~replicated [ on_put; on_read_all ]
+  (* Both handlers touch only context state, so the app may opt into
+     sharded dispatch: hive-local execution across the domain pool. *)
+  App.create ~name:app_name ~dicts:[ dict ] ~replicated ~shardable:true
+    [ on_put; on_read_all ]
 
 (* The outbox workload's first pipeline stage: journal the forward and
    emit the kv put inside the same transaction. End-to-end exactly-once
@@ -102,7 +105,8 @@ let fwd_app ~replicated =
           raise (Poisoned key)
         | _ -> ())
   in
-  App.create ~name:fwd_app_name ~dicts:[ fwd_dict ] ~replicated [ on_fwd; on_poison ]
+  App.create ~name:fwd_app_name ~dicts:[ fwd_dict ] ~replicated ~shardable:true
+    [ on_fwd; on_poison ]
 
 type cfg = {
   r_profile : Script.profile;
@@ -112,10 +116,17 @@ type cfg = {
   r_storm_budget : int;
   r_lin : bool;
   r_outbox : bool;
+  r_domains : int option;
+      (* resize the global domain pool before the run (None: leave the
+         BEEHIVE_DOMAINS-governed pool alone) *)
+  r_sharded : bool;
+      (* arm the platform's sharded dispatch for the shardable check
+         apps; off by default so legacy single-domain semantics (and
+         the pinned corpus expectations) are untouched *)
 }
 
 let make_cfg ?(n_hives = 4) ?(ticks = 30) ?(storm_budget = 5000) ?(lin = false)
-    ?(outbox = false) ~seed profile =
+    ?(outbox = false) ?domains ?(sharded = domains <> None) ~seed profile =
   if n_hives <= 0 then invalid_arg "Runner.make_cfg: need at least one hive";
   (* The lin and outbox workloads acknowledge at fsync, a promise disk
      damage deliberately breaks (a torn tail voids fsynced bytes). The
@@ -131,6 +142,8 @@ let make_cfg ?(n_hives = 4) ?(ticks = 30) ?(storm_budget = 5000) ?(lin = false)
     r_storm_budget = storm_budget;
     r_lin = lin && not disk;
     r_outbox = outbox && not disk;
+    r_domains = domains;
+    r_sharded = sharded;
   }
 
 type stats = {
@@ -382,8 +395,8 @@ let lin_monitor recorder last_report =
                (List.length ops) (List.length witness) History.pp_ops witness))
   }
 
-let execute cfg ops =
-  let engine = Engine.create ~seed:cfg.r_seed () in
+let execute ?observe cfg ops =
+  let engine = Engine.create ~seed:cfg.r_seed ?domains:cfg.r_domains () in
   let durability =
     if with_durability cfg.r_profile then
       (* A small threshold so compaction actually runs inside short checks. *)
@@ -398,6 +411,8 @@ let execute cfg ops =
          platform's durable inbox would mask it, so that check runs on
          the pre-outbox platform it was written against. *)
       outbox = not !Transport.debug_disable_dedup;
+      (* Sharded dispatch requires the outbox's emit buffering. *)
+      sharded_dispatch = cfg.r_sharded && not !Transport.debug_disable_dedup;
     }
   in
   let platform = Platform.create engine pcfg in
@@ -424,6 +439,7 @@ let execute cfg ops =
     if with_elastic cfg.r_profile then Some (Membership.create ?raft platform)
     else None
   in
+  (match observe with Some f -> f engine platform | None -> ());
   Platform.start platform;
   let puts = Hashtbl.create 16 in
   let n_puts = ref 0 in
@@ -663,3 +679,67 @@ let run_seed cfg =
       ~n_hives:cfg.r_n_hives ~ticks:cfg.r_ticks
   in
   (script, execute cfg script)
+
+(* Determinism digest: regenerates and executes [cfg]'s seed while
+   recording the full emission trace (time, kind, size, parent kind,
+   emitting bee), then folds in the store's canonical WAL image, every
+   live bee's state entries, the platform gauges, the engine's event
+   counters and the verdict. Two runs of the same cfg at different
+   domain-pool widths must return the same hex digest — that equality
+   IS the tentpole's "bit-identical traces, WALs, and monitor
+   verdicts" acceptance bar, enforced on corpus seeds by
+   test/test_parallel.ml. *)
+let digest cfg =
+  let trace = Buffer.create 8192 in
+  let captured = ref None in
+  let observe engine platform =
+    captured := Some (engine, platform);
+    Platform.on_emit platform (fun ~parent ~child ~emitter ->
+        Buffer.add_string trace
+          (Printf.sprintf "%d %s %d %s %s\n"
+             (Simtime.to_us (Engine.now engine))
+             child.Message.kind child.Message.size
+             (match parent with Some p -> p.Message.kind | None -> "-")
+             (match emitter with
+             | Some (bee, app, hive) -> Printf.sprintf "%d/%s/%d" bee app hive
+             | None -> "-")))
+  in
+  let script =
+    Nemesis.generate ~rng:(Rng.create cfg.r_seed) ~profile:cfg.r_profile
+      ~n_hives:cfg.r_n_hives ~ticks:cfg.r_ticks
+  in
+  let outcome = execute ~observe cfg script in
+  let engine, platform = Option.get !captured in
+  (match outcome with
+  | Pass s ->
+    Buffer.add_string trace
+      (Printf.sprintf "PASS events=%d processed=%d puts=%d lin=%d/%d\n"
+         s.s_events s.s_processed s.s_puts s.s_lin_ops s.s_lin_checked)
+  | Fail v ->
+    Buffer.add_string trace
+      (Printf.sprintf "FAIL %s: %s\n" v.Monitor.v_monitor v.Monitor.v_detail));
+  (match Platform.store platform with
+  | Some s -> Buffer.add_string trace (Store.wal_image s)
+  | None -> ());
+  List.iter
+    (fun v ->
+      Buffer.add_string trace
+        (Printf.sprintf "bee %d %s@%d alive=%b" v.Platform.view_id
+           v.Platform.view_app v.Platform.view_hive v.Platform.view_alive);
+      List.iter
+        (fun (d, k, value) ->
+          Buffer.add_string trace
+            (Format.asprintf " %s/%s=%a" d k Value.pp value))
+        (List.sort compare
+           (Platform.bee_state_entries platform v.Platform.view_id));
+      Buffer.add_char trace '\n')
+    (Platform.live_bees platform);
+  List.iter
+    (fun (k, v) -> Buffer.add_string trace (Printf.sprintf "g %s=%d\n" k v))
+    (Stats.gauges (Platform.stats platform));
+  Buffer.add_string trace
+    (Printf.sprintf "events=%d batches=%d batched_events=%d\n"
+       (Engine.events_executed engine)
+       (Engine.sharded_batches engine)
+       (Engine.sharded_events engine));
+  Digest.to_hex (Digest.string (Buffer.contents trace))

@@ -32,6 +32,16 @@ type cfg = {
           always-raising messages that must end in quarantine. The kv and
           forwarding apps run unreplicated (a Raft failover legitimately
           recovers the quorum prefix, not the local journal). *)
+  r_domains : int option;
+      (** resize the global {!Beehive_sim.Domain_pool} to this width
+          before the run; [None] leaves the [BEEHIVE_DOMAINS]-governed
+          pool untouched *)
+  r_sharded : bool;
+      (** arm {!Beehive_core.Platform}'s sharded dispatch: handler
+          completions of the (shardable) check apps batch per tick and
+          fan out across the pool keyed by owning hive. Off by default,
+          keeping the legacy serial schedule — and the pinned corpus
+          expectations — byte-identical to previous releases. *)
 }
 
 val make_cfg :
@@ -40,11 +50,14 @@ val make_cfg :
   ?storm_budget:int ->
   ?lin:bool ->
   ?outbox:bool ->
+  ?domains:int ->
+  ?sharded:bool ->
   seed:int ->
   Script.profile ->
   cfg
 (** Defaults: 4 hives, 30 ticks, 5000-event storm budget, [lin] and
-    [outbox] off. *)
+    [outbox] off, [domains] unset; [sharded] defaults to whether
+    [domains] was given. *)
 
 type stats = {
   s_events : int;
@@ -64,16 +77,30 @@ type outcome =
   | Pass of stats
   | Fail of Monitor.violation
 
-val execute : cfg -> Script.op list -> outcome
+val execute :
+  ?observe:(Beehive_sim.Engine.t -> Beehive_core.Platform.t -> unit) ->
+  cfg ->
+  Script.op list ->
+  outcome
 (** Runs one script to completion. Any exception escaping the platform is
     reported as a ["exception"] violation so crashes are shrinkable like
     invariant violations. The run also enforces snapshot+WAL recovery
     byte-identity at every [Restart] op (monitor name
-    ["recovery-identity"]). *)
+    ["recovery-identity"]). [observe], when given, is called with the
+    freshly-built engine and platform just before {!Platform.start} —
+    the hook point instrumentation (e.g. {!digest}'s trace recorder)
+    uses to attach before any event runs. *)
 
 val run_seed : cfg -> Script.op list * outcome
 (** Generates the script for [cfg.r_seed] with {!Nemesis.generate} and
     executes it — the seed-replay entry point. *)
+
+val digest : cfg -> string
+(** Executes [cfg]'s generated seed while recording the full emission
+    trace, then hashes trace + store WAL image + live bee states +
+    platform gauges + engine event counters + verdict into one hex
+    digest. A pure function of [cfg] that is independent of the domain
+    pool's width — the equality the 1-vs-N determinism tests assert. *)
 
 (** {2 Workload constants} (exposed for tests) *)
 

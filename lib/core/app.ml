@@ -21,6 +21,7 @@ type t = {
   timers : timer list;
   replicated : bool;
   pinned : bool;
+  shardable : bool;
 }
 
 let default_cost = Simtime.of_us 10
@@ -33,9 +34,9 @@ let timer ~kind ~period ?(size = Message.default_size) tick_payload =
   { timer_kind = kind; period; tick_payload; tick_size = size }
 
 let create ~name ?(dicts = []) ?(timers = []) ?(replicated = false) ?(pinned = false)
-    handlers =
+    ?(shardable = false) handlers =
   if name = "" then invalid_arg "App.create: empty name";
-  { name; dicts; handlers; timers; replicated; pinned }
+  { name; dicts; handlers; timers; replicated; pinned; shardable }
 
 let handlers_for t kind = List.filter (fun h -> String.equal h.on_kind kind) t.handlers
 

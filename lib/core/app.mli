@@ -34,6 +34,14 @@ type t = {
   pinned : bool;
       (** when true, this app's bees never migrate (e.g. the OpenFlow
           driver must stay on its switches' master hive) *)
+  shardable : bool;
+      (** when true, the app promises its handler bodies only touch
+          state reachable through the {!Context} (cells, emits,
+          endpoint sends) — no shared mutable state on the side — so
+          under {!Platform}'s sharded dispatch they may run
+          concurrently with handlers of bees on *other* hives. Apps
+          that reach around the context (e.g. a recorder shared across
+          hives) must leave this false. *)
 }
 
 val handler :
@@ -59,8 +67,11 @@ val create :
   ?timers:timer list ->
   ?replicated:bool ->
   ?pinned:bool ->
+  ?shardable:bool ->
   handler list ->
   t
+(** [shardable] defaults to [false] — opting in is a per-app contract,
+    see {!t.shardable}. *)
 
 val handlers_for : t -> string -> handler list
 val subscribed_kinds : t -> string list

@@ -37,6 +37,14 @@ type config = {
       (* background integrity scrub: cold snapshot+WAL bytes verified per
          5 ms slice (0 disables the scrubber); detected-corrupt live bees
          are repaired in place, crashed ones at restart *)
+  sharded_dispatch : bool;
+      (* execute handler completions of shardable apps as sharded engine
+         events: due completions are batched per tick, their compute
+         halves fan out over the domain pool keyed by owning hive (bees
+         are exclusive to one hive, so hive-local execution is
+         data-race-free), and their effects are applied serially in
+         global scheduling order. Requires [outbox]: buffered emits are
+         what keeps a handler's compute half free of shared mutation. *)
 }
 
 let default_config ~n_hives =
@@ -52,6 +60,7 @@ let default_config ~n_hives =
     transport = Transport.default_config;
     outbox = true;
     scrub_budget_bytes = 64 * 1024;
+    sharded_dispatch = false;
   }
 
 (* Handler-failure containment: attempts per message before quarantine,
@@ -311,6 +320,8 @@ let create engine cfg =
   if cfg.n_hives <= 0 then invalid_arg "Platform.create: need at least one hive";
   if cfg.lock_master < 0 || cfg.lock_master >= cfg.n_hives then
     invalid_arg "Platform.create: lock_master out of range";
+  if cfg.sharded_dispatch && not cfg.outbox then
+    invalid_arg "Platform.create: sharded_dispatch requires outbox";
   let locks = Lock_service.create engine () in
   let lock_session = Lock_service.create_session locks ~owner:"platform" in
   (* Keep the platform's lock session alive for the whole run. *)
@@ -672,6 +683,32 @@ let rec maybe_process t (b : bee) =
         App.default_cost
     in
     let inc = b.incarnation in
+    if t.cfg.sharded_dispatch && (not b.is_local) && b.app.App.shardable then
+      (* Sharded completion: the handler body (the compute half, all
+         bee-local under the [shardable] contract) may run on any pool
+         domain, concurrently with completions of bees on other hives
+         due at the same instant; the effects (the returned apply
+         thunk) run on the main domain in global scheduling order. *)
+      ignore
+        (Engine.schedule_sharded_after t.engine cost ~shard:b.hive (fun () ->
+             (* A crash between dispatch and completion voids the
+                handler: its effects died with the hive. Crashes are
+                plain thunk events, so the guard's answer is fixed
+                before any batch containing this compute starts. *)
+             if b.incarnation = inc && (b.status = `Active || b.status = `Paused)
+             then begin
+               let apply = process_compute t b d cost in
+               fun () ->
+                 apply ();
+                 b.busy <- false;
+                 run_idle_hooks t b;
+                 (match (b.pending_migration, b.status) with
+                 | Some (dst, reason), `Active -> start_transfer t b dst reason
+                 | _ -> ());
+                 maybe_process t b
+             end
+             else fun () -> ()))
+    else
     ignore
       (Engine.schedule_after t.engine cost (fun () ->
            (* A crash between dispatch and completion voids the handler:
@@ -887,14 +924,21 @@ and allowed_cells t (b : bee) = function
       Cell.Set.filter (fun c -> String.equal c.Cell.dict dict) info.Registry.bee_cells)
   | A_all -> Cell.Set.of_list (List.map Cell.whole b.app.App.dicts)
 
-and process t (b : bee) d cost =
+(* One handler execution, split for sharded dispatch. Everything up to
+   and including the handler body is the compute half: under the
+   {!App.t.shardable} contract it touches only bee-local state (the
+   bee's transaction, stats, rng, shadow) plus read-only shared state
+   (registry, clock), so it may run on any pool domain. The returned
+   thunk is the apply half — commit, routing, WAL append, hooks,
+   retry/quarantine — and must run on the main domain. Running both
+   back to back is exactly the legacy serial [process]. *)
+and process_compute t (b : bee) d cost =
   let msg = d.d_msg in
   if d.d_attempts = 0 then begin
     Stats.record_in b.stats ~src_hive:d.d_src_hive ~src_bee:d.d_src_bee
       ~kind:msg.Message.kind;
     Stats.record_latency b.stats (Simtime.diff (now t) msg.Message.sent_at)
   end;
-  t.n_processed <- t.n_processed + 1;
   let tx = State.begin_tx b.state in
   let allowed = allowed_cells t b d.d_allowed in
   (* With the transactional outbox, emits and endpoint sends buffer in
@@ -962,9 +1006,19 @@ and process t (b : bee) d cost =
       ~now:(fun () -> now t)
       ~rng:b.rng ~allowed ~tx ~emit ~to_endpoint ()
   in
-  (match d.d_handler.App.rcv ctx msg with
-  | () ->
-    in_handler := false;
+  let failure =
+    match d.d_handler.App.rcv ctx msg with
+    | () ->
+      in_handler := false;
+      None
+    | exception exn ->
+      in_handler := false;
+      Some exn
+  in
+  fun () ->
+  t.n_processed <- t.n_processed + 1;
+  (match failure with
+  | None ->
     let pending = State.tx_pending tx in
     State.commit tx;
     replicate_commit t b pending;
@@ -1051,11 +1105,10 @@ and process t (b : bee) d cost =
       in
       List.iter (fun f -> f info) t.commit_hooks
     end
-  | exception exn ->
+  | Some exn ->
     (* Handler failure containment: the state delta and every buffered
        emit are discarded atomically, then the delivery is retried with
        backoff until the budget runs out and the message is quarantined. *)
-    in_handler := false;
     ignore (State.rollback tx);
     Stats.record_error b.stats;
     t.n_handler_faults <- t.n_handler_faults + 1;
@@ -1080,6 +1133,8 @@ and process t (b : bee) d cost =
       else quarantine_delivery t b d exn
     end);
   Stats.record_done b.stats ~busy:cost
+
+and process t (b : bee) d cost = (process_compute t b d cost) ()
 
 (* Retry budget exhausted: park the message in the bee's quarantine so
    the engine keeps running, and consume it for good — its inbox mark is
@@ -2345,6 +2400,11 @@ let stats t =
   Stats.set_gauge t.pstats "integrity.peer_repairs" t.n_peer_repairs;
   Stats.set_gauge t.pstats "integrity.local_rewrites" t.n_local_rewrites;
   Stats.set_gauge t.pstats "integrity.quarantined_bees" t.n_quarantined_bees;
+  (* Batch counters, not the pool width: both are identical at every
+     [BEEHIVE_DOMAINS] setting, so gauge digests stay comparable
+     across widths. *)
+  Stats.set_gauge t.pstats "engine.sharded_batches" (Engine.sharded_batches t.engine);
+  Stats.set_gauge t.pstats "engine.sharded_events" (Engine.sharded_events t.engine);
   let count state = ref 0, state in
   let alive = count `Alive and draining = count `Draining and fenced = count `Fenced in
   let crashed = count `Crashed and decom = count `Decommissioned in

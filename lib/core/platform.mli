@@ -57,6 +57,19 @@ type config = {
           state; damage on a crashed bee is recorded for
           {!restart_hive}'s fsck gate. 0 disables scrubbing. Only
           meaningful with [durability]. *)
+  sharded_dispatch : bool;
+      (** execute handler completions of {!App.t.shardable} apps as
+          sharded engine events (default [false]). Completions due at
+          the same instant are batched: their handler bodies (bee-local
+          by the shardable contract — bees are exclusive to one hive)
+          run concurrently across the {!Beehive_sim.Domain_pool} keyed
+          by owning hive, then their effects — routed emits, WAL
+          appends, stats, hooks — are applied serially in global
+          scheduling order. The merged schedule is a pure function of
+          (hive id, scheduling seq), so runs are bit-identical at every
+          [BEEHIVE_DOMAINS] width. Requires [outbox] (emit buffering is
+          what keeps handler bodies free of shared mutation);
+          {!create} raises [Invalid_argument] otherwise. *)
 }
 
 val default_config : n_hives:int -> config

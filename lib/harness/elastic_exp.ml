@@ -54,6 +54,9 @@ type report = {
   r_decommissioned : bool;
   r_rebalance_migrations : int;
   r_last_drain_us : int;
+  r_integrity : (string * int) list;
+  r_dead_letters : int;
+  r_quarantined : int;
 }
 
 let app_name = "elastic.kv"
@@ -201,6 +204,12 @@ let run ?(config = default_config) () =
     r_decommissioned = Platform.hive_decommissioned platform victim;
     r_rebalance_migrations = Membership.rebalance_migrations membership;
     r_last_drain_us = Membership.last_drain_us membership;
+    r_integrity =
+      List.filter
+        (fun (k, _) -> String.starts_with ~prefix:"integrity." k)
+        (Stats.gauges (Platform.stats platform));
+    r_dead_letters = List.length (Platform.dead_letters platform);
+    r_quarantined = Platform.total_quarantined platform;
   }
 
 let pp_phase ppf p =
@@ -217,13 +226,18 @@ let render ppf r =
      drain completed           : %b (%.1f ms simulated)@,\
      cells left on drained hive: %d@,\
      decommissioned            : %b@,\
-     rebalance migrations      : %d@]@."
+     rebalance migrations      : %d@,\
+     storage dead letters      : %d@,\
+     quarantined messages      : %d"
     (String.concat "; " (List.map string_of_int r.r_joined))
     (100.0 *. r.r_before.p_busiest_share)
     (100.0 *. r.r_scaled.p_busiest_share)
     r.r_drain_hive r.r_drain_completed
     (float_of_int r.r_last_drain_us /. 1000.0)
     r.r_drain_cells r.r_decommissioned r.r_rebalance_migrations
+    r.r_dead_letters r.r_quarantined;
+  List.iter (fun (k, v) -> Format.fprintf ppf "@,%-26s: %d" k v) r.r_integrity;
+  Format.fprintf ppf "@]@."
 
 let checks r =
   [
@@ -233,4 +247,6 @@ let checks r =
     ("drained hive holds zero cells", r.r_drain_cells = 0);
     ("drained hive decommissioned", r.r_decommissioned);
     ("rebalancer actually moved bees", r.r_rebalance_migrations > 0);
+    ( "no dead letters or quarantined messages",
+      r.r_dead_letters = 0 && r.r_quarantined = 0 );
   ]

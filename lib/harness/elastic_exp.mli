@@ -42,6 +42,11 @@ type report = {
   r_decommissioned : bool;
   r_rebalance_migrations : int;
   r_last_drain_us : int;
+  r_integrity : (string * int) list;
+      (** the platform's [integrity.*] gauges at run end (scrub/repair
+          counters; all zero in a fault-free run) *)
+  r_dead_letters : int;  (** bees with quarantined persistent state *)
+  r_quarantined : int;  (** poison messages parked by delivery retry *)
 }
 
 val run : ?config:config -> unit -> report
@@ -50,5 +55,6 @@ val render : Format.formatter -> report -> unit
 
 val checks : report -> (string * bool) list
 (** The demo's pass/fail claims: busiest share decreased after the join,
-    the drain completed with zero cells, the hive was decommissioned, and
-    the rebalancer actually moved bees. *)
+    the drain completed with zero cells, the hive was decommissioned, the
+    rebalancer actually moved bees, and the run stayed clean of dead
+    letters and quarantined messages. *)

@@ -16,6 +16,8 @@ type t = {
   s_live_bees : int;
   s_p50_us : int;
   s_p99_us : int;
+  s_dead_letters : int;
+  s_quarantined : int;
   s_membership : (string * int) list;
 }
 
@@ -40,6 +42,8 @@ let measure matrix series platform =
     s_live_bees = List.length (Platform.live_bees platform);
     s_p50_us = Option.value ~default:0 (Platform.message_latency_percentile platform 0.5);
     s_p99_us = Option.value ~default:0 (Platform.message_latency_percentile platform 0.99);
+    s_dead_letters = List.length (Platform.dead_letters platform);
+    s_quarantined = Platform.total_quarantined platform;
     s_membership =
       (* Platform gauges worth a summary line: cluster membership, the
          storage-integrity counters, plus the linearizability checker's
@@ -67,10 +71,13 @@ let pp fmt s =
      lock-service RPCs         : %d@,\
      messages processed        : %d@,\
      live bees                 : %d@,\
-     message latency           : p50 <= %d us, p99 <= %d us"
+     message latency           : p50 <= %d us, p99 <= %d us@,\
+     storage dead letters      : %d@,\
+     quarantined messages      : %d"
     (100.0 *. s.s_locality) s.s_hotspot_hive
     (100.0 *. s.s_hotspot_share)
     s.s_total_inter_kb s.s_mean_kbps s.s_peak_kbps s.s_migrations s.s_merges
-    s.s_lock_rpcs s.s_processed s.s_live_bees s.s_p50_us s.s_p99_us;
+    s.s_lock_rpcs s.s_processed s.s_live_bees s.s_p50_us s.s_p99_us
+    s.s_dead_letters s.s_quarantined;
   List.iter (fun (k, v) -> Format.fprintf fmt "@,%-26s: %d" k v) s.s_membership;
   Format.fprintf fmt "@]"

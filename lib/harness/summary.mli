@@ -21,10 +21,16 @@ type t = {
   s_live_bees : int;
   s_p50_us : int;  (** median emission-to-handler latency, microseconds *)
   s_p99_us : int;
+  s_dead_letters : int;
+      (** storage dead letters — bees whose persistent state was
+          quarantined after an unrepairable integrity fault *)
+  s_quarantined : int;  (** poison messages quarantined by delivery retry *)
   s_membership : (string * int) list;
-      (** the platform's [membership.*] gauges — hive count and per-state
-          breakdown, plus (when an elastic {!Beehive_elastic.Membership}
-          manager is running) join/drain/rebalance counters *)
+      (** the platform's [membership.*], [integrity.*] and [lin.*]
+          gauges — hive count and per-state breakdown, the
+          storage-integrity counters, plus (when an elastic
+          {!Beehive_elastic.Membership} manager is running)
+          join/drain/rebalance counters *)
 }
 
 val measure :

@@ -1,0 +1,186 @@
+(* A fixed pool of OCaml 5 domains for deterministic fan-out.
+
+   The pool executes a batch of [shards] independent tasks across
+   [lanes] lanes: shard [i] always runs on lane [i mod lanes], and
+   within a lane shards run in increasing index order. Lane 0 is the
+   calling domain; lanes 1..n-1 are pinned worker domains that park on
+   a condition variable between batches. Because the shard->lane
+   mapping and the intra-lane order are functions of the shard index
+   only, the set of (shard, result) pairs — and the order in which any
+   two shards on the same lane observe each other's side effects — is
+   identical for every pool size. Determinism across [BEEHIVE_DOMAINS]
+   settings therefore only requires that tasks on *different* lanes
+   are mutually independent, which the engine's sharding by owning
+   hive guarantees.
+
+   Exceptions: every shard runs to completion even if an earlier shard
+   raised (so a failure cannot change *which* shards executed), and
+   after the barrier the exception of the lowest-numbered failing
+   shard is re-raised — the same one a purely serial execution would
+   surface first. *)
+
+type t = {
+  lanes : int;
+  mutable workers : unit Domain.t array;
+  m : Mutex.t;
+  work_ready : Condition.t;
+  work_done : Condition.t;
+  mutable job : (int -> unit) option;
+  mutable generation : int;
+  mutable remaining : int;
+  mutable stop : bool;
+  tasks : int array;
+  mutable busy : bool;
+}
+
+let size t = t.lanes
+let tasks_per_domain t = Array.copy t.tasks
+
+let worker t lane () =
+  let last_gen = ref 0 in
+  let continue = ref true in
+  while !continue do
+    Mutex.lock t.m;
+    while (not t.stop) && t.generation = !last_gen do
+      Condition.wait t.work_ready t.m
+    done;
+    if t.stop then begin
+      Mutex.unlock t.m;
+      continue := false
+    end
+    else begin
+      last_gen := t.generation;
+      let job = Option.get t.job in
+      Mutex.unlock t.m;
+      job lane;
+      Mutex.lock t.m;
+      t.remaining <- t.remaining - 1;
+      if t.remaining = 0 then Condition.signal t.work_done;
+      Mutex.unlock t.m
+    end
+  done
+
+let max_domains = 64
+
+let create ~domains =
+  let lanes = max 1 (min domains max_domains) in
+  let t =
+    {
+      lanes;
+      workers = [||];
+      m = Mutex.create ();
+      work_ready = Condition.create ();
+      work_done = Condition.create ();
+      job = None;
+      generation = 0;
+      remaining = 0;
+      stop = false;
+      tasks = Array.make lanes 0;
+      busy = false;
+    }
+  in
+  if lanes > 1 then
+    t.workers <- Array.init (lanes - 1) (fun i -> Domain.spawn (worker t (i + 1)));
+  t
+
+let shutdown t =
+  Mutex.lock t.m;
+  let already = t.stop in
+  t.stop <- true;
+  Condition.broadcast t.work_ready;
+  Mutex.unlock t.m;
+  if not already then begin
+    Array.iter Domain.join t.workers;
+    t.workers <- [||]
+  end
+
+(* Runs lane [lane]'s shards in increasing index order, recording the
+   result or the exception of each shard. Never raises. *)
+let run_lane t f results errors shards lane =
+  let i = ref lane in
+  while !i < shards do
+    (match f !i with
+     | v -> results.(!i) <- Some v
+     | exception e -> errors.(!i) <- Some e);
+    t.tasks.(lane) <- t.tasks.(lane) + 1;
+    i := !i + t.lanes
+  done
+
+let map t ~shards f =
+  if shards <= 0 then [||]
+  else begin
+    let results = Array.make shards None in
+    let errors = Array.make shards None in
+    (* Nested calls (a shard itself fanning out) degrade to inline
+       execution rather than deadlocking on the single job slot. *)
+    if t.lanes = 1 || shards = 1 || t.busy || t.stop then
+      for i = 0 to shards - 1 do
+        (match f i with
+         | v -> results.(i) <- Some v
+         | exception e -> errors.(i) <- Some e);
+        t.tasks.(0) <- t.tasks.(0) + 1
+      done
+    else begin
+      t.busy <- true;
+      let job lane = run_lane t f results errors shards lane in
+      Mutex.lock t.m;
+      t.job <- Some job;
+      t.generation <- t.generation + 1;
+      t.remaining <- t.lanes - 1;
+      Condition.broadcast t.work_ready;
+      Mutex.unlock t.m;
+      job 0;
+      Mutex.lock t.m;
+      while t.remaining > 0 do
+        Condition.wait t.work_done t.m
+      done;
+      t.job <- None;
+      Mutex.unlock t.m;
+      t.busy <- false
+    end;
+    let first_error = ref None in
+    for i = shards - 1 downto 0 do
+      match errors.(i) with Some e -> first_error := Some e | None -> ()
+    done;
+    match !first_error with
+    | Some e -> raise e
+    | None ->
+      Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let env_domains () =
+  match Sys.getenv_opt "BEEHIVE_DOMAINS" with
+  | None -> 1
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> min n max_domains
+    | _ -> 1)
+
+let global_pool = ref None
+let exit_registered = ref false
+
+let register_exit () =
+  if not !exit_registered then begin
+    exit_registered := true;
+    at_exit (fun () ->
+        match !global_pool with Some p -> shutdown p | None -> ())
+  end
+
+let global () =
+  match !global_pool with
+  | Some p -> p
+  | None ->
+    let p = create ~domains:(env_domains ()) in
+    global_pool := Some p;
+    if p.lanes > 1 then register_exit ();
+    p
+
+let set_global_domains n =
+  let n = max 1 (min n max_domains) in
+  match !global_pool with
+  | Some p when p.lanes = n -> ()
+  | prev ->
+    (match prev with Some p -> shutdown p | None -> ());
+    let p = create ~domains:n in
+    global_pool := Some p;
+    if p.lanes > 1 then register_exit ()

@@ -10,12 +10,24 @@ type t
 type handle
 (** A scheduled event, for cancellation. *)
 
-val create : ?seed:int -> unit -> t
+val create : ?seed:int -> ?domains:int -> unit -> t
 (** Fresh engine with clock at {!Simtime.zero}. [seed] (default 42) seeds
-    the root RNG from which components {!Rng.split} their own streams. *)
+    the root RNG from which components {!Rng.split} their own streams.
+    [domains], when given, resizes the process-wide
+    {!Domain_pool.global} pool (otherwise [BEEHIVE_DOMAINS] governs its
+    first-use width). *)
 
 val now : t -> Simtime.t
 val rng : t -> Rng.t
+
+val domains : t -> int
+(** Width of the pool sharded batches fan out over (>= 1). *)
+
+val parallel_map : t -> shards:int -> (int -> 'a) -> 'a array
+(** Deterministic fan-out over the pool — see {!Domain_pool.map}.
+    Exposed so subsystems with naturally independent shards (e.g. the
+    store's group-commit encode and scrub verification) can borrow the
+    engine's pool without owning domains themselves. *)
 
 val schedule_at : t -> Simtime.t -> (unit -> unit) -> handle
 (** [schedule_at t at f] runs [f] when the clock reaches [at]. Scheduling
@@ -23,6 +35,19 @@ val schedule_at : t -> Simtime.t -> (unit -> unit) -> handle
 
 val schedule_after : t -> Simtime.t -> (unit -> unit) -> handle
 (** [schedule_after t d f] = [schedule_at t (now t + d)]. *)
+
+val schedule_sharded_after : t -> Simtime.t -> shard:int -> (unit -> unit -> unit) -> handle
+(** Like {!schedule_after}, but split for parallel execution: when the
+    event comes due, [compute ()] may run on any pool domain —
+    concurrently with other due sharded events of *different* [shard]
+    ids, in scheduling order w.r.t. the same shard — and must only
+    touch state owned by its shard. The [unit -> unit] thunk it
+    returns (the apply phase) then runs on the main domain, serially,
+    in global scheduling order, and may touch shared state freely.
+    With a pool of width 1 this degenerates to
+    [f () = (compute ()) ()] — the batched schedule is identical at
+    every width, which is what makes [BEEHIVE_DOMAINS=1] and [=8]
+    bit-identical. *)
 
 val cancel : t -> handle -> bool
 
@@ -47,3 +72,12 @@ val events_executed : t -> int
 (** Total events run since {!create}. Monotone; the rate of growth per
     unit of simulated time is the signal an event-storm monitor (e.g.
     {!Beehive_check}'s nemesis runs) watches for runaway amplification. *)
+
+val sharded_batches : t -> int
+(** Number of sharded batches executed (each batch = all sharded events
+    due at one instant). Independent of pool width. *)
+
+val sharded_events : t -> int
+(** Sharded events executed across all batches;
+    [sharded_events / sharded_batches] is the mean batch width — the
+    available parallelism of a workload. *)

@@ -66,11 +66,32 @@ let push t at value =
   sift_up t (t.size - 1);
   H e
 
+(* Rebuilds the heap from the live entries only. [(at, seq)] is a
+   total order, so the heap's internal shape never affects pop order —
+   compaction is invisible to callers. *)
+let compact t =
+  let n = ref 0 in
+  for i = 0 to t.size - 1 do
+    let e = t.heap.(i) in
+    if not e.cancelled then begin
+      t.heap.(!n) <- e;
+      incr n
+    end
+  done;
+  t.size <- !n;
+  for i = (t.size / 2) - 1 downto 0 do
+    sift_down t i
+  done
+
 let cancel t (H e) =
   if e.cancelled then false
   else begin
     e.cancelled <- true;
     t.live <- t.live - 1;
+    (* Long soaks with heavy timer churn (transport retries, scrub
+       slices, outbox rechecks) otherwise sift over a majority of
+       tombstones on every push/pop. *)
+    if t.size >= 16 && 2 * t.live < t.size then compact t;
     true
   end
 
@@ -95,6 +116,12 @@ let rec drop_cancelled t =
 let peek_time t =
   drop_cancelled t;
   if t.size = 0 then None else Some t.heap.(0).at
+
+let peek t =
+  drop_cancelled t;
+  if t.size = 0 then None else Some (t.heap.(0).at, t.heap.(0).value)
+
+let physical_size t = t.size
 
 let rec pop t =
   match pop_min t with

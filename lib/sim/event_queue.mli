@@ -20,10 +20,19 @@ val push : 'a t -> Simtime.t -> 'a -> handle
 
 val cancel : 'a t -> handle -> bool
 (** [cancel q h] removes the event, returning [false] if it already fired
-    or was already cancelled. Cancellation is O(1) (lazy deletion). *)
+    or was already cancelled. Cancellation is lazy deletion, amortised
+    O(1): when tombstones outnumber live entries the heap is compacted
+    in place (pop order is unaffected — [(time, seq)] is total). *)
 
 val peek_time : 'a t -> Simtime.t option
 (** Time of the earliest live event, if any. *)
+
+val peek : 'a t -> (Simtime.t * 'a) option
+(** Earliest live event without removing it. *)
+
+val physical_size : 'a t -> int
+(** Heap slots in use, cancelled tombstones included — observability
+    for the compaction policy ([length] counts only live entries). *)
 
 val pop : 'a t -> (Simtime.t * 'a) option
 (** Removes and returns the earliest live event. *)

@@ -162,12 +162,25 @@ type 'v t = {
 
 let config t = t.cfg
 
+(* Scratch buffer for record encoding, one per domain so the group
+   commit can encode frames in parallel. [Buffer.clear] keeps the
+   underlying bytes, so after the first record each encode reuses a
+   buffer already sized for the largest record seen on that domain —
+   no per-record allocation on the WAL hot path. [Buffer.contents]
+   copies, so the returned payloads never alias the scratch space. *)
+let scratch_key = Domain.DLS.new_key (fun () -> Buffer.create 64)
+
+let scratch () =
+  let buf = Domain.DLS.get scratch_key in
+  Buffer.clear buf;
+  buf
+
 (* Canonical serialized images. The store holds typed values, so the
    "bytes on disk" are modeled: a deterministic string derived from the
    artifact's identity and shape. Checksums are computed and verified over
    these images, and fault injection mutates them in place. *)
 let payload_of_batch t ~lsn b =
-  let buf = Buffer.create 64 in
+  let buf = scratch () in
   Buffer.add_string buf "R";
   Buffer.add_string buf (string_of_int lsn);
   List.iter
@@ -192,7 +205,7 @@ let payload_of_batch t ~lsn b =
   Buffer.contents buf
 
 let payload_of_snapshot t ~lsn entries =
-  let buf = Buffer.create 64 in
+  let buf = scratch () in
   Buffer.add_string buf "S";
   Buffer.add_string buf (string_of_int lsn);
   List.iter
@@ -376,16 +389,34 @@ let compact_log t bl =
   | None -> ()
   end
 
+(* Frames for [bl]'s pending batches, oldest-first, carrying the lsns
+   [commit_pending] will assign. Encoding is a pure function of the
+   batch and the (immutable) size model, so it is safe to run off the
+   main domain; the frames are byte-identical to an inline encode. *)
+let encode_log_frames t bl =
+  let batches = Array.of_list (List.rev bl.bl_pending) in
+  Array.mapi
+    (fun i b -> frame_of (payload_of_batch t ~lsn:(bl.bl_next_lsn + i) b))
+    batches
+
 (* Moves a log's pending batches into its durable WAL, accumulating the
    per-hive fsync charges into [by_hive] and the per-hive newly durable
-   outbox entries into [out_by_hive]. True if anything moved. *)
-let commit_pending t bl by_hive out_by_hive =
+   outbox entries into [out_by_hive]. True if anything moved. [frames],
+   when given, are the precomputed [encode_log_frames] of this log. *)
+let commit_pending t ?frames bl by_hive out_by_hive =
   match bl.bl_pending with
   | [] -> false
   | pending ->
+    let idx = ref 0 in
     List.iter
       (fun b ->
         let lsn = bl.bl_next_lsn in
+        let fr =
+          match frames with
+          | Some fa -> fa.(!idx)
+          | None -> frame_of (payload_of_batch t ~lsn b)
+        in
+        incr idx;
         let r =
           {
             r_lsn = lsn;
@@ -394,7 +425,7 @@ let commit_pending t bl by_hive out_by_hive =
             r_bytes = b.b_bytes;
             r_outbox = b.b_outbox;
             r_inbox = b.b_inbox;
-            r_frame = frame_of (payload_of_batch t ~lsn b);
+            r_frame = fr;
           }
         in
         bl.bl_next_lsn <- bl.bl_next_lsn + 1;
@@ -441,10 +472,27 @@ let flush t =
   let by_hive = Hashtbl.create 8 in
   let out_by_hive = Hashtbl.create 8 in
   let ds = take_dirty t in
+  (* Per-bee WAL appends are independent, so the frame encode (the CPU
+     cost of a group commit: serialization + CRC32) fans out over the
+     domain pool. The fold below stays serial and in bee-id order —
+     lsns, WAL order, fsync charges and outbox publication are applied
+     exactly as a one-domain run would. *)
+  let frames =
+    let n = List.length ds in
+    if n >= 4 && Engine.domains t.engine > 1 then begin
+      let arr = Array.of_list ds in
+      let encoded =
+        Engine.parallel_map t.engine ~shards:n (fun i ->
+            encode_log_frames t arr.(i))
+      in
+      List.mapi (fun i _ -> Some encoded.(i)) ds
+    end
+    else List.map (fun _ -> None) ds
+  in
   let dirty =
-    List.fold_left
-      (fun acc bl -> commit_pending t bl by_hive out_by_hive || acc)
-      false ds
+    List.fold_left2
+      (fun acc bl fr -> commit_pending t ?frames:fr bl by_hive out_by_hive || acc)
+      false ds frames
   in
   if dirty then begin
     fire_fsyncs t by_hive out_by_hive;
@@ -786,39 +834,60 @@ let scrub t ~budget_bytes =
       let after, before =
         List.partition (fun bl -> bl.bl_bee > t.scrub_cursor) logs
       in
+      (* Serial walk: choose the logs this slice covers, charge the
+         byte budget and advance the cursor — bookkeeping identical to
+         a serial scrub. *)
       let scanned = ref 0 in
-      let found = ref [] in
-      let visited = ref 0 in
+      let visited = ref [] in
       (try
          List.iter
            (fun bl ->
              if !scanned >= budget_bytes then raise Exit;
-             incr visited;
+             visited := bl :: !visited;
              t.scrub_cursor <- bl.bl_bee;
              scanned := !scanned + bl.bl_snapshot_bytes + bl.bl_wal_bytes;
-             t.records_verified <- t.records_verified + bl.bl_wal_records + 1;
-             let bad = ref None in
-             if frame_state bl.bl_snapshot_frame <> F_ok then
-               bad := Some "snapshot failed checksum verification";
-             List.iter
-               (fun r ->
-                 if !bad = None && frame_state r.r_frame <> F_ok then
-                   bad :=
-                     Some
-                       (Printf.sprintf "wal record lsn %d failed verification"
-                          r.r_lsn))
-               bl.bl_wal;
-             match !bad with
-             | Some detail ->
-               mark_suspect t bl.bl_bee detail;
-               found := (bl.bl_bee, detail) :: !found
-             | None -> ())
+             t.records_verified <- t.records_verified + bl.bl_wal_records + 1)
            (after @ before)
        with Exit -> ());
+      let visited = Array.of_list (List.rev !visited) in
+      (* Frame verification is a pure read (CRC32 over each log's
+         bytes), so it fans out over the domain pool; the verdict fold
+         below runs serially in walk order, keeping suspect marking
+         and counters order-stable at any pool width. *)
+      let verify bl =
+        if frame_state bl.bl_snapshot_frame <> F_ok then
+          Some "snapshot failed checksum verification"
+        else begin
+          let bad = ref None in
+          List.iter
+            (fun r ->
+              if !bad = None && frame_state r.r_frame <> F_ok then
+                bad :=
+                  Some
+                    (Printf.sprintf "wal record lsn %d failed verification"
+                       r.r_lsn))
+            bl.bl_wal;
+          !bad
+        end
+      in
+      let verdicts =
+        Engine.parallel_map t.engine ~shards:(Array.length visited) (fun i ->
+            verify visited.(i))
+      in
+      let found = ref [] in
+      Array.iteri
+        (fun i verdict ->
+          match verdict with
+          | Some detail ->
+            mark_suspect t visited.(i).bl_bee detail;
+            found := (visited.(i).bl_bee, detail) :: !found
+          | None -> ())
+        verdicts;
       (* A pass completes when one call covered every log, or when the
          round-robin cursor reaches the end of the ring across calls. *)
       let max_bee = List.fold_left (fun acc bl -> max acc bl.bl_bee) min_int logs in
-      if !visited >= List.length logs || t.scrub_cursor = max_bee then begin
+      if Array.length visited >= List.length logs || t.scrub_cursor = max_bee
+      then begin
         t.scrubs_completed <- t.scrubs_completed + 1;
         t.scrub_cursor <- -1
       end;
@@ -929,3 +998,39 @@ let records_verified t = t.records_verified
 let crc_failures t = t.crc_failures
 let torn_truncations t = t.torn_truncations
 let scrubs_completed t = t.scrubs_completed
+
+(* Canonical byte-level image of the whole store: every tracked log in
+   bee-id order — snapshot frame, WAL frames oldest-first with their
+   commit times, durable outbox/inbox sorted, lsn bookkeeping. Two
+   stores with an equal image hold bit-identical durable state; the
+   1-vs-N-domain determinism tests hash this. *)
+let wal_image t =
+  let buf = Buffer.create 4096 in
+  let add_frame tag f =
+    Buffer.add_string buf tag;
+    Buffer.add_string buf (Printf.sprintf " len=%d crc=%d " f.f_len f.f_crc);
+    Buffer.add_string buf f.f_payload;
+    Buffer.add_char buf '\n'
+  in
+  List.iter
+    (fun bl ->
+      Buffer.add_string buf
+        (Printf.sprintf "bee=%d next_lsn=%d snap_lsn=%d next_out_seq=%d\n"
+           bl.bl_bee bl.bl_next_lsn bl.bl_snapshot_lsn bl.bl_next_out_seq);
+      add_frame "S" bl.bl_snapshot_frame;
+      List.iter
+        (fun r ->
+          add_frame
+            (Printf.sprintf "W lsn=%d at=%d" r.r_lsn (Simtime.to_us r.r_at))
+            r.r_frame)
+        (List.rev bl.bl_wal);
+      Hashtbl.fold (fun seq bytes acc -> (seq, bytes) :: acc) bl.bl_outbox []
+      |> List.sort compare
+      |> List.iter (fun (seq, bytes) ->
+             Buffer.add_string buf (Printf.sprintf "O %d:%d\n" seq bytes));
+      Hashtbl.fold (fun m () acc -> m :: acc) bl.bl_inbox []
+      |> List.sort compare
+      |> List.iter (fun (s, q) ->
+             Buffer.add_string buf (Printf.sprintf "I %d:%d\n" s q)))
+    (sorted_logs t);
+  Buffer.contents buf

@@ -330,4 +330,11 @@ val frame_overhead_bytes : int
 (** Bytes the length+CRC32 envelope adds to every WAL record and
     snapshot. *)
 
+val wal_image : 'v t -> string
+(** Canonical byte-level image of the whole store: every tracked log in
+    bee-id order — snapshot frame, WAL frames (payload, length, CRC,
+    lsn, commit time) oldest-first, durable outbox/inbox sorted, lsn
+    bookkeeping. Two stores with an equal image hold bit-identical
+    durable state; the 1-vs-N-domain determinism tests hash this. *)
+
 val total_compactions : 'v t -> int
